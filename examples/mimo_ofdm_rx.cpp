@@ -1,0 +1,60 @@
+// End-to-end example: a 2x2 MIMO-OFDM packet (QAM-64, 20 MHz — the
+// paper's 100 Mbps+ operating point) is generated, passed through a
+// multipath channel with CFO and noise, and decoded by the full receiver
+// program running on the simulated CGA-SIMD processor.
+//
+//   $ ./examples/mimo_ofdm_rx [numSymbols] [snrDb] [cfoPpm]
+#include <cstdio>
+#include <cstdlib>
+
+#include "dsp/channel.hpp"
+#include "power/energy_model.hpp"
+#include "sdr/modem_program.hpp"
+
+using namespace adres;
+
+int main(int argc, char** argv) {
+  int numSymbols = argc > 1 ? std::atoi(argv[1]) : 8;
+  if (numSymbols < 2) numSymbols = 2;
+  numSymbols &= ~1;  // the receiver merges symbol pairs
+  const double snr = argc > 2 ? std::atof(argv[2]) : 35.0;
+  const double ppm = argc > 3 ? std::atof(argv[3]) : 8.0;
+
+  dsp::ModemConfig cfg;
+  cfg.mod = dsp::Modulation::kQam64;
+  cfg.numSymbols = numSymbols;
+  printf("TX: %d OFDM symbols, %d payload bits, raw %.0f Mbps\n", numSymbols,
+         numSymbols * dsp::bitsPerOfdmSymbol(cfg), dsp::rawRateMbps(cfg));
+
+  Rng rng(2026);
+  const dsp::TxPacket pkt = dsp::transmit(cfg, rng);
+
+  dsp::ChannelConfig cc;
+  cc.taps = 2;
+  cc.snrDb = snr;
+  cc.cfoPpm = ppm;
+  cc.seed = 7;
+  dsp::MimoChannel ch(cc);
+  const auto rx = ch.run(pkt.waveform);
+  printf("channel: 2-tap Rayleigh, %.0f dB SNR, %.0f ppm CFO "
+         "(%.1f kHz at 2.4 GHz)\n", snr, ppm, ppm * 2.4e3 / 1000.0);
+
+  const sdr::ModemOnProcessor m = sdr::buildModemProgram(numSymbols);
+  printf("receiver program: %zu bundles, %zu mapped kernels\n",
+         m.program.bundles.size(), m.program.kernels.size());
+
+  Processor proc;
+  const sdr::ProcessorRxResult res = sdr::runModemOnProcessor(proc, m, rx);
+  const int errs = dsp::bitErrors(res.bits, pkt.bits);
+  printf("RX: detected=%s, timing at sample %u, %d bit errors / %zu bits\n",
+         res.detected ? "yes" : "NO", res.ltfStart, errs, pkt.bits.size());
+  printf("processing: %llu cycles = %.1f us (air time %.1f us)\n",
+         static_cast<unsigned long long>(res.cycles), res.elapsedUs,
+         (dsp::kPreambleLen + numSymbols * dsp::kSymbolLen) / 20.0);
+
+  const power::PowerReport pw = power::analyze(proc);
+  printf("power model: VLIW %.0f mW / CGA %.0f mW / average %.0f mW active, "
+         "+%.1f mW leakage (65C)\n", pw.vliwActiveMw, pw.cgaActiveMw,
+         pw.averageActiveMw, pw.leakage65Mw);
+  return errs == 0 ? 0 : 1;
+}

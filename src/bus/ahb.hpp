@@ -1,0 +1,114 @@
+// AMBA2 AHB-lite slave port and internal address decode (paper §2.A).
+//
+// The processor is a slave in a multi-core SDR platform: the L1 scratchpad,
+// the CGA configuration memories and the special-register bank are mapped
+// behind a single AHB slave interface (config/special regs via the internal
+// 32-bit bus).  The bus clock is half the core clock; a single transfer
+// costs one address + one data bus cycle = 4 core cycles.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace adres {
+
+/// Memory map of the slave interface (byte addresses, word aligned).
+namespace mmap {
+inline constexpr u32 kL1Base = 0x0000'0000;
+inline constexpr u32 kL1Size = 0x0004'0000;  // 256 KiB
+inline constexpr u32 kConfigBase = 0x0010'0000;
+inline constexpr u32 kConfigSize = 0x0001'0000;  // 64 KiB
+inline constexpr u32 kSpecialBase = 0x0020'0000;
+inline constexpr u32 kSpecialSize = 0x0000'1000;
+}  // namespace mmap
+
+/// Special-register word offsets inside the special-register bank.
+namespace sreg {
+inline constexpr u32 kStatus = 0x00;     ///< RO: {1:sleeping, 0:running}
+inline constexpr u32 kCycleLo = 0x04;    ///< RO: core cycle counter
+inline constexpr u32 kCycleHi = 0x08;
+inline constexpr u32 kEndianness = 0x0C; ///< RW: 0 little (only mode modelled)
+inline constexpr u32 kAhbPriority = 0x10;///< RW: 1 = bus wins L1 conflicts
+inline constexpr u32 kException = 0x14;  ///< RO: sticky exception flags
+inline constexpr u32 kDebugData = 0x18;  ///< RW: debug data interface window
+inline constexpr u32 kDebugAddr = 0x1C;
+}  // namespace sreg
+
+struct AhbStats {
+  u64 reads = 0;
+  u64 writes = 0;
+  u64 busCycles = 0;  ///< in bus-clock cycles (half core clock)
+};
+
+/// Address-decoding AHB slave.  Regions register word-granular handlers.
+class AhbSlave {
+ public:
+  using Read32 = std::function<u32(u32 offset)>;
+  using Write32 = std::function<void(u32 offset, u32 value)>;
+
+  void addRegion(std::string name, u32 base, u32 size, Read32 rd, Write32 wr) {
+    ADRES_CHECK(size > 0 && base % 4 == 0 && size % 4 == 0,
+                "region " << name << " must be word aligned");
+    for (const auto& r : regions_) {
+      const bool overlap = base < r.base + r.size && r.base < base + size;
+      ADRES_CHECK(!overlap, "region " << name << " overlaps " << r.name);
+    }
+    regions_.push_back({std::move(name), base, size, std::move(rd), std::move(wr)});
+  }
+
+  u32 read32(u32 addr) {
+    const Region& r = decode(addr);
+    ++stats_.reads;
+    stats_.busCycles += 2;  // address + data phase
+    return r.rd(addr - r.base);
+  }
+
+  void write32(u32 addr, u32 value) {
+    const Region& r = decode(addr);
+    ++stats_.writes;
+    stats_.busCycles += 2;
+    r.wr(addr - r.base, value);
+  }
+
+  /// Burst helpers (INCR bursts: 1 address phase + n data phases).
+  std::vector<u32> readBurst(u32 addr, u32 nWords) {
+    std::vector<u32> out;
+    out.reserve(nWords);
+    for (u32 i = 0; i < nWords; ++i) out.push_back(read32(addr + 4 * i));
+    stats_.busCycles -= nWords > 1 ? (nWords - 1) : 0;  // pipelined addresses
+    return out;
+  }
+
+  void writeBurst(u32 addr, const std::vector<u32>& words) {
+    for (u32 i = 0; i < words.size(); ++i) write32(addr + 4 * i, words[i]);
+    stats_.busCycles -= words.size() > 1 ? (words.size() - 1) : 0;
+  }
+
+  const AhbStats& stats() const { return stats_; }
+
+ private:
+  struct Region {
+    std::string name;
+    u32 base;
+    u32 size;
+    Read32 rd;
+    Write32 wr;
+  };
+
+  const Region& decode(u32 addr) const {
+    ADRES_CHECK(addr % 4 == 0, "unaligned AHB access 0x" << std::hex << addr);
+    for (const auto& r : regions_) {
+      if (addr >= r.base && addr < r.base + r.size) return r;
+    }
+    throw SimError("AHB decode error (no slave region at given address)");
+  }
+
+  std::vector<Region> regions_;
+  AhbStats stats_;
+};
+
+}  // namespace adres

@@ -1,0 +1,197 @@
+#include "cga/context.hpp"
+
+#include "common/bitfield.hpp"
+#include "common/check.hpp"
+#include "cga/topology.hpp"
+
+namespace adres {
+namespace {
+
+// Field widths of the packed context encoding.
+constexpr int kOpBits = 8;
+constexpr int kSrcKindBits = 3;
+constexpr int kSrcIdxBits = 6;
+constexpr int kImmBitsCga = 16;
+constexpr int kLocalAddrBits = 4;
+constexpr int kGlobalAddrBits = 6;
+constexpr int kTimeBits = 12;
+
+constexpr int kSrcBits = kSrcKindBits + kSrcIdxBits;
+constexpr int kDstBits = 1 + kLocalAddrBits + 1 + kGlobalAddrBits;
+constexpr int kFuOpBits = kOpBits + 3 * kSrcBits + kImmBitsCga + kDstBits + kTimeBits;
+
+void encodeSrc(BitWriter& w, const SrcSel& s) {
+  w.put(static_cast<u64>(s.kind), kSrcKindBits);
+  w.put(s.index, kSrcIdxBits);
+}
+
+SrcSel decodeSrc(BitReader& r) {
+  SrcSel s;
+  const u64 kind = r.get(kSrcKindBits);
+  ADRES_CHECK(kind <= static_cast<u64>(SrcKind::kImm), "bad SrcKind field");
+  s.kind = static_cast<SrcKind>(kind);
+  s.index = static_cast<u8>(r.get(kSrcIdxBits));
+  return s;
+}
+
+void encodeFuOp(BitWriter& w, const FuOp& f) {
+  w.put(static_cast<u64>(f.op), kOpBits);
+  encodeSrc(w, f.src1);
+  encodeSrc(w, f.src2);
+  encodeSrc(w, f.src3);
+  w.put(static_cast<u32>(f.imm) & 0xFFFFu, kImmBitsCga);
+  w.put(f.dst.toLocalRf ? 1 : 0, 1);
+  w.put(f.dst.localAddr, kLocalAddrBits);
+  w.put(f.dst.toGlobalRf ? 1 : 0, 1);
+  w.put(f.dst.globalAddr, kGlobalAddrBits);
+  w.put(f.schedTime, kTimeBits);
+}
+
+FuOp decodeFuOp(BitReader& r) {
+  FuOp f;
+  const u64 op = r.get(kOpBits);
+  ADRES_CHECK(op < static_cast<u64>(kOpcodeCount), "bad opcode in context");
+  f.op = static_cast<Opcode>(op);
+  f.src1 = decodeSrc(r);
+  f.src2 = decodeSrc(r);
+  f.src3 = decodeSrc(r);
+  const u32 rawImm = static_cast<u32>(r.get(kImmBitsCga));
+  f.imm = (static_cast<i32>(rawImm << 16)) >> 16;  // sign-extend 16
+  f.dst.toLocalRf = r.get(1) != 0;
+  f.dst.localAddr = static_cast<u8>(r.get(kLocalAddrBits));
+  f.dst.toGlobalRf = r.get(1) != 0;
+  f.dst.globalAddr = static_cast<u8>(r.get(kGlobalAddrBits));
+  f.schedTime = static_cast<u16>(r.get(kTimeBits));
+  return f;
+}
+
+void validateSrc(const SrcSel& s, int fu, const char* what) {
+  switch (s.kind) {
+    case SrcKind::kNone:
+    case SrcKind::kImm:
+      break;
+    case SrcKind::kOutput:
+      ADRES_CHECK(canRead(fu, s.index),
+                  "FU" << fu << ' ' << what << " reads FU" << int{s.index}
+                       << " output, not mesh-reachable");
+      break;
+    case SrcKind::kLocalRf:
+      ADRES_CHECK(s.index < 16, "local RF index " << int{s.index});
+      break;
+    case SrcKind::kGlobalRf:
+      ADRES_CHECK(hasGlobalPort(fu),
+                  "FU" << fu << " has no central-RF port (" << what << ')');
+      ADRES_CHECK(s.index < kCdrfRegs, "CDRF index " << int{s.index});
+      break;
+  }
+}
+
+}  // namespace
+
+void KernelConfig::validate() const {
+  ADRES_CHECK(ii >= 1, "kernel '" << name << "': II must be >= 1");
+  ADRES_CHECK(static_cast<int>(contexts.size()) == ii,
+              "kernel '" << name << "': " << contexts.size()
+                         << " contexts but II=" << ii);
+  ADRES_CHECK(schedLength >= ii, "kernel '" << name << "': schedule shorter than II");
+  for (int s = 0; s < ii; ++s) {
+    for (int fu = 0; fu < kCgaFus; ++fu) {
+      const FuOp& f = contexts[static_cast<std::size_t>(s)].fu[fu];
+      if (f.isNop()) continue;
+      const OpInfo& info = opInfo(f.op);
+      ADRES_CHECK((info.fuMask >> fu) & 1,
+                  "kernel '" << name << "': " << info.name << " on FU" << fu);
+      ADRES_CHECK(!isBranch(f.op) && !isControl(f.op),
+                  "kernel '" << name << "': control op in array context");
+      ADRES_CHECK(f.schedTime % static_cast<u16>(ii) == static_cast<u16>(s),
+                  "kernel '" << name << "': op schedTime " << f.schedTime
+                             << " placed in context " << s);
+      validateSrc(f.src1, fu, "src1");
+      validateSrc(f.src2, fu, "src2");
+      validateSrc(f.src3, fu, "src3");
+      if (f.dst.toGlobalRf) {
+        ADRES_CHECK(hasGlobalPort(fu),
+                    "kernel '" << name << "': FU" << fu << " writes CDRF");
+        ADRES_CHECK(f.dst.globalAddr < kCdrfRegs, "CDRF dst index");
+      }
+      if (f.dst.toLocalRf)
+        ADRES_CHECK(f.dst.localAddr < 16, "local RF dst index");
+    }
+  }
+  for (const Preload& p : preloads) {
+    ADRES_CHECK(p.fu < kCgaFus && p.localReg < 16 && p.globalReg < kCdrfRegs,
+                "kernel '" << name << "': bad preload");
+  }
+  for (const Writeback& wb : writebacks) {
+    ADRES_CHECK(wb.fu < kCgaFus && wb.localReg < 16 && wb.globalReg < kCdrfRegs,
+                "kernel '" << name << "': bad writeback");
+  }
+}
+
+int KernelConfig::opCount() const {
+  int n = 0;
+  for (const Context& c : contexts)
+    for (const FuOp& f : c.fu)
+      if (!f.isNop()) ++n;
+  return n;
+}
+
+int contextWordBits() { return kFuOpBits * kCgaFus; }
+
+std::vector<u8> encodeKernel(const KernelConfig& k) {
+  k.validate();
+  BitWriter w;
+  w.put(static_cast<u64>(k.ii), 16);
+  w.put(static_cast<u64>(k.schedLength), 16);
+  w.put(k.preloads.size(), 16);
+  w.put(k.writebacks.size(), 16);
+  w.put(k.name.size(), 16);
+  for (char ch : k.name) w.put(static_cast<u8>(ch), 8);
+  for (const Preload& p : k.preloads) {
+    w.put(p.fu, 8);
+    w.put(p.localReg, 8);
+    w.put(p.globalReg, 8);
+  }
+  for (const Writeback& wb : k.writebacks) {
+    w.put(wb.globalReg, 8);
+    w.put(wb.fu, 8);
+    w.put(wb.localReg, 8);
+  }
+  for (const Context& c : k.contexts)
+    for (const FuOp& f : c.fu) encodeFuOp(w, f);
+  w.alignTo(32);
+  return w.bytes();
+}
+
+KernelConfig decodeKernel(const std::vector<u8>& bytes) {
+  BitReader r(bytes);
+  KernelConfig k;
+  k.ii = static_cast<int>(r.get(16));
+  k.schedLength = static_cast<int>(r.get(16));
+  const auto nPre = r.get(16);
+  const auto nWb = r.get(16);
+  const auto nName = r.get(16);
+  k.name.reserve(nName);
+  for (u64 i = 0; i < nName; ++i) k.name.push_back(static_cast<char>(r.get(8)));
+  for (u64 i = 0; i < nPre; ++i) {
+    Preload p;
+    p.fu = static_cast<u8>(r.get(8));
+    p.localReg = static_cast<u8>(r.get(8));
+    p.globalReg = static_cast<u8>(r.get(8));
+    k.preloads.push_back(p);
+  }
+  for (u64 i = 0; i < nWb; ++i) {
+    Writeback wb;
+    wb.globalReg = static_cast<u8>(r.get(8));
+    wb.fu = static_cast<u8>(r.get(8));
+    wb.localReg = static_cast<u8>(r.get(8));
+    k.writebacks.push_back(wb);
+  }
+  k.contexts.resize(static_cast<std::size_t>(k.ii));
+  for (Context& c : k.contexts)
+    for (FuOp& f : c.fu) f = decodeFuOp(r);
+  k.validate();
+  return k;
+}
+
+}  // namespace adres

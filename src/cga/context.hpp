@@ -1,0 +1,113 @@
+// CGA configuration contexts (paper §2.B).
+//
+// One Context = the ultra-wide configuration word steering all 16 FUs for
+// one scheduled loop cycle.  A KernelConfig holds II contexts (one per
+// scheduled loop cycle, cycled modulo II), the live-in preloads and
+// live-out writebacks the DRESC-style toolchain emits around the loop, and
+// the schedule metadata the sequencer needs for prologue/epilogue squashing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+#include "isa/opcodes.hpp"
+
+namespace adres {
+
+/// Operand source selection of a CGA FU port.
+enum class SrcKind : u8 {
+  kNone,      ///< port unused
+  kOutput,    ///< output register of FU `index` (self or mesh neighbour)
+  kLocalRf,   ///< own local RF entry `index`
+  kGlobalRf,  ///< CDRF entry `index` (FUs 0-2 only)
+  kImm,       ///< the context immediate
+};
+
+struct SrcSel {
+  SrcKind kind = SrcKind::kNone;
+  u8 index = 0;
+
+  static SrcSel none() { return {}; }
+  static SrcSel output(int fu) { return {SrcKind::kOutput, static_cast<u8>(fu)}; }
+  static SrcSel localRf(int r) { return {SrcKind::kLocalRf, static_cast<u8>(r)}; }
+  static SrcSel globalRf(int r) { return {SrcKind::kGlobalRf, static_cast<u8>(r)}; }
+  static SrcSel imm() { return {SrcKind::kImm, 0}; }
+
+  friend bool operator==(const SrcSel&, const SrcSel&) = default;
+};
+
+/// Result destination: besides always landing in the FU output register, a
+/// result may be written to the FU's local RF and/or (FUs 0-2) the CDRF.
+struct DstSel {
+  bool toLocalRf = false;
+  u8 localAddr = 0;
+  bool toGlobalRf = false;
+  u8 globalAddr = 0;
+
+  friend bool operator==(const DstSel&, const DstSel&) = default;
+};
+
+/// One FU's operation in one context.
+struct FuOp {
+  Opcode op = Opcode::NOP;
+  SrcSel src1;
+  SrcSel src2;
+  SrcSel src3;  ///< store data
+  i32 imm = 0;
+  DstSel dst;
+  /// Absolute schedule time of this op within one iteration's schedule.
+  /// The sequencer executes the op at global cycle g iff
+  /// (g - schedTime) is a non-negative multiple of II below trips*II
+  /// (software-pipeline prologue/epilogue squashing via predication).
+  u16 schedTime = 0;
+
+  bool isNop() const { return op == Opcode::NOP; }
+};
+
+/// All 16 FU operations of one scheduled loop cycle.
+struct Context {
+  FuOp fu[kCgaFus];
+};
+
+/// Live-in copy: CDRF[globalReg] -> localRf[fu][localReg] at kernel entry.
+struct Preload {
+  u8 fu = 0;
+  u8 localReg = 0;
+  u8 globalReg = 0;
+};
+
+/// Live-out copy: localRf[fu][localReg] -> CDRF[globalReg] at kernel exit.
+struct Writeback {
+  u8 globalReg = 0;
+  u8 fu = 0;
+  u8 localReg = 0;
+};
+
+/// A complete mapped loop: what the `cga` instruction launches.
+struct KernelConfig {
+  std::string name;
+  int ii = 1;           ///< initiation interval = number of contexts
+  int schedLength = 1;  ///< max schedTime + latency over all ops (drain bound)
+  std::vector<Context> contexts;  ///< size == ii
+  std::vector<Preload> preloads;
+  std::vector<Writeback> writebacks;
+
+  /// Static well-formedness (port legality, index ranges).  Throws SimError.
+  void validate() const;
+
+  /// Number of non-nop ops across the II contexts (for IPC reporting).
+  int opCount() const;
+};
+
+/// Serializes a KernelConfig into the byte image stored in configuration
+/// memory, and back.  The image size drives the config-DMA cost and the
+/// configuration-memory share of the power model.
+std::vector<u8> encodeKernel(const KernelConfig& k);
+KernelConfig decodeKernel(const std::vector<u8>& bytes);
+
+/// Bits per ultra-wide context word in the encoded image (constant).
+int contextWordBits();
+
+}  // namespace adres

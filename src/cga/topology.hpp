@@ -1,0 +1,67 @@
+// CGA interconnect topology (paper Fig 3; DESIGN.md §3 normative choice).
+//
+// The 16 units form a 4x4 torus: every FU's registered output feeds its
+// four mesh neighbours (wrap-around) and itself.  FUs 0..2 additionally own
+// 2-read/1-write ports into the central register files (they are the same
+// units the VLIW slots use); all 16 FUs carry a local 2R/1W register file.
+#pragma once
+
+#include <array>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+
+namespace adres {
+
+inline constexpr int kCgaRows = 4;
+inline constexpr int kCgaCols = 4;
+static_assert(kCgaRows * kCgaCols == kCgaFus);
+
+/// Number of FUs with central-register-file ports (= VLIW issue slots).
+inline constexpr int kGlobalPortFus = kVliwSlots;
+
+/// True if `fu` may read/write the central register files.
+constexpr bool hasGlobalPort(int fu) { return fu >= 0 && fu < kGlobalPortFus; }
+
+enum class Dir : u8 { kNorth, kSouth, kEast, kWest };
+
+/// Mesh neighbour of `fu` in direction `d` (torus wrap-around).
+constexpr int neighbour(int fu, Dir d) {
+  const int r = fu / kCgaCols;
+  const int c = fu % kCgaCols;
+  switch (d) {
+    case Dir::kNorth: return ((r + kCgaRows - 1) % kCgaRows) * kCgaCols + c;
+    case Dir::kSouth: return ((r + 1) % kCgaRows) * kCgaCols + c;
+    case Dir::kEast: return r * kCgaCols + (c + 1) % kCgaCols;
+    case Dir::kWest: return r * kCgaCols + (c + kCgaCols - 1) % kCgaCols;
+  }
+  return fu;
+}
+
+/// All FUs whose output register FU `fu` can read (self + 4 neighbours).
+inline std::array<int, 5> readableFrom(int fu) {
+  return {fu, neighbour(fu, Dir::kNorth), neighbour(fu, Dir::kSouth),
+          neighbour(fu, Dir::kEast), neighbour(fu, Dir::kWest)};
+}
+
+/// True if FU `reader` can source an operand from FU `producer`'s output
+/// register through the mesh (one mux hop).
+inline bool canRead(int reader, int producer) {
+  for (int f : readableFrom(reader))
+    if (f == producer) return true;
+  return false;
+}
+
+/// Manhattan-style hop distance on the torus (lower bound on routing moves).
+constexpr int torusHops(int a, int b) {
+  const int ra = a / kCgaCols, ca = a % kCgaCols;
+  const int rb = b / kCgaCols, cb = b % kCgaCols;
+  const int dr = ra > rb ? ra - rb : rb - ra;
+  const int dc = ca > cb ? ca - cb : cb - ca;
+  const int wr = dr < kCgaRows - dr ? dr : kCgaRows - dr;
+  const int wc = dc < kCgaCols - dc ? dc : kCgaCols - dc;
+  return wr + wc;
+}
+
+}  // namespace adres

@@ -1,0 +1,73 @@
+// Bit-level pack/unpack helpers used by the instruction encoder and the
+// configuration-memory image builder.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace adres {
+
+/// Writes `nbits` of `value` into `bits` starting at bit `pos` (LSB-first),
+/// growing the vector as needed.  Used to assemble 128-bit VLIW bundles and
+/// ultra-wide CGA configuration words.
+class BitWriter {
+ public:
+  void put(u64 value, int nbits) {
+    ADRES_CHECK(nbits >= 0 && nbits <= 64, "field width " << nbits);
+    ADRES_CHECK(nbits == 64 || (value >> nbits) == 0,
+                "value 0x" << std::hex << value << " overflows " << std::dec
+                           << nbits << "-bit field");
+    for (int i = 0; i < nbits; ++i) {
+      const std::size_t bit = pos_ + static_cast<std::size_t>(i);
+      const std::size_t byte = bit / 8;
+      if (byte >= bytes_.size()) bytes_.resize(byte + 1, 0);
+      if ((value >> i) & 1) bytes_[byte] |= static_cast<u8>(1u << (bit % 8));
+    }
+    pos_ += static_cast<std::size_t>(nbits);
+  }
+
+  std::size_t bitCount() const { return pos_; }
+  const std::vector<u8>& bytes() const { return bytes_; }
+
+  /// Pads with zero bits up to a multiple of `align` bits.
+  void alignTo(std::size_t align) {
+    while (pos_ % align != 0) put(0, 1);
+  }
+
+ private:
+  std::vector<u8> bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// Sequential reader matching BitWriter's layout.
+class BitReader {
+ public:
+  explicit BitReader(const std::vector<u8>& bytes) : bytes_(bytes) {}
+
+  u64 get(int nbits) {
+    ADRES_CHECK(nbits >= 0 && nbits <= 64, "field width " << nbits);
+    u64 v = 0;
+    for (int i = 0; i < nbits; ++i) {
+      const std::size_t bit = pos_ + static_cast<std::size_t>(i);
+      const std::size_t byte = bit / 8;
+      ADRES_CHECK(byte < bytes_.size(), "read past end of bitstream");
+      if ((bytes_[byte] >> (bit % 8)) & 1) v |= u64{1} << i;
+    }
+    pos_ += static_cast<std::size_t>(nbits);
+    return v;
+  }
+
+  std::size_t bitPos() const { return pos_; }
+  void alignTo(std::size_t align) {
+    while (pos_ % align != 0) (void)get(1);
+  }
+
+ private:
+  const std::vector<u8>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace adres

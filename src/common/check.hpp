@@ -1,0 +1,49 @@
+// Error-reporting helpers.
+//
+// Simulator-internal invariant violations and ill-formed inputs (bad programs,
+// out-of-range configuration) throw SimError with a formatted message.  Hot
+// datapath code uses ADRES_DCHECK, compiled out in release-with-assert-off
+// builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace adres {
+
+/// Exception thrown on simulator invariant violations or invalid inputs.
+class SimError : public std::runtime_error {
+ public:
+  explicit SimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void failCheck(const char* cond, const char* file, int line,
+                                   const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw SimError(os.str());
+}
+}  // namespace detail
+
+}  // namespace adres
+
+/// Always-on invariant check; throws adres::SimError on failure.
+#define ADRES_CHECK(cond, msg)                                        \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::adres::detail::failCheck(#cond, __FILE__, __LINE__,           \
+                                 (std::ostringstream{} << msg).str()); \
+    }                                                                 \
+  } while (0)
+
+/// Debug-only check for hot paths.
+#ifndef NDEBUG
+#define ADRES_DCHECK(cond, msg) ADRES_CHECK(cond, msg)
+#else
+#define ADRES_DCHECK(cond, msg) \
+  do {                          \
+  } while (0)
+#endif

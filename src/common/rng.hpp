@@ -1,0 +1,73 @@
+// Deterministic pseudo-random generation for tests, workloads and channels.
+//
+// xoshiro256** — fast, reproducible across platforms, good statistical
+// quality; all stochastic inputs in the repo (payload bits, noise, channel
+// taps) derive from this so experiments are exactly repeatable.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace adres {
+
+/// Deterministic 64-bit PRNG (xoshiro256**).
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 seeding.
+    u64 z = seed;
+    for (auto& s : state_) {
+      z += 0x9E3779B97F4A7C15ull;
+      u64 x = z;
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+      x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+      s = x ^ (x >> 31);
+    }
+  }
+
+  u64 next() {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n).
+  u64 below(u64 n) { return n ? next() % n : 0; }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Standard normal via Box-Muller (one value per call; caches the pair).
+  double gaussian() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double th = 6.283185307179586 * u2;
+    cached_ = r * std::sin(th);
+    has_cached_ = true;
+    return r * std::cos(th);
+  }
+
+  bool bit() { return (next() & 1) != 0; }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+  u64 state_[4] = {};
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace adres

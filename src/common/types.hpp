@@ -1,0 +1,143 @@
+// Fundamental datapath types for the ADRES-SDR simulator.
+//
+// The processor's datapaths and registers are 64 bits wide (paper §2.B).
+// Basic instruction groups operate on the 32 LSBs only; the SIMD groups
+// operate on a 4 x 16-bit lane alignment.  These helpers implement the lane
+// view plus the fixed-point (Q15) arithmetic the SIMD units provide.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace adres {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// A 64-bit datapath word.
+using Word = u64;
+
+inline constexpr int kLanes = 4;           ///< SIMD lanes per 64-bit word.
+inline constexpr int kLaneBits = 16;       ///< Bits per SIMD lane.
+inline constexpr int kScalarBits = 32;     ///< Width of the basic-group ALU.
+
+/// Extracts lane `i` (0 = least significant 16 bits) as a signed value.
+constexpr i16 lane(Word w, int i) {
+  return static_cast<i16>(static_cast<u16>(w >> (16 * i)));
+}
+
+/// Extracts lane `i` as an unsigned value.
+constexpr u16 laneU(Word w, int i) {
+  return static_cast<u16>(w >> (16 * i));
+}
+
+/// Replaces lane `i` of `w` with `v`.
+constexpr Word withLane(Word w, int i, i16 v) {
+  const int sh = 16 * i;
+  return (w & ~(u64{0xFFFF} << sh)) |
+         (static_cast<u64>(static_cast<u16>(v)) << sh);
+}
+
+/// Builds a word from four signed lanes (lane 0 in the LSBs).
+constexpr Word packLanes(i16 a, i16 b, i16 c, i16 d) {
+  return static_cast<u64>(static_cast<u16>(a)) |
+         (static_cast<u64>(static_cast<u16>(b)) << 16) |
+         (static_cast<u64>(static_cast<u16>(c)) << 32) |
+         (static_cast<u64>(static_cast<u16>(d)) << 48);
+}
+
+/// Splits a word into four signed lanes.
+constexpr std::array<i16, 4> unpackLanes(Word w) {
+  return {lane(w, 0), lane(w, 1), lane(w, 2), lane(w, 3)};
+}
+
+/// Low 32 bits as signed scalar (the basic-group operand view).
+constexpr i32 lo32(Word w) { return static_cast<i32>(static_cast<u32>(w)); }
+
+/// Low 32 bits as unsigned scalar.
+constexpr u32 lo32u(Word w) { return static_cast<u32>(w); }
+
+/// Makes a word from a 32-bit scalar result; high half is cleared, matching
+/// the documented convention that basic-group ops define only the 32 LSBs.
+constexpr Word fromScalar(i32 v) { return static_cast<u32>(v); }
+constexpr Word fromScalar(u32 v) { return v; }
+
+// ---------------------------------------------------------------------------
+// Saturating 16-bit / Q15 arithmetic used by the SIMD units.
+// ---------------------------------------------------------------------------
+
+/// Clamps a wide intermediate into the i16 range.
+constexpr i16 sat16(i32 v) {
+  if (v > std::numeric_limits<i16>::max()) return std::numeric_limits<i16>::max();
+  if (v < std::numeric_limits<i16>::min()) return std::numeric_limits<i16>::min();
+  return static_cast<i16>(v);
+}
+
+constexpr i16 satAdd16(i16 a, i16 b) { return sat16(i32{a} + i32{b}); }
+constexpr i16 satSub16(i16 a, i16 b) { return sat16(i32{a} - i32{b}); }
+
+/// Q15 multiply with rounding: (a*b + 2^14) >> 15, saturated.
+/// -1.0 * -1.0 saturates to +0.999969 as in every fixed-point DSP.
+constexpr i16 mulQ15(i16 a, i16 b) {
+  const i32 p = (i32{a} * i32{b} + (1 << 14)) >> 15;
+  return sat16(p);
+}
+
+constexpr i16 satNeg16(i16 a) { return a == std::numeric_limits<i16>::min()
+                                           ? std::numeric_limits<i16>::max()
+                                           : static_cast<i16>(-a); }
+
+constexpr i16 satAbs16(i16 a) { return a < 0 ? satNeg16(a) : a; }
+
+// ---------------------------------------------------------------------------
+// Complex fixed-point sample type used throughout the DSP/golden models.
+// One 64-bit word carries two cint16 samples: [re0, im0, re1, im1].
+// ---------------------------------------------------------------------------
+
+/// A complex sample with Q15 real/imaginary parts.
+struct cint16 {
+  i16 re = 0;
+  i16 im = 0;
+
+  friend constexpr bool operator==(cint16 a, cint16 b) = default;
+
+  friend constexpr cint16 operator+(cint16 a, cint16 b) {
+    return {satAdd16(a.re, b.re), satAdd16(a.im, b.im)};
+  }
+  friend constexpr cint16 operator-(cint16 a, cint16 b) {
+    return {satSub16(a.re, b.re), satSub16(a.im, b.im)};
+  }
+  /// Q15 complex product.
+  friend constexpr cint16 operator*(cint16 a, cint16 b) {
+    const i16 rr = mulQ15(a.re, b.re);
+    const i16 ii = mulQ15(a.im, b.im);
+    const i16 ri = mulQ15(a.re, b.im);
+    const i16 ir = mulQ15(a.im, b.re);
+    return {satSub16(rr, ii), satAdd16(ri, ir)};
+  }
+  constexpr cint16 conj() const { return {re, satNeg16(im)}; }
+
+  /// |x|^2 in Q15 (saturating).
+  constexpr i16 norm2() const {
+    return satAdd16(mulQ15(re, re), mulQ15(im, im));
+  }
+};
+
+/// Packs two complex samples into one 64-bit datapath word.
+constexpr Word packC2(cint16 s0, cint16 s1) {
+  return packLanes(s0.re, s0.im, s1.re, s1.im);
+}
+
+/// Unpacks complex sample `i` (0 or 1) from a datapath word.
+constexpr cint16 unpackC(Word w, int i) {
+  return {lane(w, 2 * i), lane(w, 2 * i + 1)};
+}
+
+}  // namespace adres

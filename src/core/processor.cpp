@@ -1,0 +1,417 @@
+#include "core/processor.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "isa/encoding.hpp"
+#include "isa/semantics.hpp"
+
+namespace adres {
+
+std::string RegionProfile::mode() const {
+  if (cycles == 0) return "-";
+  const double cgaShare = static_cast<double>(cgaCycles) / static_cast<double>(cycles);
+  if (cgaShare > 0.8) return "CGA";
+  if (cgaShare < 0.1) return "VLIW";
+  return "mixed";
+}
+
+Processor::Processor() : cga_(crf_, l1_, cfgMem_, act_), dma_(l1_, cfgMem_) {}
+
+void Processor::load(const Program& prog) {
+  prog.validate();
+  prog_ = prog;
+
+  // Exercise the binary text path: encode to the 128-bit-line image the
+  // external instruction memory holds, then decode back.
+  textImage_ = encodeProgram(prog.bundles);
+  prog_.bundles = decodeProgram(textImage_);
+
+  // Data segments into L1 and kernels into configuration memory over DMA,
+  // as the platform host would.
+  for (const DataSegment& seg : prog.data) dma_.toL1(seg.addr, seg.bytes);
+  u32 cfgOffset = 0;
+  std::vector<std::pair<u32, u32>> spans;
+  for (const KernelConfig& k : prog.kernels) {
+    const std::vector<u8> img = encodeKernel(k);
+    dma_.toConfig(cfgOffset, img);
+    spans.emplace_back(cfgOffset, static_cast<u32>(img.size()));
+    cfgOffset += static_cast<u32>((img.size() + 3) & ~std::size_t{3});
+  }
+  // Round-trip kernels out of configuration memory (what the sequencer sees).
+  for (std::size_t i = 0; i < prog_.kernels.size(); ++i) {
+    prog_.kernels[i] =
+        decodeKernel(cfgMem_.readBytes(spans[i].first, spans[i].second));
+  }
+
+  // Reset architectural and pipeline state.
+  crf_.clear();
+  cga_.clearState();
+  icache_.reset();
+  pending_.clear();
+  regReady_.fill(0);
+  predReady_.fill(0);
+  divBusyUntil_.fill(0);
+  pc_ = prog_.entry;
+  cycle_ = 0;
+  sleeping_ = false;
+  exc_ = {};
+  resetStats();
+}
+
+void Processor::resetStats() {
+  act_.reset();
+  l1_.resetStats();
+  l1_.arbiter().reset();
+  cfgMem_.resetStats();
+  crf_.resetStats();
+  for (int f = 0; f < kCgaFus; ++f) cga_.localRf(f).resetStats();
+  profiles_.clear();
+  currentRegion_ = -1;
+  regionStartCycle_ = cycle_;
+  regionStartAct_ = act_;
+}
+
+void Processor::commitDue(u64 upTo) {
+  std::sort(pending_.begin(), pending_.end(),
+            [](const PendingWrite& a, const PendingWrite& b) {
+              return a.commitCycle < b.commitCycle;
+            });
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->commitCycle <= upTo) {
+      if (it->toPred) {
+        crf_.writePred(it->reg, it->value != 0);
+      } else {
+        Word v = it->value;
+        if (it->mergeHigh) v |= crf_.peek(it->reg) & 0xFFFFFFFFull;
+        crf_.write(it->reg, v);
+      }
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Processor::drainPipeline() {
+  u64 latest = cycle_;
+  for (const PendingWrite& pw : pending_)
+    latest = std::max(latest, pw.commitCycle);
+  if (latest > cycle_) {
+    act_.vliwStallCycles += latest - cycle_;
+    act_.vliwCycles += latest - cycle_;
+    cycle_ = latest;
+  }
+  commitDue(cycle_);
+}
+
+namespace {
+
+bool usesSrc1(const Instr& in) {
+  switch (in.op) {
+    case Opcode::NOP:
+    case Opcode::MOVI:
+    case Opcode::PRED_SET:
+    case Opcode::PRED_CLEAR:
+    case Opcode::JMP:
+    case Opcode::JMPL:
+    case Opcode::BR:
+    case Opcode::BRL:
+    case Opcode::HALT:
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool usesSrc2(const Instr& in) {
+  if (in.useImm) return false;
+  switch (in.op) {
+    case Opcode::NOP:
+    case Opcode::MOV:
+    case Opcode::MOVI:
+    case Opcode::MOVIH:
+    case Opcode::PRED_SET:
+    case Opcode::PRED_CLEAR:
+    case Opcode::HALT:
+    case Opcode::CGA:
+    case Opcode::C4ABS:
+    case Opcode::C4NEG:
+    case Opcode::C4SHUF:
+      return false;
+    case Opcode::BR:
+    case Opcode::BRL:
+      return false;  // immediate-relative only
+    default:
+      return true;
+  }
+}
+
+}  // namespace
+
+u64 Processor::operandReadyCycle(const Instr& in) const {
+  u64 ready = cycle_;
+  if (in.isNop()) return ready;
+  if (in.guard != 0) ready = std::max(ready, predReady_[in.guard]);
+  if (usesSrc1(in)) ready = std::max(ready, regReady_[in.src1]);
+  if (usesSrc2(in)) ready = std::max(ready, regReady_[in.src2]);
+  if (isStore(in.op)) ready = std::max(ready, regReady_[in.src3]);
+  if (in.op == Opcode::CGA) ready = std::max(ready, regReady_[in.src1]);
+  if (isPredDef(in.op)) {
+    ready = std::max(ready, predReady_[in.dst]);
+  } else if (writesDataReg(in.op)) {
+    const int d = (in.op == Opcode::JMPL || in.op == Opcode::BRL) ? kLinkReg
+                                                                  : in.dst;
+    ready = std::max(ready, regReady_[static_cast<std::size_t>(d)]);
+  }
+  return ready;
+}
+
+void Processor::switchRegion(int id) {
+  if (currentRegion_ >= 0) {
+    RegionProfile& p = profiles_[currentRegion_];
+    p.cycles += cycle_ - regionStartCycle_;
+    p.vliwCycles += act_.vliwCycles - regionStartAct_.vliwCycles;
+    p.cgaCycles += act_.cgaCycles - regionStartAct_.cgaCycles;
+    p.vliwOps += act_.vliwOps - regionStartAct_.vliwOps;
+    p.cgaOps += act_.cgaOps - regionStartAct_.cgaOps;
+    p.ops = p.vliwOps + p.cgaOps;
+  }
+  currentRegion_ = id;
+  regionStartCycle_ = cycle_;
+  regionStartAct_ = act_;
+  if (id >= 0) ++profiles_[id].entries;
+}
+
+StopReason Processor::run(u64 maxCycles) {
+  ADRES_CHECK(!prog_.bundles.empty(), "no program loaded");
+  const u64 budgetEnd =
+      maxCycles == ~0ull ? ~0ull : cycle_ + maxCycles;
+
+  while (true) {
+    if (sleeping_) return StopReason::kHalt;
+    if (externalStall_) return StopReason::kExternalStall;
+    if (cycle_ >= budgetEnd) return StopReason::kMaxCycles;
+    if (pc_ >= prog_.bundles.size()) return StopReason::kOffEnd;
+
+    const Bundle& b = prog_.bundles[pc_];
+
+    // Region markers are a zero-cost profiling artifact.
+    int regionId = 0;
+    if (isRegionMarker(b, regionId)) {
+      switchRegion(regionId);
+      ++pc_;
+      continue;
+    }
+
+    const u64 iterStart = cycle_;
+
+    // Fetch through the I$.
+    const int missPenalty = icache_.fetch(pc_ * kBundleBytes);
+    if (missPenalty > 0) {
+      act_.vliwStallCycles += static_cast<u64>(missPenalty);
+      cycle_ += static_cast<u64>(missPenalty);
+    }
+
+    // Whole-bundle mode/control ops.
+    if (b.slot[0].op == Opcode::CGA) {
+      ADRES_CHECK(b.slot[1].isNop() && b.slot[2].isNop(),
+                  "cga must be alone in its bundle");
+      const Instr& in = b.slot[0];
+      // Wait for the guard predicate and trip-count register, then decide.
+      const u64 ready = std::max(operandReadyCycle(in), cycle_);
+      act_.vliwStallCycles += ready - cycle_;
+      cycle_ = ready;
+      commitDue(cycle_);
+      if (in.guard == 0 || crf_.peekPred(in.guard)) {
+        // Drain: VLIW and CGA operate the shared register file in mutual
+        // exclusion.
+        drainPipeline();
+        act_.vliwCycles += cycle_ - iterStart;
+        ++act_.vliwOps;
+
+        const u32 trips = lo32u(crf_.read(in.src1));
+        const KernelConfig& k =
+            prog_.kernels[static_cast<std::size_t>(in.imm)];
+        act_.modeSwitches += 2;
+        const CgaRunResult r = cga_.run(k, trips);
+        cycle_ += 2 * kModeSwitchCycles + r.cycles;
+        act_.cgaCycles += 2 * kModeSwitchCycles;  // switches booked as kernel overhead
+      } else {
+        act_.vliwCycles += (cycle_ - iterStart) + 1;
+        cycle_ += 1;
+      }
+      ++pc_;
+      continue;
+    }
+
+    if (b.slot[0].op == Opcode::HALT) {
+      drainPipeline();
+      act_.vliwCycles += (cycle_ - iterStart) + 1;
+      cycle_ += 1;
+      ++act_.vliwOps;
+      ++pc_;
+      sleeping_ = true;
+      switchRegion(-1);
+      return StopReason::kHalt;
+    }
+
+    // Hazard resolution: issue when every needed operand/dest is ready.
+    u64 ready = cycle_;
+    for (const Instr& in : b.slot) ready = std::max(ready, operandReadyCycle(in));
+    for (int s = 0; s < kVliwSlots; ++s) {
+      if (b.slot[s].op == Opcode::DIV || b.slot[s].op == Opcode::DIV_U)
+        ready = std::max(ready, divBusyUntil_[static_cast<std::size_t>(s)]);
+    }
+    if (ready > cycle_) {
+      act_.vliwStallCycles += ready - cycle_;
+      cycle_ = ready;
+    }
+    commitDue(cycle_);
+
+    bool branched = false;
+    u32 nextPc = pc_ + 1;
+    int advance = 1;
+
+    for (int s = 0; s < kVliwSlots; ++s) {
+      const Instr& in = b.slot[s];
+      if (in.isNop()) continue;
+      if (in.guard != 0 && !crf_.readPred(in.guard)) continue;  // squashed
+
+      ++act_.vliwOps;
+      if (isSimd(in.op)) ++act_.simdOps;
+      act_.ops16 += static_cast<u64>(ops16PerInstr(in.op));
+      const int lat = opInfo(in.op).latency;
+
+      if (isBranch(in.op)) {
+        branched = true;
+        advance = lat;  // fetch bubble until the branch resolves
+        switch (in.op) {
+          case Opcode::JMP:
+            nextPc = lo32u(crf_.read(in.src2));
+            break;
+          case Opcode::JMPL:
+            nextPc = lo32u(crf_.read(in.src2));
+            pending_.push_back({cycle_ + 1, false, kLinkReg, pc_ + 1, false});
+            regReady_[kLinkReg] = cycle_ + 1;
+            break;
+          case Opcode::BR:
+            nextPc = static_cast<u32>(static_cast<i64>(pc_) + in.imm);
+            break;
+          default:  // BRL
+            nextPc = static_cast<u32>(static_cast<i64>(pc_) + in.imm);
+            pending_.push_back({cycle_ + 1, false, kLinkReg, pc_ + 1, false});
+            regReady_[kLinkReg] = cycle_ + 1;
+            break;
+        }
+        continue;
+      }
+
+      if (isStore(in.op)) {
+        const u32 base = lo32u(crf_.read(in.src1));
+        const u32 off = in.useImm
+                            ? static_cast<u32>(in.imm << memImmScale(in.op))
+                            : lo32u(crf_.read(in.src2));
+        const u32 addr = base + off;
+        l1_.arbiter().request(cycle_, addr, l1_.mutableStats());
+        const u32 v = storeData(in.op, crf_.read(in.src3));
+        switch (memAccessBytes(in.op)) {
+          case 1: l1_.write8(addr, v); break;
+          case 2: l1_.write16(addr, v); break;
+          default: l1_.write32(addr, v); break;
+        }
+        continue;
+      }
+
+      if (isLoad(in.op)) {
+        const u32 base = lo32u(crf_.read(in.src1));
+        const u32 off = in.useImm
+                            ? static_cast<u32>(in.imm << memImmScale(in.op))
+                            : lo32u(crf_.read(in.src2));
+        const u32 addr = base + off;
+        const int extra = l1_.arbiter().request(cycle_, addr, l1_.mutableStats());
+        u32 raw = 0;
+        switch (memAccessBytes(in.op)) {
+          case 1: raw = l1_.read8(addr); break;
+          case 2: raw = l1_.read16(addr); break;
+          default: raw = l1_.read32(addr); break;
+        }
+        const u64 commit = cycle_ + static_cast<u64>(lat + extra);
+        PendingWrite pw{commit, false, in.dst, 0, false};
+        if (in.op == Opcode::LD_IH) {
+          pw.value = static_cast<u64>(raw) << 32;
+          pw.mergeHigh = true;
+        } else {
+          pw.value = applyLoadResult(in.op, 0, raw);
+        }
+        pending_.push_back(pw);
+        regReady_[in.dst] = commit;
+        continue;
+      }
+
+      // Compute / predicate-define ops.
+      const Word a = crf_.read(in.src1);
+      const Word bop = in.useImm ? fromScalar(in.imm) : crf_.read(in.src2);
+      if ((in.op == Opcode::DIV || in.op == Opcode::DIV_U) && lo32(bop) == 0)
+        exc_.divByZero = true;
+      const Word v = evalOp(in.op, a, bop, in.imm);
+      if (in.op == Opcode::DIV || in.op == Opcode::DIV_U)
+        divBusyUntil_[static_cast<std::size_t>(s)] = cycle_ + static_cast<u64>(lat);
+      const u64 commit = cycle_ + static_cast<u64>(lat);
+      if (isPredDef(in.op)) {
+        pending_.push_back({commit, true, in.dst, v, false});
+        predReady_[in.dst] = commit;
+      } else {
+        pending_.push_back({commit, false, in.dst, v, false});
+        regReady_[in.dst] = commit;
+      }
+    }
+
+    cycle_ += static_cast<u64>(advance);
+    act_.vliwCycles += cycle_ - iterStart;
+    pc_ = branched ? nextPc : pc_ + 1;
+  }
+}
+
+void Processor::resume() {
+  sleeping_ = false;
+}
+
+void Processor::attachBus(AhbSlave& bus) {
+  bus.addRegion(
+      "l1", mmap::kL1Base, mmap::kL1Size,
+      [this](u32 off) { return l1_.read32(off); },
+      [this](u32 off, u32 v) { l1_.write32(off, v); });
+  bus.addRegion(
+      "config", mmap::kConfigBase, mmap::kConfigSize,
+      [this](u32 off) { return cfgMem_.read32(off); },
+      [this](u32 off, u32 v) { cfgMem_.write32(off, v); });
+  bus.addRegion(
+      "special", mmap::kSpecialBase, mmap::kSpecialSize,
+      [this](u32 off) -> u32 {
+        switch (off) {
+          case sreg::kStatus: return sleeping_ ? 1u : 0u;
+          case sreg::kCycleLo: return static_cast<u32>(cycle_);
+          case sreg::kCycleHi: return static_cast<u32>(cycle_ >> 32);
+          case sreg::kEndianness: return 0;  // little-endian modelled
+          case sreg::kAhbPriority: return ahbPriority_ ? 1u : 0u;
+          case sreg::kException: return exc_.word();
+          case sreg::kDebugData: return l1_.read32(debugAddr_);
+          case sreg::kDebugAddr: return debugAddr_;
+          default:
+            throw SimError("read of unmapped special register");
+        }
+      },
+      [this](u32 off, u32 v) {
+        switch (off) {
+          case sreg::kAhbPriority: ahbPriority_ = v & 1u; break;
+          case sreg::kDebugAddr: debugAddr_ = v; break;
+          case sreg::kDebugData: l1_.write32(debugAddr_, v); break;
+          case sreg::kEndianness: break;  // accepted, single mode modelled
+          default:
+            throw SimError("write to read-only/unmapped special register");
+        }
+      });
+}
+
+}  // namespace adres

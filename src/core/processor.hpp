@@ -1,0 +1,156 @@
+// The hybrid CGA-SIMD processor (paper Figs 1-2).
+//
+// Harvard architecture: VLIW bundles fetched through the direct-mapped I$,
+// data in the 4-bank L1 scratchpad.  Three predicated VLIW FUs share the
+// central register files with the 16-FU CGA; the `cga` instruction switches
+// to kernel mode (array executes a mapped loop), `halt` drops to sleep until
+// `resume`.  The external-stall input, the AHB slave port (L1 + config +
+// special registers) and the debug data interface are modelled as in §2.A.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bus/ahb.hpp"
+#include "cga/array.hpp"
+#include "common/activity.hpp"
+#include "core/program.hpp"
+#include "mem/dma.hpp"
+#include "mem/icache.hpp"
+
+namespace adres {
+
+inline constexpr double kClockMHz = 400.0;  ///< worst-case achieved clock
+inline constexpr double kCyclePeriodUs = 1.0 / kClockMHz;
+
+/// Why a run() call returned.
+enum class StopReason {
+  kHalt,           ///< executed `halt`, now sleeping (resume() to continue)
+  kMaxCycles,      ///< cycle budget exhausted
+  kExternalStall,  ///< external stall asserted
+  kOffEnd,         ///< fetched past the last bundle (missing halt)
+};
+
+/// Sticky exception flags (special register sreg::kException).
+struct ExceptionFlags {
+  bool divByZero = false;
+  u32 word() const { return divByZero ? 1u : 0u; }
+};
+
+/// Aggregated per-region profile (between region markers).
+struct RegionProfile {
+  u64 cycles = 0;
+  u64 vliwCycles = 0;
+  u64 cgaCycles = 0;
+  u64 ops = 0;
+  u64 vliwOps = 0;
+  u64 cgaOps = 0;
+  u64 entries = 0;  ///< times the region was entered
+
+  double ipc() const { return cycles ? static_cast<double>(ops) / static_cast<double>(cycles) : 0.0; }
+  /// Dominant mode string as in Table 2 ("CGA", "VLIW", "mixed").
+  std::string mode() const;
+};
+
+class Processor {
+ public:
+  Processor();
+
+  // -- Program load ----------------------------------------------------------
+
+  /// Loads a program: validates it, encodes+decodes the text (exercising the
+  /// binary path), places data segments in L1 via DMA, encodes kernels into
+  /// configuration memory via DMA, resets the pipeline.
+  void load(const Program& prog);
+
+  // -- Execution -------------------------------------------------------------
+
+  /// Runs until halt / stall / budget exhaustion.
+  StopReason run(u64 maxCycles = ~0ull);
+
+  /// Wakes the core from the sleep state (the `resume` input signal).
+  void resume();
+
+  /// Asserts/deasserts the external stall input; when asserted, run()
+  /// returns immediately and the state is held.
+  void setExternalStall(bool s) { externalStall_ = s; }
+  bool sleeping() const { return sleeping_; }
+
+  // -- Observation ------------------------------------------------------------
+
+  u64 cycles() const { return cycle_; }
+  double elapsedUs() const { return static_cast<double>(cycle_) * kCyclePeriodUs; }
+  u32 pc() const { return pc_; }
+
+  CentralRegFile& regs() { return crf_; }
+  const CentralRegFile& regs() const { return crf_; }
+  Scratchpad& l1() { return l1_; }
+  const Scratchpad& l1() const { return l1_; }
+  ConfigMemory& configMem() { return cfgMem_; }
+  const ConfigMemory& configMem() const { return cfgMem_; }
+  ICache& icache() { return icache_; }
+  const ICache& icache() const { return icache_; }
+  CgaArray& cga() { return cga_; }
+  const CgaArray& cga() const { return cga_; }
+  DmaEngine& dma() { return dma_; }
+  const ActivityCounters& activity() const { return act_; }
+  ActivityCounters& activity() { return act_; }
+  const ExceptionFlags& exceptions() const { return exc_; }
+
+  const std::map<int, RegionProfile>& profiles() const { return profiles_; }
+  const Program& program() const { return prog_; }
+
+  /// Wires the slave memory map (L1, config memory, special registers)
+  /// onto an AHB bus instance.
+  void attachBus(AhbSlave& bus);
+
+  /// Clears cycle counters, activity and profiles, keeping memory and
+  /// register state (used between measured phases).
+  void resetStats();
+
+ private:
+  struct PendingWrite {
+    u64 commitCycle = 0;
+    bool toPred = false;
+    u8 reg = 0;
+    Word value = 0;
+    bool mergeHigh = false;
+  };
+
+  void commitDue(u64 upTo);
+  void drainPipeline();
+  u64 operandReadyCycle(const Instr& in) const;
+  void switchRegion(int id);
+
+  Program prog_;
+  std::vector<u8> textImage_;
+
+  CentralRegFile crf_;
+  Scratchpad l1_;
+  ICache icache_;
+  ConfigMemory cfgMem_;
+  ActivityCounters act_;
+  CgaArray cga_;
+  DmaEngine dma_;
+  ExceptionFlags exc_;
+
+  u64 cycle_ = 0;
+  u32 pc_ = 0;
+  bool sleeping_ = false;
+  bool externalStall_ = false;
+  bool ahbPriority_ = false;
+  u32 debugAddr_ = 0;
+
+  std::vector<PendingWrite> pending_;
+  std::array<u64, kCdrfRegs> regReady_ = {};
+  std::array<u64, kCprfRegs> predReady_ = {};
+  std::array<u64, kVliwSlots> divBusyUntil_ = {};
+
+  std::map<int, RegionProfile> profiles_;
+  int currentRegion_ = -1;
+  u64 regionStartCycle_ = 0;
+  ActivityCounters regionStartAct_;
+};
+
+}  // namespace adres

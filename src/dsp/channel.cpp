@@ -1,0 +1,108 @@
+#include "dsp/channel.hpp"
+
+#include <cmath>
+#include <complex>
+
+#include "common/check.hpp"
+#include "dsp/ofdm.hpp"
+
+namespace adres::dsp {
+
+double cfoTurnsPerSample(const ChannelConfig& cfg) {
+  // f_carrier = 2.4 GHz, f_sample = 20 MHz: offset per sample in turns.
+  const double offsetHz = cfg.cfoPpm * 1e-6 * 2.4e9;
+  return offsetHz / 20e6;
+}
+
+MimoChannel::MimoChannel(const ChannelConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {
+  ADRES_CHECK(cfg.taps >= 1 && cfg.taps <= 16, "channel taps");
+  for (int rx = 0; rx < kNumRx; ++rx) {
+    for (int tx = 0; tx < kNumTx; ++tx) {
+      auto& t = taps_[static_cast<std::size_t>(rx)][static_cast<std::size_t>(tx)];
+      t.resize(static_cast<std::size_t>(cfg.taps));
+      if (cfg.flat) {
+        t.assign(static_cast<std::size_t>(cfg.taps), {0.0, 0.0});
+        t[0] = rx == tx ? std::complex<double>{1.0, 0.0}
+                        : std::complex<double>{0.0, 0.0};
+        continue;
+      }
+      double power = 0.0;
+      for (int k = 0; k < cfg.taps; ++k) {
+        const double p = std::pow(cfg.delaySpread, k);
+        t[static_cast<std::size_t>(k)] = {rng_.gaussian() * std::sqrt(p / 2.0),
+                                          rng_.gaussian() * std::sqrt(p / 2.0)};
+        power += p;
+      }
+      // Normalize each pair to unit average energy.
+      const double norm = 1.0 / std::sqrt(power);
+      for (auto& c : t) c *= norm;
+    }
+  }
+}
+
+std::array<std::array<std::complex<double>, kNumTx>, kNumRx>
+MimoChannel::gainAt(int k) const {
+  std::array<std::array<std::complex<double>, kNumTx>, kNumRx> h{};
+  for (int rx = 0; rx < kNumRx; ++rx) {
+    for (int tx = 0; tx < kNumTx; ++tx) {
+      std::complex<double> g{0.0, 0.0};
+      const auto& t = taps_[static_cast<std::size_t>(rx)][static_cast<std::size_t>(tx)];
+      for (std::size_t tap = 0; tap < t.size(); ++tap) {
+        const double ang = -2.0 * 3.14159265358979323846 * k *
+                           static_cast<double>(tap) / kNfft;
+        g += t[tap] * std::complex<double>{std::cos(ang), std::sin(ang)};
+      }
+      h[static_cast<std::size_t>(rx)][static_cast<std::size_t>(tx)] = g;
+    }
+  }
+  return h;
+}
+
+std::array<std::vector<cint16>, kNumRx> MimoChannel::run(
+    const std::array<std::vector<cint16>, kNumTx>& tx) {
+  const std::size_t n = tx[0].size();
+  for (const auto& w : tx) ADRES_CHECK(w.size() == n, "tx length mismatch");
+
+  // Reference signal power for the noise scaling: average over inputs.
+  double sigPower = 0.0;
+  std::size_t cnt = 0;
+  for (const auto& w : tx) {
+    for (const cint16& s : w) {
+      sigPower += (double(s.re) * s.re + double(s.im) * s.im) / (32768.0 * 32768.0);
+      ++cnt;
+    }
+  }
+  sigPower = cnt ? sigPower / static_cast<double>(cnt) : 0.0;
+  const double noiseStd =
+      std::sqrt(sigPower / std::pow(10.0, cfg_.snrDb / 10.0) / 2.0);
+
+  const double cfoStep = cfoTurnsPerSample(cfg_) * 2.0 * 3.14159265358979323846;
+
+  std::array<std::vector<cint16>, kNumRx> out;
+  for (int rx = 0; rx < kNumRx; ++rx) {
+    auto& o = out[static_cast<std::size_t>(rx)];
+    o.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::complex<double> acc{0.0, 0.0};
+      for (int txa = 0; txa < kNumTx; ++txa) {
+        const auto& taps = taps_[static_cast<std::size_t>(rx)][static_cast<std::size_t>(txa)];
+        for (std::size_t tap = 0; tap < taps.size(); ++tap) {
+          if (i < tap) break;
+          const cint16 s = tx[static_cast<std::size_t>(txa)][i - tap];
+          acc += taps[tap] *
+                 std::complex<double>{s.re / 32768.0, s.im / 32768.0};
+        }
+      }
+      // CFO rotation (common oscillator) and AWGN.
+      const double ang = cfoStep * static_cast<double>(i);
+      acc *= std::complex<double>{std::cos(ang), std::sin(ang)};
+      acc += std::complex<double>{rng_.gaussian() * noiseStd,
+                                  rng_.gaussian() * noiseStd};
+      o[i] = {sat16(static_cast<i32>(std::lround(acc.real() * 32768.0))),
+              sat16(static_cast<i32>(std::lround(acc.imag() * 32768.0)))};
+    }
+  }
+  return out;
+}
+
+}  // namespace adres::dsp

@@ -1,0 +1,53 @@
+// 2x2 MIMO channel model: per-pair multipath FIR, carrier frequency
+// offset, AWGN, Q15 quantization at the "ADC".
+//
+// This is the repo's substitute for the authors' RF testbed (DESIGN.md §1):
+// it exercises the same receive path (detection, CFO, channel estimation,
+// SDM detection) with controlled, reproducible impairments.
+#pragma once
+
+#include <array>
+#include <complex>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "dsp/preamble.hpp"
+
+namespace adres::dsp {
+
+struct ChannelConfig {
+  int taps = 3;                ///< FIR taps per antenna pair
+  double delaySpread = 0.45;   ///< exponential tap-power decay factor
+  double snrDb = 30.0;         ///< per-receive-antenna SNR
+  double cfoPpm = 10.0;        ///< carrier offset in ppm of 2.4 GHz
+  u64 seed = 1;
+  bool flat = false;           ///< single-tap identity-gain channel (tests)
+};
+
+/// Carrier offset in Q16 turns per 20 MHz sample.
+double cfoTurnsPerSample(const ChannelConfig& cfg);
+
+class MimoChannel {
+ public:
+  explicit MimoChannel(const ChannelConfig& cfg);
+
+  /// Applies the channel: kNumTx waveforms in, kNumRx waveforms out
+  /// (same length, plus tail clipped).
+  std::array<std::vector<cint16>, kNumRx> run(
+      const std::array<std::vector<cint16>, kNumTx>& tx);
+
+  /// True frequency-domain channel gain H[rx][tx] at subcarrier k
+  /// (double precision — for test assertions, not available to the modem).
+  std::array<std::array<std::complex<double>, kNumTx>, kNumRx> gainAt(int k) const;
+
+  const ChannelConfig& config() const { return cfg_; }
+
+ private:
+  ChannelConfig cfg_;
+  Rng rng_;
+  /// taps_[rx][tx][tap]
+  std::array<std::array<std::vector<std::complex<double>>, kNumTx>, kNumRx> taps_;
+};
+
+}  // namespace adres::dsp

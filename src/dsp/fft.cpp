@@ -1,0 +1,55 @@
+#include "dsp/fft.hpp"
+
+#include "common/check.hpp"
+#include "dsp/trig.hpp"
+
+namespace adres::dsp {
+
+cint16 twiddle(int k, int n) {
+  // e^{-j*2*pi*k/n}: negative angle in Q16 turns.
+  const u16 turns = static_cast<u16>(
+      65536u - (static_cast<u32>(k) * 65536u) / static_cast<u32>(n));
+  return phasorQ15(turns);
+}
+
+std::vector<int> bitReverseTable(int n) {
+  int bits = 0;
+  while ((1 << bits) < n) ++bits;
+  std::vector<int> t(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    int r = 0;
+    for (int b = 0; b < bits; ++b)
+      if (i & (1 << b)) r |= 1 << (bits - 1 - b);
+    t[static_cast<std::size_t>(i)] = r;
+  }
+  return t;
+}
+
+void fftScaled(std::vector<cint16>& x) {
+  const int n = static_cast<int>(x.size());
+  ADRES_CHECK(n >= 2 && (n & (n - 1)) == 0, "FFT length must be a power of two");
+  const auto rev = bitReverseTable(n);
+  for (int i = 0; i < n; ++i) {
+    const int r = rev[static_cast<std::size_t>(i)];
+    if (r > i) std::swap(x[static_cast<std::size_t>(i)], x[static_cast<std::size_t>(r)]);
+  }
+  for (int len = 2; len <= n; len <<= 1) {
+    const int half = len / 2;
+    const int step = n / len;
+    for (int base = 0; base < n; base += len) {
+      for (int k = 0; k < half; ++k) {
+        butterfly(x[static_cast<std::size_t>(base + k)],
+                  x[static_cast<std::size_t>(base + k + half)],
+                  twiddle(k * step, n), /*trivial=*/len == 2);
+      }
+    }
+  }
+}
+
+void ifftScaled(std::vector<cint16>& x) {
+  for (cint16& v : x) v = v.conj();
+  fftScaled(x);
+  for (cint16& v : x) v = v.conj();
+}
+
+}  // namespace adres::dsp

@@ -1,0 +1,42 @@
+// Fixed-point FFT (radix-2 DIT, Q15, per-stage /2 scaling).
+//
+// The butterfly arithmetic is exactly the machine's SIMD recipe —
+// mulQ15 products, arithmetic shift right by one, saturating adds — so the
+// CGA-mapped fft kernel is bit-exact with this golden model.
+// A length-N transform returns FFT(x)/N (the per-stage halving absorbs the
+// 1/N); the inverse uses the conjugation identity and is an exact inverse
+// up to the same scaling.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace adres::dsp {
+
+/// One scaled butterfly: t = b*w (Q15); a' = a/2 + t/2 ; b' = a/2 - t/2.
+/// `trivial` skips the W=1 multiply exactly as the stage-1 hardware kernel
+/// does (a Q15 multiply by 32767 is not a perfect identity).
+/// Exposed so kernel builders and tests share the exact arithmetic.
+inline void butterfly(cint16& a, cint16& b, cint16 w, bool trivial = false) {
+  const cint16 t = trivial ? b : b * w;
+  const cint16 ah{static_cast<i16>(a.re >> 1), static_cast<i16>(a.im >> 1)};
+  const cint16 th{static_cast<i16>(t.re >> 1), static_cast<i16>(t.im >> 1)};
+  a = ah + th;
+  b = ah - th;
+}
+
+/// In-place scaled FFT: x <- FFT(x)/N.  N must be a power of two >= 2.
+void fftScaled(std::vector<cint16>& x);
+
+/// In-place scaled inverse FFT: x <- IFFT(x) where IFFT(FFT(y)/N) == y up
+/// to quantization (conjugation identity around fftScaled).
+void ifftScaled(std::vector<cint16>& x);
+
+/// Twiddle factor W_N^k = e^{-j*2*pi*k/N} in Q15.
+cint16 twiddle(int k, int n);
+
+/// Bit-reversal permutation table for length n.
+std::vector<int> bitReverseTable(int n);
+
+}  // namespace adres::dsp

@@ -1,0 +1,55 @@
+// Lane-word helpers: the canonical SIMD recipes (complex multiply,
+// conjugate, shifted MAC, lane fold) expressed through the machine's own
+// opcode semantics.  Golden models that must be bit-exact with CGA kernels
+// compute through these, so "golden" and "mapped" share one arithmetic.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/semantics.hpp"
+
+namespace adres::dsp::lanes {
+
+/// conj of both complex lanes: C4MIX(y, C4NEG(y)).
+inline Word conjPair(Word y) {
+  const Word n = evalOp(Opcode::C4NEG, y, 0, 0);
+  return evalOp(Opcode::C4MIX, y, n, 0);
+}
+
+/// The 5-op complex multiply of two packed pairs.
+inline Word cmulPair(Word x, Word y) {
+  const Word d = evalOp(Opcode::D4PROD, x, y, 0);
+  const Word c = evalOp(Opcode::C4PROD, x, y, 0);
+  const Word re = evalOp(Opcode::C4PSUB, d, 0, 0);
+  const Word im = evalOp(Opcode::C4PADD, c, 0, 0);
+  return evalOp(Opcode::C4MIX, re, im, 0);
+}
+
+/// Broadcast lane constant.
+inline Word splat(i16 v) { return packLanes(v, v, v, v); }
+
+/// acc += round(x*y / 2^shift), saturating lanes.  The rounded downscale is
+/// one D4PROD by 2^(15-shift) (mulQ15 rounds to nearest — a plain
+/// arithmetic shift would bias the small components and skew the CFO
+/// estimate).
+inline Word macShifted(Word acc, Word x, Word y, int shift) {
+  const Word p = cmulPair(x, y);
+  const Word ps = evalOp(Opcode::D4PROD, p, splat(static_cast<i16>(1 << (15 - shift))), 0);
+  return evalOp(Opcode::C4ADD, acc, ps, 0);
+}
+
+/// Folds both complex lanes into one: (l0+l2, l1+l3), saturating.
+inline cint16 fold(Word acc) {
+  const Word sh = evalOp(Opcode::C4SHUF, acc, 0, 0b00001110);  // [l2,l3,l2,l3]
+  const Word s = evalOp(Opcode::C4ADD, acc, sh, 0);
+  return unpackC(s, 0);
+}
+
+/// Packs samples [idx, idx+1] into one lane word.
+inline Word loadPair(const std::vector<cint16>& r, int idx) {
+  return packC2(r[static_cast<std::size_t>(idx)],
+                r[static_cast<std::size_t>(idx + 1)]);
+}
+
+}  // namespace adres::dsp::lanes

@@ -1,0 +1,164 @@
+#include "dsp/mimo.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "dsp/lanes.hpp"
+#include "dsp/trig.hpp"
+
+namespace adres::dsp {
+
+std::vector<ChannelEst> estimateChannel(
+    const std::array<std::vector<cint16>, kNumRx>& ltf1,
+    const std::array<std::vector<cint16>, kNumRx>& ltf2) {
+  for (int rx = 0; rx < kNumRx; ++rx) {
+    ADRES_CHECK(ltf1[static_cast<std::size_t>(rx)].size() == kNfft &&
+                    ltf2[static_cast<std::size_t>(rx)].size() == kNfft,
+                "need 64-bin LTF spectra");
+  }
+  // Lane-structured exactly like the chest kernel: both rx antennas of a
+  // tone share one 64-bit word [rx0, rx1]; P = [1 1; 1 -1] separation is a
+  // C4ADD/C4SUB + >>1; the LTF sign applies as a D4PROD by +-32767.
+  const auto& uidx = usedCarrierIdx();
+  std::vector<ChannelEst> out(kUsedCarriers);
+  for (int i = 0; i < kUsedCarriers; ++i) {
+    const int k = uidx[static_cast<std::size_t>(i)];
+    const int bin = binOf(k);
+    const Word signW = lanes::splat(static_cast<i16>(ltfSign(k) * 32767));
+    const Word r1 = packC2(ltf1[0][static_cast<std::size_t>(bin)],
+                           ltf1[1][static_cast<std::size_t>(bin)]);
+    const Word r2 = packC2(ltf2[0][static_cast<std::size_t>(bin)],
+                           ltf2[1][static_cast<std::size_t>(bin)]);
+    const Word sum = evalOp(Opcode::C4ADD, r1, r2, 0);
+    const Word dif = evalOp(Opcode::C4SUB, r1, r2, 0);
+    Word h0 = evalOp(Opcode::C4SHIFTR, sum, 1, 0);
+    Word h1 = evalOp(Opcode::C4SHIFTR, dif, 1, 0);
+    h0 = evalOp(Opcode::D4PROD, h0, signW, 0);
+    h1 = evalOp(Opcode::D4PROD, h1, signW, 0);
+    ChannelEst& e = out[static_cast<std::size_t>(i)];
+    e.h[0][0] = unpackC(h0, 0);
+    e.h[1][0] = unpackC(h0, 1);
+    e.h[0][1] = unpackC(h1, 0);
+    e.h[1][1] = unpackC(h1, 1);
+  }
+  return out;
+}
+
+EqMatrix equalizerCoeffOne(const ChannelEst& est) {
+  // The exact 32-bit integer sequence the CGA "equalize coeff calc" kernel
+  // runs — every operation below maps 1:1 to a machine op (MUL keeps the
+  // low 32 bits; all products here fit), so kernel and golden are
+  // bit-identical.  Derivation: W_q13 = adj * amp * 2^13 / det, computed as
+  //   detN  = det >> k      (branchless binary normalization, m < 2^10)
+  //   m8    = (|detN|^2) >> 8, floored at 1
+  //   inv   = (amp << 7) / m8   (24-bit divide), clamped to 4096
+  //   W     = ((adj (x) conj(detN)) >> 7) * inv >> max(k - 5, 0),
+  // clamped to +-8191 and scaled x4 into Q13.
+  const cint16 a = est.h[0][0], b = est.h[0][1];
+  const cint16 c = est.h[1][0], d = est.h[1][1];
+
+  // Wrap-around u32 arithmetic throughout: identical to the machine's ADD/
+  // SUB/MUL (low 32 bits) and well-defined in C++ even at the +-2^31 edge.
+  const auto wmul = [](i32 x, i32 y) {
+    return static_cast<i32>(static_cast<u32>(x) * static_cast<u32>(y));
+  };
+  i32 dr = (wmul(a.re, d.re) - wmul(a.im, d.im)) -
+           (wmul(b.re, c.re) - wmul(b.im, c.im));
+  i32 di = (wmul(a.re, d.im) + wmul(a.im, d.re)) -
+           (wmul(b.re, c.im) + wmul(b.im, c.re));
+
+  // m = |dr| | |di| via sign-mask abs (the kernel's ASR/XOR/SUB idiom).
+  const auto iabs = [](i32 x) {
+    const i32 s = x >> 31;
+    return (x ^ s) - s;
+  };
+  i32 m = iabs(dr) | iabs(di);
+  i32 k = 0;
+  for (int s : {16, 8, 4, 2, 1}) {
+    const i32 cond = (static_cast<u32>(m) >> (9 + s)) != 0 ? 1 : 0;
+    const i32 amt = cond << (s == 16 ? 4 : s == 8 ? 3 : s == 4 ? 2 : s == 2 ? 1 : 0);
+    dr >>= amt;
+    di >>= amt;
+    m = static_cast<i32>(static_cast<u32>(m) >> amt);
+    k += amt;
+  }
+  i32 m8 = static_cast<i32>(
+      static_cast<u32>(wmul(dr, dr) + wmul(di, di)) >> 8);
+  m8 += (m8 == 0) ? 1 : 0;
+  i32 inv = (kLtfAmpQ15 << 7) / m8;
+  inv -= (inv > 4096 ? 1 : 0) * (inv - 4096);
+
+  i32 shRaw = k - 5;
+  const i32 shNeg = shRaw >> 31;
+  const i32 sh = shRaw & ~shNeg;  // max(k-5, 0)
+
+  // adj(H) = [d -b; -c a] as component pairs (re, im).
+  const i32 adjRe[4] = {d.re, -b.re, -c.re, a.re};
+  const i32 adjIm[4] = {d.im, -b.im, -c.im, a.im};
+  EqMatrix w;
+  for (int e = 0; e < 4; ++e) {
+    const i32 numRe = wmul(adjRe[e], dr) + wmul(adjIm[e], di);
+    const i32 numIm = wmul(adjIm[e], dr) - wmul(adjRe[e], di);
+    const auto finish = [&](i32 num) -> i16 {
+      // t == W in Q13 exactly; clamp into the 16-bit register.
+      i32 t = wmul(num >> 7, inv) >> sh;
+      t -= (t > 32767 ? 1 : 0) * (t - 32767);
+      t -= (t < -32768 ? 1 : 0) * (t + 32768);
+      return static_cast<i16>(t);
+    };
+    w.w[e / 2][e % 2] = {finish(numRe), finish(numIm)};
+  }
+  return w;
+}
+
+std::vector<EqMatrix> equalizerCoeffs(const std::vector<ChannelEst>& est) {
+  std::vector<EqMatrix> out(est.size());
+  for (std::size_t i = 0; i < est.size(); ++i) out[i] = equalizerCoeffOne(est[i]);
+  return out;
+}
+
+std::array<std::vector<cint16>, kNumTx> sdmDetect(
+    const std::vector<EqMatrix>& w,
+    const std::array<std::vector<cint16>, kNumRx>& rxUsed) {
+  ADRES_CHECK(w.size() == rxUsed[0].size() && w.size() == rxUsed[1].size(),
+              "tone count mismatch");
+  std::array<std::vector<cint16>, kNumTx> y;
+  for (auto& s : y) s.resize(w.size());
+  for (std::size_t t = 0; t < w.size(); ++t) {
+    for (int i = 0; i < kNumTx; ++i) {
+      const cint16 p0 = w[t].w[i][0] * rxUsed[0][t];
+      const cint16 p1 = w[t].w[i][1] * rxUsed[1][t];
+      cint16 s = p0 + p1;
+      // W is Q13: restore the scale with two saturating doublings.
+      s = s + s;
+      s = s + s;
+      y[static_cast<std::size_t>(i)][t] = s;
+    }
+  }
+  return y;
+}
+
+cint16 trackingCpe(const std::array<cint16, kPilotCarriers>& eqPilots,
+                   int symbolIndex, i16 pilotAmp) {
+  const i16 pol = pilotPolarity(symbolIndex);
+  i32 zr = 0, zi = 0;
+  for (int p = 0; p < kPilotCarriers; ++p) {
+    const i16 expected = static_cast<i16>(
+        kPilotBase[static_cast<std::size_t>(p)] * pol * pilotAmp);
+    const cint16 prod = eqPilots[static_cast<std::size_t>(p)] *
+                        cint16{expected, 0}.conj();
+    zr += prod.re;
+    zi += prod.im;
+  }
+  // Derotation phasor = unit phasor at -angle(z).
+  const u16 ang = atan2Turns(zi, zr);
+  return phasorQ15(static_cast<u16>(65536u - ang));
+}
+
+void applyCpe(std::array<std::vector<cint16>, kNumTx>& streams, cint16 derot) {
+  for (auto& s : streams)
+    for (cint16& v : s) v = v * derot;
+}
+
+}  // namespace adres::dsp

@@ -1,0 +1,72 @@
+// 2x2 MIMO baseband processing golden models (paper Table 2: "SDM
+// processing", "equalize coeff. calc.", "tracking", "comp").
+//
+// Fixed-point recipes (documented field by field so the CGA kernels can be
+// written to match bit-exactly):
+//  * Channel estimation from the two P-mapped MIMO-LTF symbols:
+//      h[rx][0] = sign_k * (r1 + r2) >> 1 ,  h[rx][1] = sign_k * (r1 - r2) >> 1
+//    (estimates are the true channel scaled by the LTF tone amplitude).
+//  * ZF equalizer per tone: W = adj(H)*conj(det) * inv where
+//      det = h00*h11 - h01*h10                       (Q15 complex)
+//      m22 = (det.re^2 + det.im^2) >> 8              (Q22 magnitude^2)
+//      inv = 2^22 / max(m22, 1)                      (24-bit divide)
+//      W_ij = ((adj_ij * conj(det)) * kLtfAmpQ15) >> 15 * inv, saturated
+//    which folds the LTF amplitude back in so W*r lands on the QAM grid.
+//  * SDM detection (comp): y = W * r per data tone (Q15 complex mat-vec),
+//    followed by the common-phase-error derotation from tracking.
+//  * Tracking: CPE phasor z = sum_pilots r_eq[p] * conj(expected[p]).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dsp/ofdm.hpp"
+#include "dsp/preamble.hpp"
+
+namespace adres::dsp {
+
+/// Q15 amplitude the preamble generator uses for LTF tones (see
+/// preamble.cpp kPreambleAmp); the equalizer folds it back.
+inline constexpr i16 kLtfAmpQ15 = 6000;
+
+/// Per-tone 2x2 channel estimate, Q15, scaled by kLtfAmpQ15/32768.
+struct ChannelEst {
+  cint16 h[kNumRx][kNumTx];
+};
+
+/// Per-tone 2x2 equalizer matrix in Q13: ZF gains exceed 1.0 on faded
+/// tones, so W keeps 4x headroom and sdmDetect applies the matching x4
+/// (two saturating doublings) after the mat-vec.
+struct EqMatrix {
+  cint16 w[kNumTx][kNumRx];
+};
+
+/// MIMO channel estimation over all 52 used tones from the two FFT'd
+/// MIMO-LTF symbols (spectra per rx antenna).  ltf1/ltf2: [rx][bin].
+std::vector<ChannelEst> estimateChannel(
+    const std::array<std::vector<cint16>, kNumRx>& ltf1,
+    const std::array<std::vector<cint16>, kNumRx>& ltf2);
+
+/// ZF equalizer coefficients for every used tone.
+std::vector<EqMatrix> equalizerCoeffs(const std::vector<ChannelEst>& est);
+
+/// The exact scalar recipe for one tone (exposed for kernel validation).
+EqMatrix equalizerCoeffOne(const ChannelEst& est);
+
+/// SDM detection: per used tone, y[tx] = sum_rx W[tx][rx] * r[rx].
+/// `rx` holds the 52 used-carrier values per antenna for one OFDM symbol.
+std::array<std::vector<cint16>, kNumTx> sdmDetect(
+    const std::vector<EqMatrix>& w,
+    const std::array<std::vector<cint16>, kNumRx>& rxUsed);
+
+/// Common-phase-error phasor from the equalized pilots of stream 0 vs the
+/// expected pilot values for `symbolIndex`.  Returns the *conjugate*
+/// derotation phasor (normalized to Q15 unit magnitude via atan2+phasor).
+cint16 trackingCpe(const std::array<cint16, kPilotCarriers>& eqPilots,
+                   int symbolIndex, i16 pilotAmp);
+
+/// Applies the CPE derotation to both detected streams in place.
+void applyCpe(std::array<std::vector<cint16>, kNumTx>& streams, cint16 derot);
+
+}  // namespace adres::dsp

@@ -1,0 +1,196 @@
+#include "dsp/modem.hpp"
+
+#include "common/check.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/sync.hpp"
+#include "dsp/trig.hpp"
+
+namespace adres::dsp {
+
+int bitsPerOfdmSymbol(const ModemConfig& cfg) {
+  return kDataCarriers * bitsPerSymbol(cfg.mod) * kNumTx;
+}
+
+double rawRateMbps(const ModemConfig& cfg) {
+  return bitsPerOfdmSymbol(cfg) / kSymbolTimeUs;
+}
+
+TxPacket transmit(const ModemConfig& cfg, Rng& rng) {
+  TxPacket pkt;
+  const int bitsPerSym = bitsPerOfdmSymbol(cfg);
+  pkt.bits.resize(static_cast<std::size_t>(cfg.numSymbols * bitsPerSym));
+  for (u8& b : pkt.bits) b = rng.bit() ? 1 : 0;
+
+  pkt.waveform = mimoPreamble();
+  const int bps = bitsPerSymbol(cfg.mod);
+  const i16 pilotAmp = kLtfAmpQ15;
+
+  for (int sym = 0; sym < cfg.numSymbols; ++sym) {
+    for (int tx = 0; tx < kNumTx; ++tx) {
+      // Stream `tx` takes the tx-th block of 48*bps bits of this symbol.
+      std::vector<cint16> data(kDataCarriers);
+      const std::size_t base =
+          static_cast<std::size_t>(sym * bitsPerSym + tx * kDataCarriers * bps);
+      for (int d = 0; d < kDataCarriers; ++d)
+        data[static_cast<std::size_t>(d)] =
+            qamMap(cfg.mod, pkt.bits, base + static_cast<std::size_t>(d * bps));
+      std::vector<cint16> spec = mapSubcarriers(data, sym, pilotAmp);
+      ifftScaled(spec);
+      for (cint16& v : spec) {
+        v.re = satX8(v.re);
+        v.im = satX8(v.im);
+      }
+      const auto withCp = addCyclicPrefix(spec);
+      auto& w = pkt.waveform[static_cast<std::size_t>(tx)];
+      w.insert(w.end(), withCp.begin(), withCp.end());
+    }
+  }
+  return pkt;
+}
+
+std::vector<cint16> rxFft(const std::vector<cint16>& time64) {
+  std::vector<cint16> spec = time64;
+  fftScaled(spec);
+  for (cint16& v : spec) {
+    v.re = satX8(v.re);
+    v.im = satX8(v.im);
+  }
+  return spec;
+}
+
+int bitErrors(const std::vector<u8>& a, const std::vector<u8>& b) {
+  ADRES_CHECK(a.size() == b.size(), "payload size mismatch");
+  int e = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if ((a[i] & 1) != (b[i] & 1)) ++e;
+  return e;
+}
+
+RxTrace receive(const ModemConfig& cfg,
+                const std::array<std::vector<cint16>, kNumRx>& rx) {
+  RxTrace tr;
+  const std::vector<cint16>& r0 = rx[0];
+
+  // --- Preamble processing (Table 2 upper half) ---------------------------
+
+  // acorr: packet detection on antenna 0.
+  tr.detectIndex = packetDetect(r0);
+  if (tr.detectIndex < 0) return tr;
+
+  // Coarse CFO from the STF (freq offset estimation on lag-16 pairs).
+  const int stfMid = tr.detectIndex + 32;
+  tr.cfoCoarse = cfoEstimateStf(r0, stfMid);
+
+  // fshift the expected LTF region with the coarse estimate, then xcorr
+  // for fine timing.  The LTF field begins kStfLen after packet start;
+  // search +-8 samples around the nominal first period start.
+  const int nominalLtf = tr.detectIndex + (kStfLen - tr.detectIndex % 16) +
+                         kLtfCp;  // CP-skipped first period (approx)
+  const int searchFrom = nominalLtf - 8;
+  const int searchLen = 16 + kNfft;
+  if (searchFrom < 0 ||
+      searchFrom + searchLen + kNfft > static_cast<int>(r0.size()))
+    return tr;
+  const std::vector<cint16> shifted =
+      fshift(r0, searchFrom, searchLen + kNfft, tr.cfoCoarse,
+             static_cast<u16>(tr.cfoCoarse * searchFrom));
+  // Bias the timing 2 samples into the cyclic prefix: a window that starts
+  // late leaks inter-symbol interference; starting inside the CP only adds
+  // a phase ramp that the channel estimate absorbs.
+  tr.ltfStart = searchFrom + xcorrPeak(shifted, 0, 16) - 2;
+
+  // Fine CFO from the two LTF periods (freq offset estimation, lag 64).
+  {
+    const std::vector<cint16> ltfShift =
+        fshift(r0, tr.ltfStart, 2 * kNfft, tr.cfoCoarse,
+               static_cast<u16>(tr.cfoCoarse * tr.ltfStart));
+    tr.cfoFine = cfoEstimateLtf(ltfShift, 0);
+  }
+  tr.cfoTotal = static_cast<i16>(tr.cfoCoarse + tr.cfoFine);
+
+  // freq offset compensation + fft (2x) over the two MIMO-LTF symbols on
+  // both antennas; sample ordering gathers the spectra per antenna.
+  const int mimoLtfBase = tr.ltfStart + 2 * kNfft;
+  std::array<std::vector<cint16>, kNumRx> ltf1, ltf2;
+  for (int a = 0; a < kNumRx; ++a) {
+    for (int s = 0; s < 2; ++s) {
+      const int start = mimoLtfBase + s * kSymbolLen + kCpLen;
+      if (start + kNfft > static_cast<int>(rx[static_cast<std::size_t>(a)].size())) return tr;
+      const std::vector<cint16> comp =
+          fshift(rx[static_cast<std::size_t>(a)], start, kNfft, tr.cfoTotal,
+                 static_cast<u16>(tr.cfoTotal * start));
+      auto& dstSpec = s == 0 ? ltf1 : ltf2;
+      dstSpec[static_cast<std::size_t>(a)] = rxFft(comp);
+    }
+  }
+
+  // SDM processing (channel estimation) + equalize coeff calc.
+  tr.channel = estimateChannel(ltf1, ltf2);
+  tr.eq = equalizerCoeffs(tr.channel);
+  tr.detected = true;
+
+  // --- Data processing (Table 2 lower half), per OFDM symbol --------------
+
+  const int dataBase = mimoLtfBase + 2 * kSymbolLen;
+  const int bps = bitsPerSymbol(cfg.mod);
+  tr.bits.assign(static_cast<std::size_t>(cfg.numSymbols) *
+                     static_cast<std::size_t>(bitsPerOfdmSymbol(cfg)),
+                 0);
+  const auto& uidx = usedCarrierIdx();
+
+  // Used-tone index of each pilot and of each data tone.
+  std::array<int, kPilotCarriers> pilotPos{};
+  std::vector<int> dataPos;
+  {
+    int pp = 0;
+    for (int i = 0; i < kUsedCarriers; ++i) {
+      const int k = uidx[static_cast<std::size_t>(i)];
+      bool isPil = false;
+      for (int p : kPilotIdx) isPil = isPil || p == k;
+      if (isPil)
+        pilotPos[static_cast<std::size_t>(pp++)] = i;
+      else
+        dataPos.push_back(i);
+    }
+  }
+
+  for (int sym = 0; sym < cfg.numSymbols; ++sym) {
+    const int start = dataBase + sym * kSymbolLen + kCpLen;
+    if (start + kNfft > static_cast<int>(r0.size())) break;
+
+    // fshift + fft (2x) + data shuffle.
+    std::array<std::vector<cint16>, kNumRx> used;
+    for (int a = 0; a < kNumRx; ++a) {
+      const std::vector<cint16> comp =
+          fshift(rx[static_cast<std::size_t>(a)], start, kNfft, tr.cfoTotal,
+                 static_cast<u16>(tr.cfoTotal * start));
+      used[static_cast<std::size_t>(a)] = gatherUsedCarriers(rxFft(comp));
+    }
+
+    // comp: SDM detection across all 52 used tones.
+    const auto detected = sdmDetect(tr.eq, used);
+
+    // tracking: CPE from the equalized pilots of stream 0.
+    std::array<cint16, kPilotCarriers> eqPilots{};
+    for (int p = 0; p < kPilotCarriers; ++p)
+      eqPilots[static_cast<std::size_t>(p)] =
+          detected[0][static_cast<std::size_t>(pilotPos[static_cast<std::size_t>(p)])];
+    const cint16 derot = trackingCpe(eqPilots, sym, kLtfAmpQ15);
+
+    // demod QAM: derotate and slice the 48 data tones per stream.
+    for (int tx = 0; tx < kNumTx; ++tx) {
+      const std::size_t base = static_cast<std::size_t>(
+          sym * bitsPerOfdmSymbol(cfg) + tx * kDataCarriers * bps);
+      for (int d = 0; d < kDataCarriers; ++d) {
+        const cint16 y =
+            detected[static_cast<std::size_t>(tx)]
+                    [static_cast<std::size_t>(dataPos[static_cast<std::size_t>(d)])] *
+            derot;
+        qamDemap(cfg.mod, y, tr.bits, base + static_cast<std::size_t>(d * bps));
+      }
+    }
+  }
+  return tr;
+}
+
+}  // namespace adres::dsp

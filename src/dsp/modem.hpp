@@ -1,0 +1,81 @@
+// End-to-end 20 MHz 2x2 MIMO-OFDM modem golden model (paper §4).
+//
+// TX: payload bits -> QAM -> 48 data tones + pilots -> IFFT -> x8 scaling
+// -> CP -> per-antenna preamble prepend.  Two independent spatial streams
+// (SDM), 576 bits per OFDM symbol at QAM-64 => 144 Mbps raw over the 4 us
+// symbol — the paper's "100 Mbps+" operating point.
+//
+// RX (golden, mirrors the Table 2 kernel chain): acorr packet detection ->
+// coarse CFO (STF) -> fshift -> xcorr fine timing -> fine CFO (LTF) ->
+// MIMO-LTF FFTs -> channel estimation (SDM processing) -> equalizer
+// coefficients; per data symbol: fshift -> FFT x2 -> data shuffle ->
+// pilot tracking -> comp (SDM detection + CPE derotation) -> QAM demap.
+//
+// Scaling contract: the receive FFT is fftScaled (1/N) followed by three
+// saturating doublings (x8), exactly inverting the TX x8 — so with a unit
+// channel the data tones land back on the QAM grid and the LTF tones on
+// kLtfAmpQ15.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "dsp/channel.hpp"
+#include "dsp/mimo.hpp"
+#include "dsp/qam.hpp"
+
+namespace adres::dsp {
+
+struct ModemConfig {
+  Modulation mod = Modulation::kQam64;
+  int numSymbols = 10;  ///< OFDM data symbols per packet
+};
+
+/// Raw (uncoded) bit rate for a configuration, in Mbps.
+double rawRateMbps(const ModemConfig& cfg);
+
+/// Bits carried per OFDM symbol across both spatial streams.
+int bitsPerOfdmSymbol(const ModemConfig& cfg);
+
+struct TxPacket {
+  std::vector<u8> bits;  ///< payload (numSymbols * bitsPerOfdmSymbol)
+  std::array<std::vector<cint16>, kNumTx> waveform;
+};
+
+/// Builds a packet with random payload bits from `rng`.
+TxPacket transmit(const ModemConfig& cfg, Rng& rng);
+
+/// Saturating x8 (three doublings) — the shared TX/RX scaling primitive.
+inline i16 satX8(i16 v) {
+  i16 r = satAdd16(v, v);
+  r = satAdd16(r, r);
+  return satAdd16(r, r);
+}
+
+/// Receive FFT: fftScaled followed by the saturating x8.
+std::vector<cint16> rxFft(const std::vector<cint16>& time64);
+
+/// Everything the receiver computed — exposed so the processor-mapped
+/// kernels can be validated stage by stage against the golden chain.
+struct RxTrace {
+  bool detected = false;
+  int detectIndex = -1;    ///< acorr detection sample
+  int ltfStart = -1;       ///< fine-timing result (first LTF period start)
+  i16 cfoCoarse = 0;       ///< compensating step, Q16 turns/sample
+  i16 cfoFine = 0;
+  i16 cfoTotal = 0;
+  std::vector<ChannelEst> channel;     ///< 52 used tones
+  std::vector<EqMatrix> eq;            ///< 52 used tones
+  std::vector<u8> bits;                ///< demodulated payload
+};
+
+/// Golden receiver over kNumRx antenna waveforms.
+RxTrace receive(const ModemConfig& cfg,
+                const std::array<std::vector<cint16>, kNumRx>& rx);
+
+/// Bit error count between payloads (sizes must match).
+int bitErrors(const std::vector<u8>& a, const std::vector<u8>& b);
+
+}  // namespace adres::dsp

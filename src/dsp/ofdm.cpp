@@ -1,0 +1,107 @@
+#include "dsp/ofdm.hpp"
+
+#include "common/check.hpp"
+
+namespace adres::dsp {
+namespace {
+
+bool isPilot(int k) {
+  for (int p : kPilotIdx)
+    if (p == k) return true;
+  return false;
+}
+
+}  // namespace
+
+const std::array<int, kDataCarriers>& dataCarrierIdx() {
+  static const auto idx = [] {
+    std::array<int, kDataCarriers> a{};
+    int n = 0;
+    for (int k = -26; k <= 26; ++k) {
+      if (k == 0 || isPilot(k)) continue;
+      a[static_cast<std::size_t>(n++)] = k;
+    }
+    ADRES_CHECK(n == kDataCarriers, "carrier plan");
+    return a;
+  }();
+  return idx;
+}
+
+const std::array<int, kUsedCarriers>& usedCarrierIdx() {
+  static const auto idx = [] {
+    std::array<int, kUsedCarriers> a{};
+    int n = 0;
+    for (int k = -26; k <= 26; ++k) {
+      if (k == 0) continue;
+      a[static_cast<std::size_t>(n++)] = k;
+    }
+    return a;
+  }();
+  return idx;
+}
+
+i16 pilotPolarity(int symbolIndex) {
+  // 127-length PN sequence of 802.11 (first 32 entries suffice for our
+  // packet lengths; it repeats beyond).
+  static constexpr i16 kPn[32] = {1, 1, 1, 1, -1, -1, -1, 1,  -1, -1, -1,
+                                  -1, 1, 1, -1, 1, -1, -1, 1, 1,  -1, 1,
+                                  1,  -1, 1, 1, 1, 1,  1,  1, -1, 1};
+  return kPn[symbolIndex & 31];
+}
+
+std::vector<cint16> mapSubcarriers(const std::vector<cint16>& data,
+                                   int symbolIndex, i16 pilotAmp) {
+  ADRES_CHECK(data.size() == kDataCarriers, "need 48 data symbols");
+  std::vector<cint16> spec(kNfft, cint16{});
+  const auto& didx = dataCarrierIdx();
+  for (int i = 0; i < kDataCarriers; ++i)
+    spec[static_cast<std::size_t>(binOf(didx[static_cast<std::size_t>(i)]))] =
+        data[static_cast<std::size_t>(i)];
+  const i16 pol = pilotPolarity(symbolIndex);
+  for (int p = 0; p < kPilotCarriers; ++p) {
+    const i16 v = static_cast<i16>(kPilotBase[static_cast<std::size_t>(p)] * pol * pilotAmp);
+    spec[static_cast<std::size_t>(binOf(kPilotIdx[static_cast<std::size_t>(p)]))] = {v, 0};
+  }
+  return spec;
+}
+
+std::vector<cint16> gatherDataCarriers(const std::vector<cint16>& spectrum) {
+  ADRES_CHECK(spectrum.size() == kNfft, "need a 64-bin spectrum");
+  std::vector<cint16> out(kDataCarriers);
+  const auto& didx = dataCarrierIdx();
+  for (int i = 0; i < kDataCarriers; ++i)
+    out[static_cast<std::size_t>(i)] =
+        spectrum[static_cast<std::size_t>(binOf(didx[static_cast<std::size_t>(i)]))];
+  return out;
+}
+
+std::array<cint16, kPilotCarriers> gatherPilots(
+    const std::vector<cint16>& spectrum) {
+  ADRES_CHECK(spectrum.size() == kNfft, "need a 64-bin spectrum");
+  std::array<cint16, kPilotCarriers> out{};
+  for (int p = 0; p < kPilotCarriers; ++p)
+    out[static_cast<std::size_t>(p)] =
+        spectrum[static_cast<std::size_t>(binOf(kPilotIdx[static_cast<std::size_t>(p)]))];
+  return out;
+}
+
+std::vector<cint16> gatherUsedCarriers(const std::vector<cint16>& spectrum) {
+  ADRES_CHECK(spectrum.size() == kNfft, "need a 64-bin spectrum");
+  std::vector<cint16> out(kUsedCarriers);
+  const auto& uidx = usedCarrierIdx();
+  for (int i = 0; i < kUsedCarriers; ++i)
+    out[static_cast<std::size_t>(i)] =
+        spectrum[static_cast<std::size_t>(binOf(uidx[static_cast<std::size_t>(i)]))];
+  return out;
+}
+
+std::vector<cint16> addCyclicPrefix(const std::vector<cint16>& sym) {
+  ADRES_CHECK(sym.size() == kNfft, "need a 64-sample symbol");
+  std::vector<cint16> out;
+  out.reserve(kSymbolLen);
+  out.insert(out.end(), sym.end() - kCpLen, sym.end());
+  out.insert(out.end(), sym.begin(), sym.end());
+  return out;
+}
+
+}  // namespace adres::dsp

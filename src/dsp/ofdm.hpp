@@ -1,0 +1,63 @@
+// 20 MHz OFDM numerology (IEEE 802.11a/n-like, paper §4 application case).
+//
+// 64 subcarriers at 20 MHz sampling (312.5 kHz spacing), 16-sample cyclic
+// prefix, 48 data + 4 pilot tones, 4 us symbol (80 samples).  The "remove
+// zero carriers" / "data shuffle" kernels of Table 2 are the mapping
+// utilities below.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace adres::dsp {
+
+inline constexpr int kNfft = 64;
+inline constexpr int kCpLen = 16;
+inline constexpr int kSymbolLen = kNfft + kCpLen;  // 80 samples = 4 us
+inline constexpr int kDataCarriers = 48;
+inline constexpr int kPilotCarriers = 4;
+inline constexpr int kUsedCarriers = kDataCarriers + kPilotCarriers;  // 52
+inline constexpr double kSampleRateMHz = 20.0;
+inline constexpr double kSymbolTimeUs = kSymbolLen / kSampleRateMHz;  // 4 us
+
+/// Pilot subcarrier indices (signed, -26..26).
+inline constexpr std::array<int, kPilotCarriers> kPilotIdx = {-21, -7, 7, 21};
+
+/// Signed subcarrier index -> FFT bin (0..63).
+constexpr int binOf(int k) { return k >= 0 ? k : kNfft + k; }
+
+/// Data subcarrier indices in transmission order (signed -26..26, skipping
+/// DC and pilots), 48 entries.
+const std::array<int, kDataCarriers>& dataCarrierIdx();
+
+/// Pilot polarity for OFDM symbol `sym` (the 802.11 PN-driven sign).
+i16 pilotPolarity(int symbolIndex);
+
+/// Base pilot values at kPilotIdx (before per-symbol polarity).
+inline constexpr std::array<i16, kPilotCarriers> kPilotBase = {1, 1, 1, -1};
+
+/// Scatters 48 data symbols + 4 pilots into a 64-bin spectrum
+/// (zero carriers cleared).  `amp` scales the unit pilots.
+std::vector<cint16> mapSubcarriers(const std::vector<cint16>& data,
+                                   int symbolIndex, i16 pilotAmp);
+
+/// Gathers the 48 data bins out of a 64-bin spectrum in transmission order
+/// (the "remove zero carriers" + "data shuffle" operation).
+std::vector<cint16> gatherDataCarriers(const std::vector<cint16>& spectrum);
+
+/// Gathers the 4 pilot bins.
+std::array<cint16, kPilotCarriers> gatherPilots(const std::vector<cint16>& spectrum);
+
+/// Gathers all 52 used bins (pilots + data interleaved in index order) —
+/// what the channel estimator consumes.
+std::vector<cint16> gatherUsedCarriers(const std::vector<cint16>& spectrum);
+
+/// Signed indices of all 52 used carriers in ascending order.
+const std::array<int, kUsedCarriers>& usedCarrierIdx();
+
+/// Prepends the cyclic prefix to a 64-sample time-domain symbol.
+std::vector<cint16> addCyclicPrefix(const std::vector<cint16>& sym);
+
+}  // namespace adres::dsp

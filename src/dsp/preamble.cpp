@@ -1,0 +1,125 @@
+#include "dsp/preamble.hpp"
+
+#include "common/check.hpp"
+#include "dsp/fft.hpp"
+
+namespace adres::dsp {
+namespace {
+
+// 802.11 L-LTF sequence for k = -26..26 (0 at DC).
+constexpr i16 kLtf[53] = {
+    1, 1, -1, -1, 1,  1,  -1, 1,  -1, 1,  1,  1,  1,  1, 1, -1, -1, 1,
+    1, -1, 1, -1, 1,  1,  1,  1,  0,  1,  -1, -1, 1,  1, -1, 1,  -1, 1,
+    -1, -1, -1, -1, -1, 1,  1,  -1, -1, 1,  -1, 1,  -1, 1, 1,  1,  1};
+
+// 802.11 STF tone signs at k = -24, -20, ..., +24 (step 4, skipping 0);
+// each tone carries sign*(1+j).
+constexpr int kStfTones[12] = {-24, -20, -16, -12, -8, -4, 4, 8, 12, 16, 20, 24};
+constexpr i16 kStfSigns[12] = {1, -1, 1, -1, -1, 1, -1, -1, 1, 1, 1, 1};
+
+// Q15 tone amplitude.  Sized so the *sum* of two transmit antennas through
+// unit-energy multipath channels stays inside the 16-bit ADC range with
+// ~3x peak headroom (must equal mimo.hpp kLtfAmpQ15).
+constexpr i16 kPreambleAmp = 6000;
+
+std::vector<cint16> toneSpectrumToTime(const std::vector<cint16>& spec) {
+  std::vector<cint16> t = spec;
+  ifftScaled(t);
+  // ifftScaled includes 1/N; the TX chain rescales by 8 (three saturating
+  // doublings — the exact recipe the receive FFT inverts, see modem.hpp).
+  for (cint16& v : t) {
+    v.re = sat16(i32{v.re} * 8);
+    v.im = sat16(i32{v.im} * 8);
+  }
+  return t;
+}
+
+}  // namespace
+
+i16 ltfSign(int k) {
+  ADRES_CHECK(k >= -26 && k <= 26, "LTF index");
+  return kLtf[k + 26];
+}
+
+const std::vector<cint16>& stfTime() {
+  static const auto stf = [] {
+    std::vector<cint16> spec(kNfft, cint16{});
+    for (int i = 0; i < 12; ++i) {
+      const int k = kStfTones[i];
+      // sign * (1+j) / sqrt(2) * amp
+      const i16 v = static_cast<i16>(kStfSigns[i] *
+                                     ((kPreambleAmp * 23170) >> 15));
+      spec[static_cast<std::size_t>(binOf(k))] = {v, v};
+    }
+    const std::vector<cint16> period = toneSpectrumToTime(spec);
+    // Tones on multiples of 4 => 16-sample periodicity; emit 160 samples.
+    std::vector<cint16> out;
+    out.reserve(kStfLen);
+    for (int n = 0; n < kStfLen; ++n)
+      out.push_back(period[static_cast<std::size_t>(n % kNfft)]);
+    return out;
+  }();
+  return stf;
+}
+
+const std::vector<cint16>& ltfSymbolTime() {
+  static const auto ltf = [] {
+    std::vector<cint16> spec(kNfft, cint16{});
+    for (int k = -26; k <= 26; ++k) {
+      if (k == 0) continue;
+      spec[static_cast<std::size_t>(binOf(k))] = {
+          static_cast<i16>(ltfSign(k) * kPreambleAmp), 0};
+    }
+    return toneSpectrumToTime(spec);
+  }();
+  return ltf;
+}
+
+std::vector<cint16> ltfField() {
+  const auto& sym = ltfSymbolTime();
+  std::vector<cint16> out;
+  out.reserve(kLtfLen);
+  out.insert(out.end(), sym.end() - kLtfCp, sym.end());
+  out.insert(out.end(), sym.begin(), sym.end());
+  out.insert(out.end(), sym.begin(), sym.end());
+  return out;
+}
+
+std::array<std::vector<cint16>, kNumTx> mimoPreamble() {
+  std::array<std::vector<cint16>, kNumTx> out;
+  const auto& stf = stfTime();
+  const auto ltf = ltfField();
+  const auto& sym = ltfSymbolTime();
+  for (int tx = 0; tx < kNumTx; ++tx) {
+    std::vector<cint16>& w = out[static_cast<std::size_t>(tx)];
+    w.reserve(kPreambleLen);
+    // STF: antenna 1 applies a 8-sample cyclic shift (CSD).
+    const int csd = tx == 0 ? 0 : 8;
+    for (int n = 0; n < kStfLen; ++n)
+      w.push_back(stf[static_cast<std::size_t>((n + csd) % kStfPeriod +
+                                               (n / kStfPeriod) * kStfPeriod)]);
+    // Legacy LTF only from antenna 0 (antenna 1 silent) so the SISO sync
+    // kernels see a clean reference.
+    if (tx == 0) {
+      w.insert(w.end(), ltf.begin(), ltf.end());
+    } else {
+      w.insert(w.end(), kLtfLen, cint16{});
+    }
+    // Two MIMO-LTF symbols with CP, P-mapped.
+    for (int s = 0; s < 2; ++s) {
+      const i16 p = kPMatrix[static_cast<std::size_t>(tx)][static_cast<std::size_t>(s)];
+      std::vector<cint16> mapped(kNfft);
+      for (int n = 0; n < kNfft; ++n) {
+        const cint16 v = sym[static_cast<std::size_t>(n)];
+        mapped[static_cast<std::size_t>(n)] = {static_cast<i16>(p * v.re),
+                                               static_cast<i16>(p * v.im)};
+      }
+      const auto withCp = addCyclicPrefix(mapped);
+      w.insert(w.end(), withCp.begin(), withCp.end());
+    }
+    ADRES_CHECK(static_cast<int>(w.size()) == kPreambleLen, "preamble length");
+  }
+  return out;
+}
+
+}  // namespace adres::dsp

@@ -1,0 +1,55 @@
+// 802.11-style preamble generation for the 2x2 MIMO-OFDM modem.
+//
+// Short training field (STF): 12 tones on multiples of 4 -> 16-sample
+// periodic waveform, 160 samples; drives packet detection (acorr kernel)
+// and coarse CFO estimation.
+// Long training field (LTF): the 52-tone +-1 sequence, 2 x 64 samples + 32
+// CP; drives fine timing (xcorr) and fine CFO.
+// MIMO LTFs: one extra LTF pair mapped with the orthogonal P = [1 1; 1 -1]
+// so the receiver can separate the 2x2 channel per tone.
+// Air time: STF(8us) + LTF(8us) + MIMO-LTFs(8us).  The paper's "preamble
+// elapsed time (8us)" refers to the STF section during which the detection
+// and synchronization kernels must keep up.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dsp/ofdm.hpp"
+
+namespace adres::dsp {
+
+inline constexpr int kStfLen = 160;       // 10 x 16-sample repetitions
+inline constexpr int kStfPeriod = 16;
+inline constexpr int kLtfCp = 32;
+inline constexpr int kLtfLen = kLtfCp + 2 * kNfft;  // 160
+inline constexpr int kNumTx = 2;          // 2x2 MIMO
+inline constexpr int kNumRx = 2;
+
+/// Per-antenna preamble length in samples: STF + LTF + 2 MIMO-LTF symbols.
+inline constexpr int kPreambleLen = kStfLen + kLtfLen + 2 * kSymbolLen;
+
+/// The L-LTF frequency-domain +-1 sequence for signed carrier k (-26..26).
+i16 ltfSign(int k);
+
+/// Time-domain STF (160 samples, Q15, 16-sample periodic).
+const std::vector<cint16>& stfTime();
+
+/// One 64-sample LTF period (time domain, Q15).
+const std::vector<cint16>& ltfSymbolTime();
+
+/// Full legacy LTF field: 32-sample CP + two LTF periods (160 samples).
+std::vector<cint16> ltfField();
+
+/// Orthogonal MIMO-LTF mapping matrix P[txAntenna][ltfSymbol].
+inline constexpr std::array<std::array<i16, 2>, 2> kPMatrix = {{{1, 1},
+                                                                {1, -1}}};
+
+/// Per-antenna preamble: antenna 0 sends STF+LTF, antenna 1 sends a
+/// cyclically-shifted STF (to avoid unintended beamforming) and its
+/// orthogonally-mapped MIMO LTFs.  Returns kNumTx waveforms of
+/// kPreambleLen samples.
+std::array<std::vector<cint16>, kNumTx> mimoPreamble();
+
+}  // namespace adres::dsp

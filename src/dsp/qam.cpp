@@ -1,0 +1,136 @@
+#include "dsp/qam.hpp"
+
+#include "common/check.hpp"
+
+namespace adres::dsp {
+namespace {
+
+// Gray code per axis, 802.11 convention: for 8 levels, bits b0b1b2 map
+// 000 -> -7, 001 -> -5, 011 -> -3, 010 -> -1, 110 -> +1, 111 -> +3,
+// 101 -> +5, 100 -> +7 (in units).
+constexpr int kGray8[8] = {-7, -5, -3, -1, +1, +3, +5, +7};
+// bits -> level index: inverse of the gray sequence {0,1,3,2,6,7,5,4}.
+constexpr int kGray8Index[8] = {0, 1, 3, 2, 7, 6, 4, 5};
+constexpr int kGray4[4] = {-3, -1, +1, +3};
+constexpr int kGray4Index[4] = {0, 1, 3, 2};
+
+int axisBits(Modulation m) {
+  switch (m) {
+    case Modulation::kBpsk: return 1;   // I axis only
+    case Modulation::kQpsk: return 1;
+    case Modulation::kQam16: return 2;
+    case Modulation::kQam64: return 3;
+  }
+  return 0;
+}
+
+int bitsToLevel(Modulation m, u32 bits) {
+  switch (axisBits(m)) {
+    case 1: return bits ? +1 : -1;
+    case 2: return kGray4[kGray4Index[bits & 3]];
+    default: return kGray8[kGray8Index[bits & 7]];
+  }
+}
+
+u32 levelIndexToBits(Modulation m, int levelIdx) {
+  switch (axisBits(m)) {
+    case 1: return levelIdx > 0 ? 1u : 0u;
+    case 2:
+      for (u32 b = 0; b < 4; ++b)
+        if (kGray4Index[b] == levelIdx) return b;
+      return 0;
+    default:
+      for (u32 b = 0; b < 8; ++b)
+        if (kGray8Index[b] == levelIdx) return b;
+      return 0;
+  }
+}
+
+/// Slices a received Q15 amplitude to the nearest level index.
+/// Level i has value (2i - (levels-1)) * unit; nearest-level slicing is
+/// floor((v + levels*unit) / (2*unit)) with true floor division.
+int sliceLevel(Modulation m, i16 v, i16 unit) {
+  const int levels = 1 << axisBits(m);
+  const i32 num = static_cast<i32>(v) + levels * unit;
+  const i32 den = 2 * unit;
+  i32 idx = num >= 0 ? num / den : -((-num + den - 1) / den);
+  if (idx < 0) idx = 0;
+  if (idx >= levels) idx = levels - 1;
+  return static_cast<int>(idx);
+}
+
+}  // namespace
+
+int bitsPerSymbol(Modulation m) {
+  return m == Modulation::kBpsk ? 1 : 2 * axisBits(m);
+}
+
+i16 qamUnit(Modulation m) {
+  // Units chosen so the average symbol magnitude is ~5200 Q15 for every
+  // constellation — matching the preamble tone amplitude (6000) so TX
+  // time-domain power is uniform across the packet, with enough headroom
+  // for two antennas to superpose through the channel without clipping
+  // the 16-bit receive path.
+  switch (m) {
+    case Modulation::kBpsk: return 5200;
+    case Modulation::kQpsk: return 3700;
+    case Modulation::kQam16: return 1650;
+    case Modulation::kQam64: return 800;
+  }
+  return 0;
+}
+
+cint16 qamMap(Modulation m, const std::vector<u8>& bits, std::size_t offset) {
+  const int n = bitsPerSymbol(m);
+  ADRES_CHECK(offset + static_cast<std::size_t>(n) <= bits.size(),
+              "qamMap: bit vector too short");
+  u32 v = 0;
+  for (int i = 0; i < n; ++i)
+    v |= static_cast<u32>(bits[offset + static_cast<std::size_t>(i)] & 1) << i;
+  const i16 unit = qamUnit(m);
+  if (m == Modulation::kBpsk) {
+    return {static_cast<i16>(bitsToLevel(m, v) * unit), 0};
+  }
+  const int ab = axisBits(m);
+  const int li = bitsToLevel(m, v & ((1u << ab) - 1));
+  const int lq = bitsToLevel(m, v >> ab);
+  return {static_cast<i16>(li * unit), static_cast<i16>(lq * unit)};
+}
+
+void qamDemap(Modulation m, cint16 s, std::vector<u8>& bits,
+              std::size_t offset) {
+  const int n = bitsPerSymbol(m);
+  ADRES_CHECK(offset + static_cast<std::size_t>(n) <= bits.size(),
+              "qamDemap: bit vector too short");
+  const i16 unit = qamUnit(m);
+  u32 v = 0;
+  if (m == Modulation::kBpsk) {
+    v = s.re > 0 ? 1u : 0u;
+  } else {
+    const int ab = axisBits(m);
+    v = levelIndexToBits(m, sliceLevel(m, s.re, unit));
+    v |= levelIndexToBits(m, sliceLevel(m, s.im, unit)) << ab;
+  }
+  for (int i = 0; i < n; ++i)
+    bits[offset + static_cast<std::size_t>(i)] = static_cast<u8>((v >> i) & 1);
+}
+
+std::vector<cint16> qamModulate(Modulation m, const std::vector<u8>& bits) {
+  const int n = bitsPerSymbol(m);
+  ADRES_CHECK(bits.size() % static_cast<std::size_t>(n) == 0,
+              "bit count not a multiple of bits/symbol");
+  std::vector<cint16> out(bits.size() / static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = qamMap(m, bits, i * static_cast<std::size_t>(n));
+  return out;
+}
+
+std::vector<u8> qamDemodulate(Modulation m, const std::vector<cint16>& syms) {
+  const int n = bitsPerSymbol(m);
+  std::vector<u8> bits(syms.size() * static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < syms.size(); ++i)
+    qamDemap(m, syms[i], bits, i * static_cast<std::size_t>(n));
+  return bits;
+}
+
+}  // namespace adres::dsp

@@ -1,0 +1,38 @@
+// Gray-coded QAM modulation / hard-decision demodulation in Q15.
+//
+// QAM-64 is the modem's data constellation (paper Table 2: "demod QAM64");
+// BPSK/QPSK/16-QAM are provided for the rate-adaptation extension benches.
+// Levels are scaled so the largest constellation point keeps ~2.5 dB of
+// headroom below full scale, leaving room for channel gain and the
+// equalizer on the 16-bit datapath.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace adres::dsp {
+
+enum class Modulation : u8 { kBpsk, kQpsk, kQam16, kQam64 };
+
+/// Bits per complex symbol (1, 2, 4, 6).
+int bitsPerSymbol(Modulation m);
+
+/// Per-axis unit spacing in Q15 for each constellation (the distance
+/// between adjacent amplitude levels is 2 units).
+i16 qamUnit(Modulation m);
+
+/// Maps `bitsPerSymbol` bits (LSB-first in the vector) to one symbol.
+cint16 qamMap(Modulation m, const std::vector<u8>& bits, std::size_t offset);
+
+/// Hard-decision demap: writes `bitsPerSymbol` bits at `offset`.
+void qamDemap(Modulation m, cint16 symbol, std::vector<u8>& bits,
+              std::size_t offset);
+
+/// Convenience: modulate a whole bit vector (size must divide evenly).
+std::vector<cint16> qamModulate(Modulation m, const std::vector<u8>& bits);
+
+/// Convenience: demodulate a whole symbol vector.
+std::vector<u8> qamDemodulate(Modulation m, const std::vector<cint16>& syms);
+
+}  // namespace adres::dsp

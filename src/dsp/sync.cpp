@@ -1,0 +1,134 @@
+#include "dsp/sync.hpp"
+
+#include "common/check.hpp"
+#include "dsp/lanes.hpp"
+#include "dsp/preamble.hpp"
+#include "dsp/trig.hpp"
+
+// The synchronization golden models accumulate in the same SIMD lane
+// structure as the CGA kernels (two complex samples per 64-bit word,
+// saturating 16-bit lanes, pre-shifted products — see dsp/lanes.hpp), so
+// mapped kernels can be validated bit-exactly.
+
+namespace adres::dsp {
+
+bool AcorrResult::detected() const {
+  const i16 m = satAdd16(satAbs16(corr.re), satAbs16(corr.im));
+  const i16 floor = 64;  // noise floor gate
+  const i16 e = energy > energyLag ? energy : energyLag;
+  return e > floor && m >= static_cast<i16>((3 * e) >> 2);
+}
+
+AcorrResult acorrAt(const std::vector<cint16>& r, int d) {
+  ADRES_CHECK(d >= 0 && d + 48 <= static_cast<int>(r.size()),
+              "acorr window out of range");
+  Word accP = 0, accE1 = 0, accE2 = 0;
+  for (int k = 0; k < 32; k += 2) {
+    const Word x = lanes::loadPair(r, d + k);
+    const Word y = lanes::loadPair(r, d + k + 16);
+    accP = lanes::macShifted(accP, x, lanes::conjPair(y), 2);
+    accE1 = lanes::macShifted(accE1, x, lanes::conjPair(x), 2);
+    accE2 = lanes::macShifted(accE2, y, lanes::conjPair(y), 2);
+  }
+  AcorrResult out{};
+  out.corr = lanes::fold(accP);
+  out.energy = lanes::fold(accE1).re;
+  out.energyLag = lanes::fold(accE2).re;
+  return out;
+}
+
+int packetDetect(const std::vector<cint16>& r, int hold) {
+  int run = 0;
+  for (int d = 0; d + 48 <= static_cast<int>(r.size()); ++d) {
+    if (acorrAt(r, d).detected()) {
+      if (++run >= hold) return d - hold + 1;
+    } else {
+      run = 0;
+    }
+  }
+  return -1;
+}
+
+cint16 xcorrAt(const std::vector<cint16>& r, int d) {
+  ADRES_CHECK(d >= 0 && d + kNfft <= static_cast<int>(r.size()),
+              "xcorr window out of range");
+  // Per-d accumulation in one lane pair (both lanes carry the same d when
+  // called stand-alone); the 16-way kernel packs two d's per accumulator
+  // with identical per-d ordering, so results agree lane by lane.
+  const auto& ltf = ltfSymbolTime();
+  cint16 acc{};
+  for (int k = 0; k < kNfft; ++k) {
+    const cint16 p = r[static_cast<std::size_t>(d + k)] *
+                     ltf[static_cast<std::size_t>(k)].conj();
+    // Rounded /16 downscale (D4PROD by 2048 in the kernel).
+    acc.re = satAdd16(acc.re, mulQ15(p.re, 2048));
+    acc.im = satAdd16(acc.im, mulQ15(p.im, 2048));
+  }
+  return acc;
+}
+
+int xcorrPeak(const std::vector<cint16>& r, int from, int to) {
+  int best = from;
+  i16 bestMag = -1;
+  for (int d = from; d < to; ++d) {
+    const cint16 c = xcorrAt(r, d);
+    const i16 m = satAdd16(satAbs16(c.re), satAbs16(c.im));
+    if (m > bestMag) {
+      bestMag = m;
+      best = d;
+    }
+  }
+  return best;
+}
+
+/// Shared lag-correlation core (lane-structured like the CfoCorr kernel):
+/// z = fold( sum_pairs (r[k..k+1] * conj(r[k+lag..])) >> 2 ).
+static cint16 lagCorr(const std::vector<cint16>& r, int d, int n, int lag) {
+  Word acc = 0;
+  for (int k = 0; k < n; k += 2) {
+    const Word x = lanes::loadPair(r, d + k);
+    const Word y = lanes::loadPair(r, d + k + lag);
+    acc = lanes::macShifted(acc, x, lanes::conjPair(y), 2);
+  }
+  return lanes::fold(acc);
+}
+
+i16 cfoEstimateStf(const std::vector<cint16>& r, int d, int n) {
+  const cint16 z = lagCorr(r, d, n, 16);
+  const i16 signedAng = static_cast<i16>(atan2Turns(z.im, z.re));
+  return static_cast<i16>(signedAng / 16);
+}
+
+i16 cfoEstimateLtf(const std::vector<cint16>& r, int d) {
+  const cint16 z = lagCorr(r, d, kNfft, kNfft);
+  const i16 signedAng = static_cast<i16>(atan2Turns(z.im, z.re));
+  return static_cast<i16>(signedAng / kNfft);
+}
+
+std::vector<cint16> fshift(const std::vector<cint16>& x, int d, int n,
+                           i16 stepTurns, u16 startTurns) {
+  ADRES_CHECK(d >= 0 && d + n <= static_cast<int>(x.size()),
+              "fshift window out of range");
+  ADRES_CHECK(n % 4 == 0, "fshift processes blocks of 4 samples");
+  // Block-of-4 phasor recurrence, exactly as the fshift kernel runs it:
+  // four phase lanes ph[j] advanced by w^4 per block; w^2 and w^4 built by
+  // squaring (the VLIW glue's recipe).
+  const cint16 w = phasorQ15(static_cast<u16>(stepTurns));
+  const cint16 w2 = w * w;
+  const cint16 w4 = w2 * w2;
+  cint16 ph[4];
+  ph[0] = phasorQ15(startTurns);
+  ph[1] = ph[0] * w;
+  ph[2] = ph[1] * w;
+  ph[3] = ph[2] * w;
+  std::vector<cint16> out(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; k += 4) {
+    for (int j = 0; j < 4; ++j)
+      out[static_cast<std::size_t>(k + j)] =
+          x[static_cast<std::size_t>(d + k + j)] * ph[j];
+    for (auto& p : ph) p = p * w4;
+  }
+  return out;
+}
+
+}  // namespace adres::dsp

@@ -1,0 +1,54 @@
+// Synchronization golden models (paper Table 2: acorr, xcorr, fshift,
+// freq offset estimation / compensation).
+//
+// Every function is written in exactly the arithmetic the CGA kernels use
+// (Q15 products, arithmetic shifts, saturating adds, phasor recurrence), so
+// the mapped kernels are validated bit-exactly against these.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace adres::dsp {
+
+/// Lag-16 autocorrelation sum over a 32-sample window starting at `d`:
+///   P = sum_k (r[d+k] * conj(r[d+k+16])) >> 2    (saturating accumulate)
+/// and the energies of both windows E1 = sum |r[d+k]|^2 >> 2,
+/// E2 = sum |r[d+k+16]|^2 >> 2.
+struct AcorrResult {
+  cint16 corr;
+  i16 energy;      ///< E1
+  i16 energyLag;   ///< E2
+  /// Detection metric: |P.re|+|P.im| >= (3/4) * max(E1,E2), above a floor.
+  /// Comparing against the larger window energy rejects the packet edge
+  /// where only the lagged window holds signal.
+  bool detected() const;
+};
+AcorrResult acorrAt(const std::vector<cint16>& r, int d);
+
+/// Scans for packet start: first d where acorrAt detects for `hold`
+/// consecutive positions.  Returns -1 if none.
+int packetDetect(const std::vector<cint16>& r, int hold = 4);
+
+/// Cross-correlation against the 64-sample LTF reference:
+///   c(d) = sum_k (r[d+k] * conj(L[k])) >> 4    (saturating accumulate)
+cint16 xcorrAt(const std::vector<cint16>& r, int d);
+
+/// Fine timing: argmax of |xcorr| (L1 magnitude) over [from, to).
+int xcorrPeak(const std::vector<cint16>& r, int from, int to);
+
+/// Coarse CFO from the STF: correlates lag-16 pairs over `n` samples
+/// starting at `d`; returns the per-sample phase step in Q16 turns that
+/// *compensates* the offset (i.e. -measured/16).
+i16 cfoEstimateStf(const std::vector<cint16>& r, int d, int n = 64);
+
+/// Fine CFO from the two LTF periods (lag 64), same convention (-angle/64).
+i16 cfoEstimateLtf(const std::vector<cint16>& r, int d);
+
+/// Frequency shift (fshift kernel): y[k] = x[d+k] * ph, ph *= w, where
+/// w = phasor(stepTurns).  The phasor recurrence is what the kernel runs.
+std::vector<cint16> fshift(const std::vector<cint16>& x, int d, int n,
+                           i16 stepTurns, u16 startTurns = 0);
+
+}  // namespace adres::dsp

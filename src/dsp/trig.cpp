@@ -1,0 +1,115 @@
+#include "dsp/trig.hpp"
+#include "dsp/trig_tables.hpp"
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace adres::dsp {
+namespace {
+
+// Quarter-wave table, 256 entries + endpoint, Q15.
+constexpr int kQuarterBits = 8;
+constexpr int kQuarterSize = 1 << kQuarterBits;
+
+const std::array<u16, 258>& atan258() {
+  static const auto table = [] {
+    std::array<u16, 258> t{};
+    for (int i = 0; i <= 257; ++i) {
+      const double v = std::atan(i / 256.0) / (2.0 * 3.14159265358979323846);
+      t[static_cast<std::size_t>(i)] = static_cast<u16>(std::lround(v * 65536.0));
+    }
+    return t;
+  }();
+  return table;
+}
+
+const std::array<i16, kQuarterSize + 1>& quarterTable() {
+  static const auto table = [] {
+    std::array<i16, kQuarterSize + 1> t{};
+    for (int i = 0; i <= kQuarterSize; ++i) {
+      const double a = (3.14159265358979323846 / 2.0) * i / kQuarterSize;
+      const double v = std::sin(a) * 32767.0;
+      t[static_cast<std::size_t>(i)] = static_cast<i16>(std::lround(v));
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+i16 sinQ15(u16 turns) {
+  // Linear interpolation between quarter-wave table entries: without it,
+  // small angles snap to the 64-unit table grid, which wrecks the phasor
+  // recurrence used for CFO compensation.
+  const u16 quadrant = turns >> 14;          // 0..3
+  const u16 frac = turns & 0x3FFF;           // position within the quadrant
+  const int idx = frac >> (14 - kQuarterBits);
+  const int sub = frac & ((1 << (14 - kQuarterBits)) - 1);
+  const auto& t = quarterTable();
+  const auto interp = [&](int i0, int i1) -> i16 {
+    const i32 a = t[static_cast<std::size_t>(i0)];
+    const i32 b = t[static_cast<std::size_t>(i1)];
+    return static_cast<i16>(a + (((b - a) * sub) >> (14 - kQuarterBits)));
+  };
+  switch (quadrant) {
+    case 0: return interp(idx, idx + 1);
+    case 1: return interp(kQuarterSize - idx, kQuarterSize - idx - 1);
+    case 2: return static_cast<i16>(-interp(idx, idx + 1));
+    default: return static_cast<i16>(-interp(kQuarterSize - idx, kQuarterSize - idx - 1));
+  }
+}
+
+i16 cosQ15(u16 turns) { return sinQ15(static_cast<u16>(turns + 0x4000)); }
+
+cint16 phasorQ15(u16 turns) { return {cosQ15(turns), sinQ15(turns)}; }
+
+u16 atan2Turns(i32 im, i32 re) {
+  if (re == 0 && im == 0) return 0;
+  // Octant reduction (conjugate, mirror, swap), then a ratio-indexed
+  // arctan table.
+  const bool negIm = im < 0;
+  if (negIm) im = -im;  // conjugate: angle in [0, 0.5] turns
+  const bool negRe = re < 0;
+  if (negRe) re = -re;  // angle in [0, 0.25]
+  const bool swap = im > re;
+  if (swap) {
+    const i32 t = im;
+    im = re;
+    re = t;
+  }  // ratio im/re in [0,1]
+  // arctan(r) for r in [0,1]: 257-entry table in Q16 turns, linearly
+  // interpolated on a 12-bit ratio.  The ratio uses the machine's 24-bit
+  // divider after normalizing both operands to 11 bits — the exact recipe
+  // the VLIW atan2 glue code runs.
+  const auto& atanTable = atan258();
+  while (re >= (1 << 11) || im >= (1 << 11)) {
+    re >>= 1;
+    im >>= 1;
+  }
+  const i32 ratio12 = re == 0 ? 4096 : static_cast<i32>((im << 12) / re);
+  const i32 clamped = ratio12 > 4096 ? 4096 : ratio12;
+  const i32 idx = clamped >> 4;
+  const i32 frac = clamped & 15;
+  const u16 t0 = atanTable[static_cast<std::size_t>(idx)];
+  const u16 t1 = atanTable[static_cast<std::size_t>(idx + 1)];
+  u32 a = t0 + static_cast<u32>(((static_cast<i32>(t1) - t0) * frac) >> 4);
+  if (swap) a = 16384 - a;           // reflect around 1/8 turn
+  if (negRe) a = 32768 - a;          // reflect around 1/4 turn
+  if (negIm) a = 65536 - a;          // lower half plane
+  return static_cast<u16>(a);
+}
+
+
+std::vector<i16> sinQuarterTableDump() {
+  const auto& t = quarterTable();
+  return {t.begin(), t.end()};
+}
+
+std::vector<u16> atanTableDump() {
+  const auto& t = atan258();
+  return {t.begin(), t.end()};
+}
+
+}  // namespace adres::dsp

@@ -1,0 +1,25 @@
+// Fixed-point trigonometry for the baseband library.
+//
+// All angles are expressed as Q16 turns: a full circle is 65536 units, so
+// phase accumulation wraps for free in u16 arithmetic — exactly how the
+// kernel implementations generate rotation phasors on the 16-bit datapath.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace adres::dsp {
+
+/// Q15 cosine of a Q16-turn angle (one full turn = 65536).
+i16 cosQ15(u16 turns);
+
+/// Q15 sine of a Q16-turn angle.
+i16 sinQ15(u16 turns);
+
+/// Unit phasor e^{+j*2*pi*turns/65536} as a cint16.
+cint16 phasorQ15(u16 turns);
+
+/// Q16-turn angle of (re, im) via a coarse-fine atan2 (CORDIC-style table);
+/// accurate to ~1/4096 of a turn — the precision the CFO estimator needs.
+u16 atan2Turns(i32 im, i32 re);
+
+}  // namespace adres::dsp

@@ -1,0 +1,18 @@
+// Table dumps for the processor-mapped kernels: the VLIW glue and CGA
+// kernels read the same quarter-wave sine and arctan tables from L1 that
+// the golden models use, guaranteeing bit-exact trigonometry.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace adres::dsp {
+
+/// Quarter-wave sine table: 257 Q15 entries (index i = sin(pi/2 * i/256)).
+std::vector<i16> sinQuarterTableDump();
+
+/// Arctan table: 258 Q16-turn entries (index i = atan(i/256) in turns).
+std::vector<u16> atanTableDump();
+
+}  // namespace adres::dsp

@@ -1,0 +1,105 @@
+#include "isa/encoding.hpp"
+
+#include "common/bitfield.hpp"
+#include "common/check.hpp"
+
+namespace adres {
+namespace {
+
+constexpr int kSlotBits = 37;
+
+/// Ops whose immediate field is an unsigned control word rather than a
+/// signed operand (keeps encode/decode a strict round trip).
+bool immIsUnsigned(Opcode op) {
+  return op == Opcode::C4SHUF || op == Opcode::MOVIH;
+}
+
+void encodeSlot(BitWriter& w, const Instr& in) {
+  w.put(static_cast<u64>(in.op), 8);
+  w.put(in.guard, 4);
+  // Stores have no destination: the dst field carries the store-data
+  // register so the immediate-offset form keeps src3.
+  w.put(isStore(in.op) ? in.src3 : in.dst, 6);
+  w.put(in.src1, 6);
+  w.put(in.useImm ? 1 : 0, 1);
+  if (in.useImm) {
+    w.put(static_cast<u64>(static_cast<u32>(in.imm) & 0xFFFu), 12);
+  } else {
+    w.put(in.src2, 6);
+    w.put(in.src3, 6);
+  }
+}
+
+Instr decodeSlot(BitReader& r) {
+  Instr in;
+  const u64 opRaw = r.get(8);
+  ADRES_CHECK(opRaw < static_cast<u64>(kOpcodeCount), "bad opcode field");
+  in.op = static_cast<Opcode>(opRaw);
+  in.guard = static_cast<u8>(r.get(4));
+  const u8 dstField = static_cast<u8>(r.get(6));
+  if (isStore(in.op)) {
+    in.src3 = dstField;
+  } else {
+    in.dst = dstField;
+  }
+  in.src1 = static_cast<u8>(r.get(6));
+  in.useImm = r.get(1) != 0;
+  if (in.useImm) {
+    const u32 raw = static_cast<u32>(r.get(12));
+    if (immIsUnsigned(in.op)) {
+      in.imm = static_cast<i32>(raw);
+    } else {
+      in.imm = (static_cast<i32>(raw << 20)) >> 20;  // sign-extend 12 bits
+    }
+  } else {
+    in.src2 = static_cast<u8>(r.get(6));
+    in.src3 = static_cast<u8>(r.get(6));
+  }
+  return in;
+}
+
+}  // namespace
+
+std::vector<u8> encodeBundle(const Bundle& b) {
+  BitWriter w;
+  for (const auto& s : b.slot) encodeSlot(w, s);
+  ADRES_CHECK(w.bitCount() == 3 * kSlotBits, "slot width drifted");
+  w.alignTo(kBundleBytes * 8);
+  return w.bytes();
+}
+
+Bundle decodeBundle(const std::vector<u8>& bytes) {
+  ADRES_CHECK(bytes.size() == kBundleBytes,
+              "bundle must be " << kBundleBytes << " bytes, got "
+                                << bytes.size());
+  BitReader r(bytes);
+  Bundle b;
+  for (auto& s : b.slot) s = decodeSlot(r);
+  return b;
+}
+
+std::vector<u8> encodeProgram(const std::vector<Bundle>& bundles) {
+  std::vector<u8> image;
+  image.reserve(bundles.size() * kBundleBytes);
+  for (const auto& b : bundles) {
+    const auto bytes = encodeBundle(b);
+    image.insert(image.end(), bytes.begin(), bytes.end());
+  }
+  return image;
+}
+
+std::vector<Bundle> decodeProgram(const std::vector<u8>& image) {
+  ADRES_CHECK(image.size() % kBundleBytes == 0,
+              "program image not bundle aligned: " << image.size());
+  std::vector<Bundle> out;
+  out.reserve(image.size() / kBundleBytes);
+  for (std::size_t off = 0; off < image.size(); off += kBundleBytes) {
+    std::vector<u8> line(image.begin() + static_cast<std::ptrdiff_t>(off),
+                         image.begin() + static_cast<std::ptrdiff_t>(off) +
+                             kBundleBytes);
+    out.push_back(decodeBundle(line));
+  }
+  return out;
+}
+
+}  // namespace adres

@@ -1,0 +1,27 @@
+// Binary encoding of VLIW bundles into 128-bit instruction words.
+//
+// Three 37-bit slots + 17 spare bits per line (see instruction.hpp for the
+// field map).  The encoder is what makes the I$ model meaningful: bundle
+// addresses advance by 16 bytes, exactly one line per fetch, as in the
+// paper's 128-bit-wide instruction memory interface.
+#pragma once
+
+#include <vector>
+
+#include "isa/instruction.hpp"
+
+namespace adres {
+
+/// Encodes a bundle into exactly 16 bytes.
+std::vector<u8> encodeBundle(const Bundle& b);
+
+/// Decodes 16 bytes back into a bundle.  Inverse of encodeBundle.
+Bundle decodeBundle(const std::vector<u8>& bytes);
+
+/// Encodes a full program image (bundle i at byte offset 16*i).
+std::vector<u8> encodeProgram(const std::vector<Bundle>& bundles);
+
+/// Decodes a program image.
+std::vector<Bundle> decodeProgram(const std::vector<u8>& image);
+
+}  // namespace adres

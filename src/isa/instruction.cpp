@@ -1,0 +1,88 @@
+#include "isa/instruction.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace adres {
+
+std::string toString(const Instr& in) {
+  const OpInfo& info = opInfo(in.op);
+  std::ostringstream os;
+  if (in.guard != 0) os << "(p" << int{in.guard} << ") ";
+  os << info.name;
+  if (in.op == Opcode::NOP || in.op == Opcode::HALT) return os.str();
+  os << ' ';
+  if (isStore(in.op)) {
+    os << "[r" << int{in.src1};
+    if (in.useImm)
+      os << "+#" << in.imm;
+    else
+      os << "+r" << int{in.src2};
+    os << "], r" << int{in.src3};
+  } else if (isLoad(in.op)) {
+    os << (isPredDef(in.op) ? "p" : "r") << int{in.dst} << ", [r"
+       << int{in.src1};
+    if (in.useImm)
+      os << "+#" << in.imm;
+    else
+      os << "+r" << int{in.src2};
+    os << ']';
+  } else if (isBranch(in.op)) {
+    if (in.useImm)
+      os << '#' << in.imm;
+    else
+      os << 'r' << int{in.src2};
+  } else if (in.op == Opcode::CGA) {
+    os << "kernel#" << in.imm << ", trips=r" << int{in.src1};
+  } else {
+    os << (isPredDef(in.op) ? "p" : "r") << int{in.dst} << ", r"
+       << int{in.src1} << ", ";
+    if (in.useImm)
+      os << '#' << in.imm;
+    else
+      os << 'r' << int{in.src2};
+  }
+  return os.str();
+}
+
+std::string toString(const Bundle& b) {
+  std::ostringstream os;
+  os << "{ ";
+  for (int i = 0; i < kVliwSlots; ++i) {
+    if (i) os << " | ";
+    os << toString(b.slot[i]);
+  }
+  os << " }";
+  return os.str();
+}
+
+void validate(const Instr& in, int fuIndex) {
+  const OpInfo& info = opInfo(in.op);
+  ADRES_CHECK(fuIndex >= 0 && fuIndex < kCgaFus, "FU index " << fuIndex);
+  ADRES_CHECK((info.fuMask >> fuIndex) & 1,
+              info.name << " not implemented on FU" << fuIndex);
+  ADRES_CHECK(in.guard <= kMaxGuard, "guard p" << int{in.guard});
+  ADRES_CHECK(in.dst < kCdrfRegs && in.src1 < kCdrfRegs &&
+                  in.src2 < kCdrfRegs && in.src3 < kCdrfRegs,
+              "register index out of range in " << info.name);
+  const bool unsignedImm =
+      in.op == Opcode::C4SHUF || in.op == Opcode::MOVIH;
+  if (in.op == Opcode::MOVI || in.op == Opcode::MOVIH ||
+      in.op == Opcode::C4SHUF) {
+    ADRES_CHECK(in.useImm, opInfo(in.op).name << " requires useImm");
+  }
+  if (in.useImm) {
+    if (unsignedImm) {
+      ADRES_CHECK(in.imm >= 0 && in.imm < (1 << kImmBits),
+                  "unsigned immediate " << in.imm << " not encodable");
+    } else {
+      ADRES_CHECK(in.imm >= -(1 << (kImmBits - 1)) &&
+                      in.imm < (1 << (kImmBits - 1)),
+                  "immediate " << in.imm << " not encodable in " << kImmBits
+                               << " bits");
+    }
+  }
+}
+
+}  // namespace adres

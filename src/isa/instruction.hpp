@@ -1,0 +1,68 @@
+// Register-file-operand instruction form, as executed by the VLIW pipeline
+// and carried in the 128-bit instruction bundles.
+//
+// Encoded slot layout (37 bits, three slots + 17 spare bits = one 128-bit
+// I$ line / instruction-memory word):
+//   [7:0]   opcode
+//   [11:8]  guard (0 = unguarded, 1..15 = CPRF index)
+//   [17:12] dst
+//   [23:18] src1
+//   [24]    useImm
+//   [36:25] src2/src3 packed (reg form: src2[5:0], src3[11:6])
+//           or signed 12-bit immediate (imm form; stores keep src3 in dst)
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+#include "isa/opcodes.hpp"
+
+namespace adres {
+
+inline constexpr int kVliwSlots = 3;     ///< VLIW issue width (paper §2.B).
+inline constexpr int kCgaFus = 16;       ///< CGA functional units.
+inline constexpr int kCdrfRegs = 64;     ///< Central data RF entries (64x64).
+inline constexpr int kCprfRegs = 64;     ///< Central predicate RF entries.
+inline constexpr int kLinkReg = 9;       ///< R9 is the link register (Table 1).
+inline constexpr int kImmBits = 12;      ///< Encoded immediate width.
+inline constexpr int kMaxGuard = 15;     ///< Guards come from CPRF[1..15].
+
+/// One operation slot.  `dst` indexes CDRF for data-writing ops and CPRF for
+/// predicate-defining ops.  When `useImm`, `imm` replaces the src2 operand.
+struct Instr {
+  Opcode op = Opcode::NOP;
+  u8 guard = 0;  ///< 0 = always execute; else squashed when !CPRF[guard].
+  u8 dst = 0;
+  u8 src1 = 0;
+  u8 src2 = 0;
+  u8 src3 = 0;   ///< store-data register.
+  bool useImm = false;
+  i32 imm = 0;
+
+  bool isNop() const { return op == Opcode::NOP; }
+};
+
+/// A 128-bit instruction word: one operation per VLIW slot.
+struct Bundle {
+  Instr slot[kVliwSlots];
+
+  bool isAllNop() const {
+    for (const auto& s : slot)
+      if (!s.isNop()) return false;
+    return true;
+  }
+};
+
+inline constexpr int kBundleBytes = 16;  ///< 128-bit instruction lines.
+
+/// Human-readable disassembly of one instruction.
+std::string toString(const Instr& in);
+
+/// Human-readable disassembly of a bundle.
+std::string toString(const Bundle& b);
+
+/// Validates static well-formedness: register indices in range, immediate
+/// encodable, opcode legal on the given FU/slot.  Throws SimError otherwise.
+void validate(const Instr& in, int fuIndex);
+
+}  // namespace adres

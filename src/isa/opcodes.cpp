@@ -1,0 +1,72 @@
+#include "isa/opcodes.hpp"
+
+#include <array>
+
+#include "common/check.hpp"
+
+namespace adres {
+namespace {
+
+constexpr std::array<OpInfo, kOpcodeCount> kOpTable = {{
+#define ADRES_INFO(name, group, lat, mask) \
+  OpInfo{#name, OpGroup::group, lat, mask},
+    ADRES_OPCODE_LIST(ADRES_INFO)
+#undef ADRES_INFO
+}};
+
+}  // namespace
+
+const OpInfo& opInfo(Opcode op) {
+  const auto idx = static_cast<std::size_t>(op);
+  ADRES_CHECK(idx < kOpTable.size(), "bad opcode " << idx);
+  return kOpTable[idx];
+}
+
+std::string_view groupName(OpGroup g) {
+  switch (g) {
+    case OpGroup::kArith: return "Arith";
+    case OpGroup::kLogic: return "Logic";
+    case OpGroup::kShift: return "Shift";
+    case OpGroup::kComp: return "Comp";
+    case OpGroup::kPred: return "Pred";
+    case OpGroup::kMul: return "Mul";
+    case OpGroup::kBranch: return "Branch";
+    case OpGroup::kLdmem: return "Ldmem";
+    case OpGroup::kStmem: return "Stmem";
+    case OpGroup::kControl: return "Control";
+    case OpGroup::kSimd1: return "SIMD1";
+    case OpGroup::kSimd2: return "SIMD2";
+    case OpGroup::kDiv: return "Div";
+  }
+  return "?";
+}
+
+bool isLoad(Opcode op) { return opInfo(op).group == OpGroup::kLdmem; }
+bool isStore(Opcode op) { return opInfo(op).group == OpGroup::kStmem; }
+bool isMem(Opcode op) { return isLoad(op) || isStore(op); }
+bool isBranch(Opcode op) { return opInfo(op).group == OpGroup::kBranch; }
+bool isPredDef(Opcode op) { return opInfo(op).group == OpGroup::kPred; }
+bool isControl(Opcode op) { return opInfo(op).group == OpGroup::kControl; }
+
+bool isSimd(Opcode op) {
+  const OpGroup g = opInfo(op).group;
+  return g == OpGroup::kSimd1 || g == OpGroup::kSimd2;
+}
+
+bool writesDataReg(Opcode op) {
+  switch (opInfo(op).group) {
+    case OpGroup::kStmem:
+    case OpGroup::kBranch:
+    case OpGroup::kControl:
+    case OpGroup::kPred:
+      return op == Opcode::JMPL || op == Opcode::BRL;  // link into R9
+    default:
+      return true;
+  }
+}
+
+bool isPipelined(Opcode op) { return opInfo(op).group != OpGroup::kDiv; }
+
+int ops16PerInstr(Opcode op) { return isSimd(op) ? 4 : 1; }
+
+}  // namespace adres

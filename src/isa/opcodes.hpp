@@ -1,0 +1,175 @@
+// Instruction-set taxonomy of the hybrid CGA-SIMD processor (paper Table 1).
+//
+// Groups, FU coverage, operating widths and latencies follow Table 1 of the
+// paper.  The paper lists only *some* instructions of each group; where the
+// MIMO-OFDM kernels need members the table elides (lane shuffles, pairwise
+// add/sub for complex arithmetic, high-half load/store for 64-bit registers),
+// we add them to the same groups with the group's latency and document them
+// here.  See DESIGN.md §3.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace adres {
+
+/// Instruction groups of Table 1.
+enum class OpGroup : u8 {
+  kArith,    ///< 32-bit add/sub/moves, 1 cycle, all FUs.
+  kLogic,    ///< 32-bit bitwise, 1 cycle, all FUs.
+  kShift,    ///< 32-bit shifts, 1 cycle, all FUs.
+  kComp,     ///< 32-bit compares to data reg, 1 cycle, all FUs.
+  kPred,     ///< compares/constants to predicate reg, 1 cycle, all FUs.
+  kMul,      ///< 32-bit multiply, 2 cycles, all FUs.
+  kBranch,   ///< control flow, FU0 only (VLIW slot 0), 2-3 cycles.
+  kLdmem,    ///< loads, 5 cycles (7 under bank conflict), FUs 0-3.
+  kStmem,    ///< stores, 1 cycle, FUs 0-3.
+  kControl,  ///< cga / halt / nop.
+  kSimd1,    ///< 4x16 SIMD, 1 cycle, 64-bit, all FUs.
+  kSimd2,    ///< 4x16 SIMD multiplies, 3 cycles, 64-bit, all FUs.
+  kDiv,      ///< 24-bit divide, 8 cycles, FUs 0-1 (the 2 hardwired dividers).
+};
+
+// X-macro: name, group, latency[cycles], fuMask (bit i = FU i may execute).
+// FU masks: all 16 FUs = 0xFFFF; memory FUs 0-3 = 0x000F (4 L1 crossbar
+// channels; +AHB port = the paper's 5-channel crossbar); branch = FU0;
+// dividers = FUs 0-1.
+#define ADRES_OPCODE_LIST(X)                          \
+  /* Arith */                                         \
+  X(ADD, kArith, 1, 0xFFFF)                           \
+  X(ADD_U, kArith, 1, 0xFFFF)                         \
+  X(SUB, kArith, 1, 0xFFFF)                           \
+  X(SUB_U, kArith, 1, 0xFFFF)                         \
+  X(MOV, kArith, 1, 0xFFFF)   /* dst = src1 (64-bit copy; routing op) */ \
+  X(MOVI, kArith, 1, 0xFFFF)  /* dst = sext(imm12) */ \
+  X(MOVIH, kArith, 1, 0xFFFF) /* dst = src1 | (imm12 << 12) */ \
+  /* Logic */                                         \
+  X(OR, kLogic, 1, 0xFFFF)                            \
+  X(NOR, kLogic, 1, 0xFFFF)                           \
+  X(AND, kLogic, 1, 0xFFFF)                           \
+  X(NAND, kLogic, 1, 0xFFFF)                          \
+  X(XOR, kLogic, 1, 0xFFFF)                           \
+  X(XNOR, kLogic, 1, 0xFFFF)                          \
+  /* Shift */                                         \
+  X(LSL, kShift, 1, 0xFFFF)                           \
+  X(LSR, kShift, 1, 0xFFFF)                           \
+  X(ASR, kShift, 1, 0xFFFF)                           \
+  /* Comp (result to data register, 0/1) */           \
+  X(EQ, kComp, 1, 0xFFFF)                             \
+  X(NE, kComp, 1, 0xFFFF)                             \
+  X(GT, kComp, 1, 0xFFFF)                             \
+  X(GT_U, kComp, 1, 0xFFFF)                           \
+  X(LT, kComp, 1, 0xFFFF)                             \
+  X(LT_U, kComp, 1, 0xFFFF)                           \
+  X(GE, kComp, 1, 0xFFFF)                             \
+  X(GE_U, kComp, 1, 0xFFFF)                           \
+  X(LE, kComp, 1, 0xFFFF)                             \
+  X(LE_U, kComp, 1, 0xFFFF)                           \
+  /* Pred (result to predicate register) */           \
+  X(PRED_CLEAR, kPred, 1, 0xFFFF)                     \
+  X(PRED_SET, kPred, 1, 0xFFFF)                       \
+  X(PRED_EQ, kPred, 1, 0xFFFF)                        \
+  X(PRED_NE, kPred, 1, 0xFFFF)                        \
+  X(PRED_LT, kPred, 1, 0xFFFF)                        \
+  X(PRED_LT_U, kPred, 1, 0xFFFF)                      \
+  X(PRED_LE, kPred, 1, 0xFFFF)                        \
+  X(PRED_LE_U, kPred, 1, 0xFFFF)                      \
+  X(PRED_GT, kPred, 1, 0xFFFF)                        \
+  X(PRED_GT_U, kPred, 1, 0xFFFF)                      \
+  X(PRED_GE, kPred, 1, 0xFFFF)                        \
+  X(PRED_GE_U, kPred, 1, 0xFFFF)                      \
+  /* Mul */                                           \
+  X(MUL, kMul, 2, 0xFFFF)                             \
+  X(MUL_U, kMul, 2, 0xFFFF)                           \
+  /* Branch (VLIW slot 0 only) */                     \
+  X(JMP, kBranch, 2, 0x0001)                          \
+  X(JMPL, kBranch, 2, 0x0001)                         \
+  X(BR, kBranch, 3, 0x0001)                           \
+  X(BRL, kBranch, 3, 0x0001)                          \
+  /* Ldmem (latency 5, 7 under bank conflict) */      \
+  X(LD_UC, kLdmem, 5, 0x000F)  /* zext8  */           \
+  X(LD_C, kLdmem, 5, 0x000F)   /* sext8  */           \
+  X(LD_UC2, kLdmem, 5, 0x000F) /* zext16 */           \
+  X(LD_C2, kLdmem, 5, 0x000F)  /* sext16 */           \
+  X(LD_I, kLdmem, 5, 0x000F)   /* 32-bit into low half, high cleared */ \
+  X(LD_IH, kLdmem, 5, 0x000F)  /* 32-bit into high half, low kept (2nd half \
+                                  of a 64-bit load; paper §2.B) */       \
+  /* Stmem */                                         \
+  X(ST_C, kStmem, 1, 0x000F)                          \
+  X(ST_C2, kStmem, 1, 0x000F)                         \
+  X(ST_I, kStmem, 1, 0x000F)   /* stores low 32 bits of src3 */          \
+  X(ST_IH, kStmem, 1, 0x000F)  /* stores high 32 bits of src3 */         \
+  /* Control */                                       \
+  X(CGA, kControl, 1, 0x0001)  /* enter CGA mode: imm = kernel id */     \
+  X(HALT, kControl, 1, 0x0001) /* drop to sleep, wait for resume */      \
+  X(NOP, kControl, 1, 0xFFFF)                         \
+  /* SIMD1: 4x16 lanes, saturating */                 \
+  X(C4ADD, kSimd1, 1, 0xFFFF)                         \
+  X(C4SUB, kSimd1, 1, 0xFFFF)                         \
+  X(C4SHIFTL, kSimd1, 1, 0xFFFF)                      \
+  X(C4SHIFTR, kSimd1, 1, 0xFFFF) /* arithmetic per-lane shift right */   \
+  X(C4PADD, kSimd1, 1, 0xFFFF) /* pairwise: |l0+l1|l0+l1|l2+l3|l2+l3| */ \
+  X(C4PSUB, kSimd1, 1, 0xFFFF) /* pairwise: |l0-l1|l0-l1|l2-l3|l2-l3| */ \
+  X(C4MIX, kSimd1, 1, 0xFFFF)  /* |a0|b1|a2|b3| lane interleave */       \
+  X(C4HILO, kSimd1, 1, 0xFFFF) /* |a0|a1|b2|b3| half merge */            \
+  X(C4SHUF, kSimd1, 1, 0xFFFF) /* lane shuffle: dst lane i =             \
+                                  src1[imm>>(2i) & 3], imm[7:0] */       \
+  X(C4MAX, kSimd1, 1, 0xFFFF)                         \
+  X(C4MIN, kSimd1, 1, 0xFFFF)                         \
+  X(C4ABS, kSimd1, 1, 0xFFFF)                         \
+  X(C4NEG, kSimd1, 1, 0xFFFF)                         \
+  /* SIMD2: Q15 lane multiplies */                    \
+  X(D4PROD, kSimd2, 3, 0xFFFF) /* |a0*b0|a1*b1|a2*b2|a3*b3| */           \
+  X(C4PROD, kSimd2, 3, 0xFFFF) /* |a0*b1|a1*b0|a2*b3|a3*b2| */           \
+  /* Div: 24-bit, the two hardwired dividers */       \
+  X(DIV, kDiv, 8, 0x0003)                             \
+  X(DIV_U, kDiv, 8, 0x0003)
+
+/// Every opcode of the machine.
+enum class Opcode : u8 {
+#define ADRES_ENUM(name, group, lat, mask) name,
+  ADRES_OPCODE_LIST(ADRES_ENUM)
+#undef ADRES_ENUM
+};
+
+inline constexpr int kOpcodeCount = 0
+#define ADRES_COUNT(name, group, lat, mask) +1
+    ADRES_OPCODE_LIST(ADRES_COUNT)
+#undef ADRES_COUNT
+    ;
+
+/// Static per-opcode metadata (the machine-readable Table 1).
+struct OpInfo {
+  std::string_view name;
+  OpGroup group;
+  int latency;  ///< result latency in cycles (load latency = L1 hit, no conflict)
+  u16 fuMask;   ///< bit i set = FU i implements this op
+};
+
+/// Metadata lookup; total function over Opcode.
+const OpInfo& opInfo(Opcode op);
+
+/// Group name for reporting ("Arith", "SIMD1", ...).
+std::string_view groupName(OpGroup g);
+
+// Classification helpers -----------------------------------------------------
+
+bool isLoad(Opcode op);
+bool isStore(Opcode op);
+bool isMem(Opcode op);
+bool isBranch(Opcode op);
+bool isPredDef(Opcode op);   ///< writes a predicate register
+bool isControl(Opcode op);
+bool isSimd(Opcode op);
+bool writesDataReg(Opcode op);
+/// True if the op is pipelined (a new op can issue on the FU every cycle).
+/// Only the iterative divider is non-pipelined.
+bool isPipelined(Opcode op);
+
+/// Peak 16-bit operations per instruction for GOPS accounting: SIMD ops
+/// count 4, everything else 1 (divide counts 1).
+int ops16PerInstr(Opcode op);
+
+}  // namespace adres

@@ -1,0 +1,35 @@
+// Pure functional semantics of every compute opcode (Table 1).
+//
+// The pipeline models (VLIW and CGA) call evalOp for everything except
+// loads/stores (memory system), branches (control unit) and control ops.
+// Keeping semantics pure and centralized guarantees both execution modes
+// compute identically, and lets tests check each op against closed form.
+#pragma once
+
+#include "common/types.hpp"
+#include "isa/opcodes.hpp"
+
+namespace adres {
+
+/// Evaluates a compute op.  `a`,`b` are the (already immediate-substituted)
+/// source operands; `imm` is the raw immediate for control-field ops
+/// (C4PACK lane selectors, MOVI/MOVIH).  Comp-group ops return 0/1 in the
+/// low 32 bits; Pred-group ops return 0/1 (the caller routes it to CPRF).
+/// Requires: op is not a load, store, branch, or control op.
+Word evalOp(Opcode op, Word a, Word b, i32 imm);
+
+/// Returns the number of bytes moved by a memory op (1, 2 or 4).
+int memAccessBytes(Opcode op);
+
+/// Effective-address immediate scaling per Table 1: byte ops unscaled,
+/// halfword ops imm<<1, word ops imm<<2.
+int memImmScale(Opcode op);
+
+/// Applies a load result to the previous destination value (handles the
+/// zero/sign extension and the low/high-half merge of LD_IH).
+Word applyLoadResult(Opcode op, Word oldDst, u32 memWord);
+
+/// Extracts the 32-bit value a store writes from the src3 register.
+u32 storeData(Opcode op, Word src3);
+
+}  // namespace adres

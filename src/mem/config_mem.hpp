@@ -1,0 +1,74 @@
+// CGA configuration memories (paper §2.B).
+//
+// "The execution of the CGA is controlled by a small size ultra wide
+// configuration memory ... one context per scheduled loop cycle", loaded
+// through DMA and mapped on the AMBA bus.  This model stores the raw
+// configuration image as bytes; the cga module owns the context encoding.
+// Capacity and the per-fetch energy event are what the power model needs.
+#pragma once
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace adres {
+
+inline constexpr u32 kConfigMemBytes = 64 * 1024;
+
+struct ConfigMemStats {
+  u64 contextFetches = 0;  ///< one per CGA cycle (the ultra-wide word read)
+  u64 dmaBytes = 0;        ///< bytes loaded over the bus/DMA
+};
+
+class ConfigMemory {
+ public:
+  ConfigMemory() : mem_(kConfigMemBytes, 0) {}
+
+  void write8(u32 addr, u8 v) {
+    ADRES_CHECK(addr < kConfigMemBytes, "config mem write out of range");
+    mem_[addr] = v;
+  }
+
+  u8 read8(u32 addr) const {
+    ADRES_CHECK(addr < kConfigMemBytes, "config mem read out of range");
+    return mem_[addr];
+  }
+
+  void write32(u32 addr, u32 v) {
+    for (int i = 0; i < 4; ++i) write8(addr + static_cast<u32>(i), static_cast<u8>(v >> (8 * i)));
+  }
+
+  u32 read32(u32 addr) const {
+    u32 v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<u32>(read8(addr + static_cast<u32>(i))) << (8 * i);
+    return v;
+  }
+
+  /// DMA/bus image load.
+  void loadBytes(u32 addr, const std::vector<u8>& bytes) {
+    ADRES_CHECK(static_cast<u64>(addr) + bytes.size() <= kConfigMemBytes,
+                "config image overruns memory");
+    for (std::size_t i = 0; i < bytes.size(); ++i) mem_[addr + i] = bytes[i];
+    stats_.dmaBytes += bytes.size();
+  }
+
+  std::vector<u8> readBytes(u32 addr, u32 n) const {
+    ADRES_CHECK(static_cast<u64>(addr) + n <= kConfigMemBytes,
+                "config read overruns memory");
+    return {mem_.begin() + addr, mem_.begin() + addr + n};
+  }
+
+  /// Books one ultra-wide context fetch (called by the CGA sequencer each
+  /// array cycle; drives the configuration-memory share of Fig 6b).
+  void noteContextFetch() { ++stats_.contextFetches; }
+
+  const ConfigMemStats& stats() const { return stats_; }
+  void resetStats() { stats_ = {}; }
+
+ private:
+  std::vector<u8> mem_;
+  ConfigMemStats stats_;
+};
+
+}  // namespace adres

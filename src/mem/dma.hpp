@@ -1,0 +1,76 @@
+// DMA engine used to load CGA configuration images and to move sample
+// buffers between the platform and the L1 scratchpad (paper §1: CGA
+// configurations "are configured through direct memory access").
+//
+// Transfers run at one 32-bit word per bus cycle (bus clock = core/2), with
+// a fixed setup cost; the engine reports the core-cycle cost so callers can
+// account it (Table 2's kernel cycles exclude configuration DMA, which the
+// paper performs at program load — the bench does the same but reports it).
+#pragma once
+
+#include <vector>
+
+#include "bus/ahb.hpp"
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "mem/config_mem.hpp"
+#include "mem/scratchpad.hpp"
+
+namespace adres {
+
+struct DmaStats {
+  u64 transfers = 0;
+  u64 wordsMoved = 0;
+  u64 coreCycles = 0;
+};
+
+class DmaEngine {
+ public:
+  static constexpr int kSetupCoreCycles = 12;
+  static constexpr int kCoreCyclesPerWord = 2;  // one bus cycle per word
+
+  DmaEngine(Scratchpad& l1, ConfigMemory& cfg) : l1_(l1), cfg_(cfg) {}
+
+  /// Host/external memory -> L1.
+  u64 toL1(u32 l1Addr, const std::vector<u8>& bytes) {
+    ADRES_CHECK(bytes.size() % 4 == 0, "DMA moves whole words");
+    l1_.loadBytes(l1Addr, bytes);
+    return book(bytes.size() / 4);
+  }
+
+  /// L1 -> host/external memory.
+  u64 fromL1(u32 l1Addr, u32 nBytes, std::vector<u8>& out) {
+    ADRES_CHECK(nBytes % 4 == 0, "DMA moves whole words");
+    out.resize(nBytes);
+    for (u32 i = 0; i < nBytes; i += 4) {
+      const u32 w = l1_.read32(l1Addr + i);
+      for (int b = 0; b < 4; ++b) out[i + static_cast<u32>(b)] = static_cast<u8>(w >> (8 * b));
+    }
+    return book(nBytes / 4);
+  }
+
+  /// Host/external memory -> configuration memory.
+  u64 toConfig(u32 cfgAddr, const std::vector<u8>& bytes) {
+    ADRES_CHECK(bytes.size() % 4 == 0, "DMA moves whole words");
+    cfg_.loadBytes(cfgAddr, bytes);
+    return book(bytes.size() / 4);
+  }
+
+  const DmaStats& stats() const { return stats_; }
+
+ private:
+  u64 book(std::size_t words) {
+    const u64 cost =
+        kSetupCoreCycles + kCoreCyclesPerWord * static_cast<u64>(words);
+    ++stats_.transfers;
+    stats_.wordsMoved += words;
+    stats_.coreCycles += cost;
+    return cost;
+  }
+
+  Scratchpad& l1_;
+  ConfigMemory& cfg_;
+  DmaStats stats_;
+};
+
+}  // namespace adres

@@ -1,0 +1,57 @@
+// Direct-mapped instruction cache, 32 KiB, 128-bit (one-bundle) lines,
+// backed by the external instruction-memory interface (paper §2.A).
+//
+// After reset the cache is cold; the first fetches produce the series of
+// misses the paper describes.  The miss penalty models the dedicated
+// 128-bit-wide instruction memory port.
+#pragma once
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace adres {
+
+inline constexpr u32 kICacheBytes = 32 * 1024;
+inline constexpr u32 kICacheLineBytes = 16;  // one 128-bit bundle per line
+inline constexpr u32 kICacheLines = kICacheBytes / kICacheLineBytes;  // 2048
+inline constexpr int kICacheMissPenalty = 20;  // cycles to external I-mem
+
+struct ICacheStats {
+  u64 accesses = 0;
+  u64 misses = 0;
+};
+
+/// Timing-only model: tags are tracked, data lives in the decoded program
+/// image held by the core (the cache never alters instruction bytes).
+class ICache {
+ public:
+  ICache() { reset(); }
+
+  void reset() {
+    tags_.assign(kICacheLines, kInvalidTag);
+    stats_ = {};
+  }
+
+  /// Fetches the line holding byte address `addr`; returns the stall penalty
+  /// in cycles (0 on hit).
+  int fetch(u32 addr) {
+    const u32 line = (addr / kICacheLineBytes) % kICacheLines;
+    const u32 tag = addr / kICacheBytes;
+    ++stats_.accesses;
+    if (tags_[line] == tag) return 0;
+    tags_[line] = tag;
+    ++stats_.misses;
+    return kICacheMissPenalty;
+  }
+
+  const ICacheStats& stats() const { return stats_; }
+
+ private:
+  static constexpr u32 kInvalidTag = 0xFFFFFFFFu;
+  std::vector<u32> tags_;
+  ICacheStats stats_;
+};
+
+}  // namespace adres

@@ -1,0 +1,136 @@
+// L1 data scratchpad: 4 banks x 16K x 32-bit, one port per bank,
+// word-interleaved, with transparent bank-contention queuing (paper §2.A).
+//
+// Functional state and timing are separated: read/write methods give
+// immediate functional access (used by the pipeline once a request is
+// granted, by the AHB slave port, and by tests); the BankArbiter hands out
+// grant cycles that model the 1-access-per-bank-per-cycle ports and the
+// queuing penalty (+2 cycles per queued slot, producing the paper's 5/7
+// load-latency split).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace adres {
+
+inline constexpr int kL1Banks = 4;
+inline constexpr u32 kL1WordsPerBank = 16 * 1024;
+inline constexpr u32 kL1Bytes = kL1Banks * kL1WordsPerBank * 4;  // 256 KiB
+
+/// Per-access statistics of the scratchpad.
+struct ScratchpadStats {
+  u64 reads = 0;
+  u64 writes = 0;
+  u64 conflicts = 0;      ///< granted later than requested
+  u64 conflictCycles = 0; ///< total queue wait (in core cycles)
+};
+
+/// Functional + timing model of the 4-bank L1.
+class Scratchpad {
+ public:
+  Scratchpad() : mem_(kL1Bytes, 0) {}
+
+  static int bankOf(u32 addr) { return static_cast<int>((addr >> 2) & 3u); }
+
+  // -- Functional access (byte-addressed, little-endian) --------------------
+
+  u32 read32(u32 addr) {
+    checkAddr(addr, 4);
+    u32 v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<u32>(mem_[addr + static_cast<u32>(i)]) << (8 * i);
+    ++stats_.reads;
+    return v;
+  }
+
+  void write32(u32 addr, u32 v) {
+    checkAddr(addr, 4);
+    for (int i = 0; i < 4; ++i) mem_[addr + static_cast<u32>(i)] = static_cast<u8>(v >> (8 * i));
+    ++stats_.writes;
+  }
+
+  u32 read16(u32 addr) {
+    checkAddr(addr, 2);
+    ++stats_.reads;
+    return static_cast<u32>(mem_[addr]) | (static_cast<u32>(mem_[addr + 1]) << 8);
+  }
+
+  void write16(u32 addr, u32 v) {
+    checkAddr(addr, 2);
+    mem_[addr] = static_cast<u8>(v);
+    mem_[addr + 1] = static_cast<u8>(v >> 8);
+    ++stats_.writes;
+  }
+
+  u32 read8(u32 addr) {
+    checkAddr(addr, 1);
+    ++stats_.reads;
+    return mem_[addr];
+  }
+
+  void write8(u32 addr, u32 v) {
+    checkAddr(addr, 1);
+    mem_[addr] = static_cast<u8>(v);
+    ++stats_.writes;
+  }
+
+  /// Bulk initialization used by program loaders and the DMA engine.
+  void loadBytes(u32 addr, const std::vector<u8>& bytes) {
+    ADRES_CHECK(static_cast<u64>(addr) + bytes.size() <= kL1Bytes,
+                "L1 load overruns: addr=" << addr << " n=" << bytes.size());
+    for (std::size_t i = 0; i < bytes.size(); ++i) mem_[addr + i] = bytes[i];
+  }
+
+  const ScratchpadStats& stats() const { return stats_; }
+  void resetStats() { stats_ = {}; }
+
+  // -- Timing ---------------------------------------------------------------
+
+  /// Bank-port arbiter.  Each bank grants one access per cycle; a request to
+  /// a busy bank is queued and granted later.  The extra latency seen by the
+  /// requester is 2 cycles per queue slot (handshake through the contention
+  /// queue), yielding the paper's 7-cycle conflicted load.
+  class BankArbiter {
+   public:
+    /// Returns the extra latency (0, 2, 4, ...) for a request issued at
+    /// `cycle` to the bank containing `addr`, and books the port slot.
+    int request(u64 cycle, u32 addr, ScratchpadStats& stats) {
+      const int b = bankOf(addr);
+      u64 grant = cycle;
+      if (nextFree_[b] > grant) grant = nextFree_[b];
+      nextFree_[b] = grant + 1;
+      const int wait = static_cast<int>(grant - cycle);
+      if (wait > 0) {
+        ++stats.conflicts;
+        stats.conflictCycles += static_cast<u64>(wait);
+      }
+      return 2 * wait;
+    }
+
+    void reset() { nextFree_.fill(0); }
+
+   private:
+    std::array<u64, kL1Banks> nextFree_ = {};
+  };
+
+  BankArbiter& arbiter() { return arbiter_; }
+  ScratchpadStats& mutableStats() { return stats_; }
+
+ private:
+  static void checkAddr(u32 addr, u32 n) {
+    ADRES_CHECK(static_cast<u64>(addr) + n <= kL1Bytes,
+                "L1 access out of range: addr=" << addr);
+    ADRES_CHECK(addr % n == 0, "unaligned L1 access: addr=" << addr
+                                                            << " size=" << n);
+  }
+
+  std::vector<u8> mem_;
+  ScratchpadStats stats_;
+  BankArbiter arbiter_;
+};
+
+}  // namespace adres

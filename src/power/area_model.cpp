@@ -1,0 +1,25 @@
+#include "power/area_model.hpp"
+
+namespace adres::power {
+
+AreaReport analyzeArea(const AreaParams& p) {
+  AreaReport r;
+  r.blocksMm2["memories (L1 + I$ + config)"] =
+      (p.l1KB + p.icacheKB + p.configKB) * p.sramMm2PerKB;
+  r.blocksMm2["CGA FUs"] = p.cgaFus * p.cgaFuMm2;
+  r.blocksMm2["VLIW FUs"] = p.vliwFus * p.vliwFuMm2;
+  r.blocksMm2["global RF"] =
+      static_cast<double>(p.cdrfWords * p.cdrfBits *
+                          (p.cdrfReadPorts + p.cdrfWritePorts)) *
+      p.sharedRfMm2PerBitPort;
+  r.blocksMm2["distributed RFs"] =
+      static_cast<double>(p.lrfFiles * p.lrfWords * p.lrfBits *
+                          (p.lrfReadPorts + p.lrfWritePorts)) *
+      p.localRfMm2PerBitPort;
+  r.blocksMm2["control + other"] = p.controlOtherMm2;
+  for (const auto& [k, v] : r.blocksMm2) r.totalMm2 += v;
+  for (const auto& [k, v] : r.blocksMm2) r.shares[k] = v / r.totalMm2;
+  return r;
+}
+
+}  // namespace adres::power

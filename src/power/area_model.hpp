@@ -1,0 +1,43 @@
+// Parametric area model (paper Fig 5; TSMC 90G, 9-layer backend).
+//
+// Block areas are derived from structural parameters (memory bits, FU
+// count and datapath width, register-file bits x ports) with per-unit
+// constants calibrated to the published 5.79 mm^2 total and its breakdown:
+// memories ~50 %, CGA FUs 29 %, VLIW FUs 8 %, global RF 5 %,
+// distributed RFs 3 %, control/clock/other the remainder.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace adres::power {
+
+struct AreaParams {
+  // Structural knobs (defaults = the paper's processor).
+  int cgaFus = 16;
+  int vliwFus = 3;
+  double l1KB = 256.0;
+  double icacheKB = 32.0;
+  double configKB = 64.0;
+  int cdrfWords = 64, cdrfBits = 64, cdrfReadPorts = 6, cdrfWritePorts = 3;
+  int lrfFiles = 16, lrfWords = 16, lrfBits = 64, lrfReadPorts = 2,
+      lrfWritePorts = 1;
+
+  // Calibrated per-unit constants (mm^2).
+  double sramMm2PerKB = 0.008224;     // 2.895 mm^2 / 352 KB of macros
+  double cgaFuMm2 = 0.104944;         // 1.679 mm^2 / 16 units
+  double vliwFuMm2 = 0.154405;        // 0.463 mm^2 / 3 units (branch+div)
+  double sharedRfMm2PerBitPort = 7.858e-6;  // synthesized 6R/3W cells
+  double localRfMm2PerBitPort = 3.534e-6;   // cheaper 2R/1W cells
+  double controlOtherMm2 = 0.2895;    // CGU, buses, clock tree, test logic
+};
+
+struct AreaReport {
+  std::map<std::string, double> blocksMm2;
+  double totalMm2 = 0;
+  std::map<std::string, double> shares;
+};
+
+AreaReport analyzeArea(const AreaParams& p = {});
+
+}  // namespace adres::power

@@ -1,0 +1,101 @@
+// Register files (paper §2.B):
+//  - Central Data RF (CDRF): 64 x 64-bit, 6 read / 3 write ports.
+//  - Central Predicate RF (CPRF): 64 x 1-bit.
+//  - Local RFs: per-CGA-FU 2-read/1-write 16 x 64-bit files (cheaper than the
+//    shared file thanks to reduced size and port count — this asymmetry is
+//    what the power model exploits in Fig 6).
+// VLIW and CGA operate the central file in mutual exclusion; the shared file
+// is the data channel between the two modes.
+#pragma once
+
+#include <array>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+
+namespace adres {
+
+struct RegFileStats {
+  u64 reads = 0;
+  u64 writes = 0;
+};
+
+/// Central 64x64 data + 64x1 predicate register file.
+class CentralRegFile {
+ public:
+  Word read(int r) {
+    ADRES_CHECK(r >= 0 && r < kCdrfRegs, "CDRF read r" << r);
+    ++stats_.reads;
+    return data_[static_cast<std::size_t>(r)];
+  }
+
+  void write(int r, Word v) {
+    ADRES_CHECK(r >= 0 && r < kCdrfRegs, "CDRF write r" << r);
+    ++stats_.writes;
+    data_[static_cast<std::size_t>(r)] = v;
+  }
+
+  bool readPred(int p) {
+    ADRES_CHECK(p >= 0 && p < kCprfRegs, "CPRF read p" << p);
+    ++predStats_.reads;
+    return pred_[static_cast<std::size_t>(p)];
+  }
+
+  void writePred(int p, bool v) {
+    ADRES_CHECK(p >= 0 && p < kCprfRegs, "CPRF write p" << p);
+    ++predStats_.writes;
+    pred_[static_cast<std::size_t>(p)] = v;
+  }
+
+  /// Debug/test peek without stats side effects.
+  Word peek(int r) const { return data_[static_cast<std::size_t>(r)]; }
+  bool peekPred(int p) const { return pred_[static_cast<std::size_t>(p)]; }
+  void poke(int r, Word v) { data_[static_cast<std::size_t>(r)] = v; }
+  void pokePred(int p, bool v) { pred_[static_cast<std::size_t>(p)] = v; }
+
+  const RegFileStats& stats() const { return stats_; }
+  const RegFileStats& predStats() const { return predStats_; }
+  void resetStats() { stats_ = {}; predStats_ = {}; }
+
+  void clear() {
+    data_.fill(0);
+    pred_.fill(false);
+  }
+
+ private:
+  std::array<Word, kCdrfRegs> data_ = {};
+  std::array<bool, kCprfRegs> pred_ = {};
+  RegFileStats stats_;
+  RegFileStats predStats_;
+};
+
+inline constexpr int kLocalRfRegs = 16;
+
+/// Per-FU local 2R/1W register file (CGA fabric).
+class LocalRegFile {
+ public:
+  Word read(int r) {
+    ADRES_CHECK(r >= 0 && r < kLocalRfRegs, "local RF read r" << r);
+    ++stats_.reads;
+    return data_[static_cast<std::size_t>(r)];
+  }
+
+  void write(int r, Word v) {
+    ADRES_CHECK(r >= 0 && r < kLocalRfRegs, "local RF write r" << r);
+    ++stats_.writes;
+    data_[static_cast<std::size_t>(r)] = v;
+  }
+
+  Word peek(int r) const { return data_[static_cast<std::size_t>(r)]; }
+
+  const RegFileStats& stats() const { return stats_; }
+  void resetStats() { stats_ = {}; }
+  void clear() { data_.fill(0); }
+
+ private:
+  std::array<Word, kLocalRfRegs> data_ = {};
+  RegFileStats stats_;
+};
+
+}  // namespace adres

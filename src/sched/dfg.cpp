@@ -1,0 +1,283 @@
+#include "sched/dfg.hpp"
+
+#include <unordered_map>
+
+#include "isa/instruction.hpp"
+#include "isa/semantics.hpp"
+
+namespace adres {
+
+int KernelDfg::opNodeCount() const {
+  int n = 0;
+  for (const DfgNode& nd : nodes)
+    if (nd.kind == NodeKind::kOp) ++n;
+  return n;
+}
+
+void KernelDfg::validate() const {
+  for (const DfgNode& nd : nodes) {
+    for (int s : nd.src) {
+      if (s < 0) continue;
+      ADRES_CHECK(s < static_cast<int>(nodes.size()) && s != nd.id,
+                  "kernel '" << name << "': bad operand edge");
+    }
+    if (nd.kind == NodeKind::kPhi) {
+      ADRES_CHECK(nd.carriedDef >= 0 &&
+                      nd.carriedDef < static_cast<int>(nodes.size()),
+                  "kernel '" << name << "': phi " << nd.id
+                             << " lacks a carried definition");
+      ADRES_CHECK(nd.globalReg < kCdrfRegs, "phi seed register");
+    }
+    if (nd.kind == NodeKind::kLiveIn || nd.kind == NodeKind::kConst) {
+      ADRES_CHECK(nd.globalReg < kCdrfRegs, "live-in register");
+    }
+    if (nd.kind == NodeKind::kOp) {
+      ADRES_CHECK(!isBranch(nd.op) && !isControl(nd.op),
+                  "kernel '" << name << "': control flow inside loop body");
+    }
+  }
+  for (const LiveOut& lo : liveOuts) {
+    ADRES_CHECK(lo.node >= 0 && lo.node < static_cast<int>(nodes.size()),
+                "live-out node");
+    ADRES_CHECK(lo.globalReg < kCdrfRegs, "live-out register");
+  }
+  for (const OrderEdge& e : orderEdges) {
+    ADRES_CHECK(e.from >= 0 && e.from < static_cast<int>(nodes.size()) &&
+                    e.to >= 0 && e.to < static_cast<int>(nodes.size()),
+                "order edge nodes");
+  }
+}
+
+ValueId KernelBuilder::addNode(DfgNode n) {
+  ADRES_CHECK(!built_, "builder already consumed");
+  n.id = static_cast<int>(dfg_.nodes.size());
+  dfg_.nodes.push_back(n);
+  return {n.id};
+}
+
+ValueId KernelBuilder::liveIn(int reg) {
+  DfgNode n;
+  n.kind = NodeKind::kLiveIn;
+  n.globalReg = static_cast<u8>(reg);
+  return addNode(n);
+}
+
+ValueId KernelBuilder::constant(i32 value, int homeReg) {
+  DfgNode n;
+  n.kind = NodeKind::kConst;
+  n.constValue = value;
+  n.globalReg = static_cast<u8>(homeReg);
+  return addNode(n);
+}
+
+ValueId KernelBuilder::carried(int seedReg) {
+  DfgNode n;
+  n.kind = NodeKind::kPhi;
+  n.globalReg = static_cast<u8>(seedReg);
+  return addNode(n);
+}
+
+void KernelBuilder::defineCarried(ValueId phi, ValueId next) {
+  ADRES_CHECK(phi.valid() && next.valid(), "defineCarried on invalid value");
+  DfgNode& n = dfg_.nodes[static_cast<std::size_t>(phi.id)];
+  ADRES_CHECK(n.kind == NodeKind::kPhi, "defineCarried target is not a phi");
+  ADRES_CHECK(n.carriedDef < 0, "phi already defined");
+  n.carriedDef = next.id;
+}
+
+ValueId KernelBuilder::op(Opcode o, ValueId a, ValueId b) {
+  ADRES_CHECK(a.valid() && b.valid(), "op operand invalid");
+  DfgNode n;
+  n.op = o;
+  n.src[0] = a.id;
+  n.src[1] = b.id;
+  return addNode(n);
+}
+
+ValueId KernelBuilder::op(Opcode o, ValueId a) {
+  ADRES_CHECK(a.valid(), "op operand invalid");
+  DfgNode n;
+  n.op = o;
+  n.src[0] = a.id;
+  return addNode(n);
+}
+
+ValueId KernelBuilder::opImm(Opcode o, ValueId a, i32 imm) {
+  ADRES_CHECK(a.valid(), "op operand invalid");
+  DfgNode n;
+  n.op = o;
+  n.src[0] = a.id;
+  n.imm = imm;
+  n.immSrc2 = true;
+  return addNode(n);
+}
+
+ValueId KernelBuilder::load(Opcode o, ValueId base, ValueId off) {
+  ADRES_CHECK(isLoad(o) && o != Opcode::LD_IH, "load: wrong opcode");
+  DfgNode n;
+  n.op = o;
+  n.src[0] = base.id;
+  n.src[1] = off.id;
+  return addNode(n);
+}
+
+ValueId KernelBuilder::loadImm(Opcode o, ValueId base, i32 imm) {
+  ADRES_CHECK(isLoad(o) && o != Opcode::LD_IH, "loadImm: wrong opcode");
+  DfgNode n;
+  n.op = o;
+  n.src[0] = base.id;
+  n.imm = imm;
+  n.immSrc2 = true;
+  return addNode(n);
+}
+
+ValueId KernelBuilder::loadHigh(ValueId lowHalf, ValueId base, ValueId off) {
+  ADRES_CHECK(lowHalf.valid(), "loadHigh needs the low-half load");
+  DfgNode n;
+  n.op = Opcode::LD_IH;
+  n.src[0] = base.id;
+  n.src[1] = off.id;
+  n.src[2] = lowHalf.id;
+  return addNode(n);
+}
+
+ValueId KernelBuilder::loadHighImm(ValueId lowHalf, ValueId base, i32 imm) {
+  ADRES_CHECK(lowHalf.valid(), "loadHigh needs the low-half load");
+  DfgNode n;
+  n.op = Opcode::LD_IH;
+  n.src[0] = base.id;
+  n.src[2] = lowHalf.id;
+  n.imm = imm;
+  n.immSrc2 = true;
+  return addNode(n);
+}
+
+void KernelBuilder::store(Opcode o, ValueId base, ValueId off, ValueId data) {
+  ADRES_CHECK(isStore(o), "store: wrong opcode");
+  DfgNode n;
+  n.op = o;
+  n.src[0] = base.id;
+  n.src[1] = off.id;
+  n.src[2] = data.id;
+  addNode(n);
+}
+
+void KernelBuilder::storeImm(Opcode o, ValueId base, i32 imm, ValueId data) {
+  ADRES_CHECK(isStore(o), "store: wrong opcode");
+  DfgNode n;
+  n.op = o;
+  n.src[0] = base.id;
+  n.src[2] = data.id;
+  n.imm = imm;
+  n.immSrc2 = true;
+  addNode(n);
+}
+
+void KernelBuilder::liveOut(int reg, ValueId v) {
+  ADRES_CHECK(v.valid(), "liveOut of invalid value");
+  dfg_.liveOuts.push_back({static_cast<u8>(reg), v.id});
+}
+
+void KernelBuilder::order(ValueId from, ValueId to, int dist) {
+  dfg_.orderEdges.push_back({from.id, to.id, dist});
+}
+
+KernelDfg KernelBuilder::build() {
+  ADRES_CHECK(!built_, "builder already consumed");
+  built_ = true;
+  dfg_.validate();
+  return std::move(dfg_);
+}
+
+// ---------------------------------------------------------------------------
+// Reference interpreter.
+// ---------------------------------------------------------------------------
+
+RefResult interpretKernel(const KernelDfg& g, u32 trips,
+                          const std::vector<std::pair<int, Word>>& liveIns,
+                          ByteMemory& mem) {
+  g.validate();
+  std::unordered_map<int, Word> cdrf;
+  for (const auto& [reg, v] : liveIns) cdrf[reg] = v;
+  const auto readCdrf = [&](int reg) -> Word {
+    const auto it = cdrf.find(reg);
+    ADRES_CHECK(it != cdrf.end(), "kernel '" << g.name
+                                             << "': live-in CDRF r" << reg
+                                             << " not provided");
+    return it->second;
+  };
+
+  const std::size_t n = g.nodes.size();
+  std::vector<Word> val(n, 0);
+  std::vector<Word> phiCur(n, 0);
+
+  // Seed phis and bind live-ins/constants.
+  for (const DfgNode& nd : g.nodes) {
+    const auto idx = static_cast<std::size_t>(nd.id);
+    switch (nd.kind) {
+      case NodeKind::kLiveIn: val[idx] = readCdrf(nd.globalReg); break;
+      case NodeKind::kConst: val[idx] = fromScalar(nd.constValue); break;
+      case NodeKind::kPhi: phiCur[idx] = readCdrf(nd.globalReg); break;
+      case NodeKind::kOp: break;
+    }
+  }
+
+  for (u32 it = 0; it < trips; ++it) {
+    for (const DfgNode& nd : g.nodes) {
+      const auto idx = static_cast<std::size_t>(nd.id);
+      if (nd.kind == NodeKind::kPhi) {
+        val[idx] = phiCur[idx];
+        continue;
+      }
+      if (nd.kind != NodeKind::kOp) continue;
+      const auto opnd = [&](int i) -> Word {
+        ADRES_CHECK(nd.src[i] >= 0, "missing operand");
+        return val[static_cast<std::size_t>(nd.src[i])];
+      };
+      if (isStore(nd.op)) {
+        const u32 base = lo32u(opnd(0));
+        const u32 off = nd.immSrc2
+                            ? static_cast<u32>(nd.imm << memImmScale(nd.op))
+                            : lo32u(opnd(1));
+        mem.store(base + off, memAccessBytes(nd.op), storeData(nd.op, opnd(2)));
+        continue;
+      }
+      if (isLoad(nd.op)) {
+        const u32 base = lo32u(opnd(0));
+        const u32 off = nd.immSrc2
+                            ? static_cast<u32>(nd.imm << memImmScale(nd.op))
+                            : lo32u(opnd(1));
+        const u32 raw = mem.load(base + off, memAccessBytes(nd.op));
+        if (nd.op == Opcode::LD_IH) {
+          val[idx] = (opnd(2) & 0xFFFFFFFFull) | (static_cast<u64>(raw) << 32);
+        } else {
+          val[idx] = applyLoadResult(nd.op, 0, raw);
+        }
+        continue;
+      }
+      const Word a = opnd(0);
+      const Word b = nd.immSrc2 ? fromScalar(nd.imm)
+                                : (nd.src[1] >= 0 ? opnd(1) : Word{0});
+      val[idx] = evalOp(nd.op, a, b, nd.imm);
+    }
+    // Commit the carried definitions at iteration end.
+    for (const DfgNode& nd : g.nodes) {
+      if (nd.kind == NodeKind::kPhi) {
+        phiCur[static_cast<std::size_t>(nd.id)] =
+            val[static_cast<std::size_t>(nd.carriedDef)];
+      }
+    }
+  }
+
+  RefResult res;
+  for (const LiveOut& lo : g.liveOuts) {
+    const DfgNode& nd = g.node(lo.node);
+    const Word v = nd.kind == NodeKind::kPhi
+                       ? phiCur[static_cast<std::size_t>(nd.id)]
+                       : val[static_cast<std::size_t>(nd.id)];
+    res.liveOutValues.emplace_back(lo.globalReg, v);
+  }
+  return res;
+}
+
+}  // namespace adres

@@ -1,0 +1,153 @@
+// Kernel dataflow-graph IR — the input to the DRESC-style modulo scheduler.
+//
+// This is the repo's stand-in for "ANSI-C with SIMD intrinsics compiled by
+// DRESC": a kernel loop body is expressed as a dataflow graph over the
+// machine's own opcodes, with live-ins from the central register file,
+// loop-carried values (phi nodes with distance 1) and live-outs back to the
+// CDRF.  The builder gives a C-like fluent API; the reference interpreter
+// executes the graph directly (golden semantics) so every scheduled kernel
+// can be validated against its own dataflow meaning.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "isa/opcodes.hpp"
+
+namespace adres {
+
+/// Opaque handle to a DFG value.
+struct ValueId {
+  int id = -1;
+  bool valid() const { return id >= 0; }
+};
+
+enum class NodeKind : u8 {
+  kOp,      ///< machine operation
+  kLiveIn,  ///< CDRF register read before the loop
+  kConst,   ///< compile-time constant (materialized in a CDRF register
+            ///< by the VLIW glue, or folded into an immediate)
+  kPhi,     ///< loop-carried value: iteration 0 = seed live-in,
+            ///< iteration i>0 = the carried definition of iteration i-1
+};
+
+struct DfgNode {
+  int id = -1;
+  NodeKind kind = NodeKind::kOp;
+  Opcode op = Opcode::NOP;
+  i32 imm = 0;
+  /// True when src2 is the immediate (no src2 edge).
+  bool immSrc2 = false;
+  /// Operand node ids (-1 = unused): [src1, src2, src3(store data)].
+  int src[3] = {-1, -1, -1};
+
+  // kLiveIn / kPhi seed / kConst home.
+  u8 globalReg = 0;  ///< CDRF register carrying the live-in / seed / constant
+  i32 constValue = 0;
+
+  /// kPhi: node id of the carried (next-iteration) definition.
+  int carriedDef = -1;
+};
+
+struct LiveOut {
+  u8 globalReg = 0;
+  int node = -1;  ///< value whose final-iteration instance lands in CDRF
+};
+
+/// Explicit ordering edge for memory disambiguation (from -> to must keep
+/// issue order with the given iteration distance).
+struct OrderEdge {
+  int from = -1;
+  int to = -1;
+  int dist = 0;
+};
+
+struct KernelDfg {
+  std::string name;
+  std::vector<DfgNode> nodes;
+  std::vector<LiveOut> liveOuts;
+  std::vector<OrderEdge> orderEdges;
+
+  const DfgNode& node(int id) const {
+    ADRES_CHECK(id >= 0 && id < static_cast<int>(nodes.size()), "bad node id");
+    return nodes[static_cast<std::size_t>(id)];
+  }
+
+  int opNodeCount() const;
+
+  /// Structural checks (operand arity, phi closure, register ranges).
+  void validate() const;
+};
+
+/// Fluent builder for kernel graphs.
+class KernelBuilder {
+ public:
+  explicit KernelBuilder(std::string name) { dfg_.name = std::move(name); }
+
+  /// Declares a live-in arriving in CDRF[reg].
+  ValueId liveIn(int reg);
+
+  /// A constant; the toolchain materializes it in CDRF[homeReg] via VLIW
+  /// glue code, or folds it into an immediate where encodable.
+  ValueId constant(i32 value, int homeReg);
+
+  /// A loop-carried value seeded from CDRF[seedReg]; call defineCarried()
+  /// with its next-iteration definition before build().
+  ValueId carried(int seedReg);
+  void defineCarried(ValueId phi, ValueId next);
+
+  /// Generic binary/unary op.
+  ValueId op(Opcode o, ValueId a, ValueId b);
+  ValueId op(Opcode o, ValueId a);
+  /// Op with immediate src2 / control field.
+  ValueId opImm(Opcode o, ValueId a, i32 imm);
+
+  /// Loads: base register value + offset (value or immediate, byte units
+  /// after scaling per Table 1).
+  ValueId load(Opcode o, ValueId base, ValueId off);
+  ValueId loadImm(Opcode o, ValueId base, i32 imm);
+  /// LD_IH needs the in-flight low half as merge input.
+  ValueId loadHigh(ValueId lowHalf, ValueId base, ValueId off);
+  ValueId loadHighImm(ValueId lowHalf, ValueId base, i32 imm);
+
+  void store(Opcode o, ValueId base, ValueId off, ValueId data);
+  void storeImm(Opcode o, ValueId base, i32 imm, ValueId data);
+
+  /// Declares that the final iteration's `v` must land in CDRF[reg].
+  void liveOut(int reg, ValueId v);
+
+  /// Memory-ordering edge (aliasing stores/loads the scheduler must not
+  /// reorder).
+  void order(ValueId from, ValueId to, int dist = 0);
+
+  KernelDfg build();
+
+ private:
+  ValueId addNode(DfgNode n);
+  KernelDfg dfg_;
+  bool built_ = false;
+};
+
+/// Memory interface for the reference interpreter.
+class ByteMemory {
+ public:
+  virtual ~ByteMemory() = default;
+  virtual u32 load(u32 addr, int bytes) = 0;
+  virtual void store(u32 addr, int bytes, u32 value) = 0;
+};
+
+/// Reference execution of the kernel graph: runs `trips` iterations with
+/// the given CDRF live-in values against `mem`, returns the live-out CDRF
+/// updates.  This is the semantic oracle the scheduler's output is tested
+/// against.
+struct RefResult {
+  std::vector<std::pair<int, Word>> liveOutValues;  ///< (CDRF reg, value)
+};
+RefResult interpretKernel(const KernelDfg& g, u32 trips,
+                          const std::vector<std::pair<int, Word>>& liveIns,
+                          ByteMemory& mem);
+
+}  // namespace adres

@@ -1,0 +1,21 @@
+// VLIW list scheduler: packs straight-line code into 3-slot bundles.
+//
+// The hardware interlocks (the core stalls on operand hazards), so packing
+// is a performance matter, not correctness — but the packer still respects
+// true/output dependences across bundles (intra-bundle reads see pre-bundle
+// register state) and conservative memory order (stores are barriers
+// against other memory ops), and it spaces dependents by producer latency
+// to avoid pipeline stalls.
+#pragma once
+
+#include <vector>
+
+#include "isa/instruction.hpp"
+
+namespace adres {
+
+/// Packs `seq` (virtual program order) into bundles.  Branch/control ops are
+/// not accepted here — the ProgramBuilder places those in dedicated bundles.
+std::vector<Bundle> scheduleVliw(const std::vector<Instr>& seq);
+
+}  // namespace adres

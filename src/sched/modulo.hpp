@@ -1,0 +1,67 @@
+// DRESC-style modulo scheduler: maps a kernel dataflow graph onto the CGA,
+// producing the configuration contexts the array sequencer executes.
+//
+// Algorithm (see DESIGN.md §1 "DRESC compiler" row):
+//   * MII = max(ResMII, RecMII); II is increased until mapping succeeds.
+//   * Operations are placed in decreasing height order onto (FU, cycle)
+//     slots of the II-modulo reservation table; every dataflow edge is then
+//     routed through the fabric: exact-cycle reads of neighbour output
+//     registers, waits in local register files (delay moves), hops through
+//     intermediate FUs (routing MOVs), or the central register file when
+//     both endpoints own global ports.
+//   * Values live at most II cycles per register (enforced by the routing
+//     windows), so one register per routed value suffices — the classic
+//     modulo-variable constraint.  Loop-carried values terminate in a
+//     register seeded by a live-in preload.
+//
+// The resulting utilization (~60-70 % of the 16 FUs, part of it routing
+// MOVs) is exactly the regime the paper reports for its MIMO-OFDM kernels.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "cga/context.hpp"
+#include "sched/dfg.hpp"
+
+namespace adres {
+
+struct ScheduleOptions {
+  int maxII = 32;
+  /// Extra schedule-time slack explored per op beyond its earliest start.
+  int timeWindow = 24;
+  /// CDRF registers the scheduler may use for fabric-internal transport
+  /// (kept disjoint from live-in/live-out registers by the caller).
+  int scratchCdrfFirst = 48;
+  int scratchCdrfLast = 63;
+  /// Restarts per II with rotated placement order (cheap backtracking).
+  int restartsPerII = 8;
+  /// When non-null, receives one line per failed mapping attempt.
+  std::ostream* diag = nullptr;
+};
+
+struct ScheduledKernel {
+  KernelConfig config;
+  int ii = 0;
+  int opNodes = 0;     ///< dataflow ops mapped
+  int routeMoves = 0;  ///< routing MOVs inserted
+  int schedLength = 0;
+
+  /// Static utilization: mapped ops (incl. moves) per context slot.
+  double slotUtilization() const {
+    return ii ? static_cast<double>(opNodes + routeMoves) /
+                    static_cast<double>(ii * kCgaFus)
+              : 0.0;
+  }
+};
+
+/// Maps `g` onto the array.  Throws SimError if no mapping is found within
+/// options.maxII.
+ScheduledKernel scheduleKernel(const KernelDfg& g,
+                               const ScheduleOptions& options = {});
+
+/// Lower bounds (exposed for tests and the ablation benches).
+int resourceMii(const KernelDfg& g);
+int recurrenceMii(const KernelDfg& g);
+
+}  // namespace adres

@@ -1,0 +1,299 @@
+#include "sched/progbuilder.hpp"
+
+#include "common/check.hpp"
+#include "mem/scratchpad.hpp"
+#include "sched/listsched.hpp"
+
+namespace adres {
+
+ProgramBuilder::ProgramBuilder(std::string name) {
+  prog_.name = std::move(name);
+}
+
+void ProgramBuilder::emit(const Instr& in) {
+  ADRES_CHECK(!built_, "builder already consumed");
+  block_.push_back(in);
+}
+
+void ProgramBuilder::li(int reg, i32 value) {
+  ADRES_CHECK(value >= -(1 << 23) && value < (1 << 24),
+              "li: " << value << " outside the 24-bit constant range");
+  if (value >= -(1 << 11) && value < (1 << 11)) {
+    Instr mi;
+    mi.op = Opcode::MOVI;
+    mi.dst = static_cast<u8>(reg);
+    mi.useImm = true;
+    mi.imm = value;
+    emit(mi);
+    return;
+  }
+  const u32 uv = static_cast<u32>(value) & 0x00FFFFFFu;
+  Instr lo;
+  lo.op = Opcode::MOVI;
+  lo.dst = static_cast<u8>(reg);
+  lo.useImm = true;
+  lo.imm = static_cast<i32>(uv & 0xFFFu);
+  if (lo.imm >= (1 << 11)) lo.imm -= (1 << 12);  // will be re-masked by MOVIH
+  emit(lo);
+  Instr hi;
+  hi.op = Opcode::MOVIH;
+  hi.dst = static_cast<u8>(reg);
+  hi.src1 = static_cast<u8>(reg);
+  hi.useImm = true;
+  hi.imm = static_cast<i32>((uv >> 12) & 0xFFFu);
+  emit(hi);
+  if (value < 0) {
+    // MOVI/MOVIH build the 24-bit pattern; sign-extend it to 32 bits.
+    Instr shl;
+    shl.op = Opcode::LSL;
+    shl.dst = shl.src1 = static_cast<u8>(reg);
+    shl.useImm = true;
+    shl.imm = 8;
+    emit(shl);
+    Instr sar;
+    sar.op = Opcode::ASR;
+    sar.dst = sar.src1 = static_cast<u8>(reg);
+    sar.useImm = true;
+    sar.imm = 8;
+    emit(sar);
+  }
+}
+
+void ProgramBuilder::mov(int dst, int src) {
+  Instr in;
+  in.op = Opcode::MOV;
+  in.dst = static_cast<u8>(dst);
+  in.src1 = static_cast<u8>(src);
+  emit(in);
+}
+
+void ProgramBuilder::addi(int dst, int src, i32 imm) {
+  Instr in;
+  in.op = Opcode::ADD;
+  in.dst = static_cast<u8>(dst);
+  in.src1 = static_cast<u8>(src);
+  in.useImm = true;
+  in.imm = imm;
+  emit(in);
+}
+
+void ProgramBuilder::add(int dst, int a, int b) {
+  Instr in;
+  in.op = Opcode::ADD;
+  in.dst = static_cast<u8>(dst);
+  in.src1 = static_cast<u8>(a);
+  in.src2 = static_cast<u8>(b);
+  emit(in);
+}
+
+void ProgramBuilder::sub(int dst, int a, int b) {
+  Instr in;
+  in.op = Opcode::SUB;
+  in.dst = static_cast<u8>(dst);
+  in.src1 = static_cast<u8>(a);
+  in.src2 = static_cast<u8>(b);
+  emit(in);
+}
+
+void ProgramBuilder::ld32(int dst, int base, i32 wordOffset) {
+  Instr in;
+  in.op = Opcode::LD_I;
+  in.dst = static_cast<u8>(dst);
+  in.src1 = static_cast<u8>(base);
+  in.useImm = true;
+  in.imm = wordOffset;
+  emit(in);
+}
+
+void ProgramBuilder::st32(int base, i32 wordOffset, int src) {
+  Instr in;
+  in.op = Opcode::ST_I;
+  in.src1 = static_cast<u8>(base);
+  in.useImm = true;
+  in.imm = wordOffset;
+  in.src3 = static_cast<u8>(src);
+  emit(in);
+}
+
+void ProgramBuilder::ld64(int dst, int base, i32 firstWordOffset) {
+  ld32(dst, base, firstWordOffset);
+  Instr in;
+  in.op = Opcode::LD_IH;
+  in.dst = static_cast<u8>(dst);
+  in.src1 = static_cast<u8>(base);
+  in.useImm = true;
+  in.imm = firstWordOffset + 1;
+  emit(in);
+}
+
+void ProgramBuilder::st64(int base, i32 firstWordOffset, int src) {
+  st32(base, firstWordOffset, src);
+  Instr in;
+  in.op = Opcode::ST_IH;
+  in.src1 = static_cast<u8>(base);
+  in.useImm = true;
+  in.imm = firstWordOffset + 1;
+  in.src3 = static_cast<u8>(src);
+  emit(in);
+}
+
+ProgramBuilder::Label ProgramBuilder::newLabel() {
+  labelBundle_.push_back(-1);
+  return {static_cast<int>(labelBundle_.size()) - 1};
+}
+
+void ProgramBuilder::bind(Label l) {
+  flush();
+  ADRES_CHECK(l.id >= 0 && l.id < static_cast<int>(labelBundle_.size()),
+              "bind: bad label");
+  ADRES_CHECK(labelBundle_[static_cast<std::size_t>(l.id)] < 0,
+              "label bound twice");
+  labelBundle_[static_cast<std::size_t>(l.id)] =
+      static_cast<int>(prog_.bundles.size());
+}
+
+void ProgramBuilder::br(Label l) {
+  flush();
+  Bundle b;
+  b.slot[0].op = Opcode::BR;
+  b.slot[0].useImm = true;
+  b.slot[0].imm = 0;  // patched at build()
+  fixups_.push_back({prog_.bundles.size(), l.id});
+  prog_.bundles.push_back(b);
+}
+
+void ProgramBuilder::brIf(int pred, Label l) {
+  flush();
+  Bundle b;
+  b.slot[0].op = Opcode::BR;
+  b.slot[0].guard = static_cast<u8>(pred);
+  b.slot[0].useImm = true;
+  b.slot[0].imm = 0;
+  fixups_.push_back({prog_.bundles.size(), l.id});
+  prog_.bundles.push_back(b);
+}
+
+void ProgramBuilder::predLt(int pred, int a, int b) {
+  Instr in;
+  in.op = Opcode::PRED_LT;
+  in.dst = static_cast<u8>(pred);
+  in.src1 = static_cast<u8>(a);
+  in.src2 = static_cast<u8>(b);
+  emit(in);
+}
+
+void ProgramBuilder::predNe(int pred, int a, int b) {
+  Instr in;
+  in.op = Opcode::PRED_NE;
+  in.dst = static_cast<u8>(pred);
+  in.src1 = static_cast<u8>(a);
+  in.src2 = static_cast<u8>(b);
+  emit(in);
+}
+
+int ProgramBuilder::addKernel(const ScheduledKernel& k) {
+  return addKernel(k.config);
+}
+
+int ProgramBuilder::addKernel(const KernelConfig& k) {
+  prog_.kernels.push_back(k);
+  return static_cast<int>(prog_.kernels.size()) - 1;
+}
+
+void ProgramBuilder::cga(int kernelId, int tripReg, int guard) {
+  flush();
+  Bundle b;
+  b.slot[0].op = Opcode::CGA;
+  b.slot[0].src1 = static_cast<u8>(tripReg);
+  b.slot[0].guard = static_cast<u8>(guard);
+  b.slot[0].useImm = true;
+  b.slot[0].imm = kernelId;
+  prog_.bundles.push_back(b);
+}
+
+void ProgramBuilder::halt() {
+  flush();
+  Bundle b;
+  b.slot[0].op = Opcode::HALT;
+  prog_.bundles.push_back(b);
+}
+
+void ProgramBuilder::marker(const std::string& regionName) {
+  flush();
+  int id = -1;
+  for (std::size_t i = 0; i < prog_.regionNames.size(); ++i)
+    if (prog_.regionNames[i] == regionName) id = static_cast<int>(i);
+  if (id < 0) {
+    prog_.regionNames.push_back(regionName);
+    id = static_cast<int>(prog_.regionNames.size()) - 1;
+  }
+  prog_.bundles.push_back(regionMarker(id));
+}
+
+void ProgramBuilder::markerEnd() {
+  flush();
+  prog_.bundles.push_back(regionMarker(-1));
+}
+
+u32 ProgramBuilder::reserve(u32 bytes, u32 align) {
+  ADRES_CHECK(align != 0 && (align & (align - 1)) == 0, "alignment");
+  dataTop_ = (dataTop_ + align - 1) & ~(align - 1);
+  const u32 addr = dataTop_;
+  dataTop_ += bytes;
+  ADRES_CHECK(dataTop_ <= kL1Bytes, "L1 data overflow");
+  return addr;
+}
+
+u32 ProgramBuilder::dataI16(const std::vector<i16>& values, u32 align) {
+  const u32 addr = reserve(static_cast<u32>(values.size() * 2), align);
+  DataSegment seg;
+  seg.addr = addr;
+  for (i16 v : values) {
+    seg.bytes.push_back(static_cast<u8>(static_cast<u16>(v)));
+    seg.bytes.push_back(static_cast<u8>(static_cast<u16>(v) >> 8));
+  }
+  // DMA moves whole words.
+  while (seg.bytes.size() % 4 != 0) seg.bytes.push_back(0);
+  prog_.data.push_back(std::move(seg));
+  return addr;
+}
+
+u32 ProgramBuilder::dataI32(const std::vector<i32>& values, u32 align) {
+  std::vector<u32> words;
+  words.reserve(values.size());
+  for (i32 v : values) words.push_back(static_cast<u32>(v));
+  return dataWords(words, align);
+}
+
+u32 ProgramBuilder::dataWords(const std::vector<u32>& words, u32 align) {
+  const u32 addr = reserve(static_cast<u32>(words.size() * 4), align);
+  DataSegment seg;
+  seg.addr = addr;
+  for (u32 w : words)
+    for (int b = 0; b < 4; ++b) seg.bytes.push_back(static_cast<u8>(w >> (8 * b)));
+  prog_.data.push_back(std::move(seg));
+  return addr;
+}
+
+void ProgramBuilder::flush() {
+  if (block_.empty()) return;
+  const std::vector<Bundle> packed = scheduleVliw(block_);
+  prog_.bundles.insert(prog_.bundles.end(), packed.begin(), packed.end());
+  block_.clear();
+}
+
+Program ProgramBuilder::build() {
+  ADRES_CHECK(!built_, "builder already consumed");
+  flush();
+  built_ = true;
+  for (const Fixup& f : fixups_) {
+    const int target = labelBundle_[static_cast<std::size_t>(f.label)];
+    ADRES_CHECK(target >= 0, "unbound label in program '" << prog_.name << '\'');
+    prog_.bundles[f.bundle].slot[0].imm =
+        target - static_cast<int>(f.bundle);
+  }
+  prog_.validate();
+  return std::move(prog_);
+}
+
+}  // namespace adres

@@ -1,0 +1,93 @@
+// Program builder: the assembler-level interface of the toolchain.
+//
+// Collects straight-line VLIW code (list-scheduled into bundles at block
+// boundaries), control flow with label fixups, CGA kernel launches, region
+// markers for profiling, and L1 data placement.  This plus KernelBuilder /
+// scheduleKernel is the repo's "DRESC compiles a single C source to both
+// machines" equivalent (DESIGN.md §1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/program.hpp"
+#include "sched/modulo.hpp"
+
+namespace adres {
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name);
+
+  // -- Straight-line code (accumulated, list-scheduled at block ends) -------
+
+  void emit(const Instr& in);
+
+  /// Loads a constant into CDRF[reg] (MOVI, or MOVI+MOVIH pair for values
+  /// beyond 12 bits; 24-bit range).
+  void li(int reg, i32 value);
+
+  /// Convenience wrappers for common glue code.
+  void mov(int dst, int src);
+  void addi(int dst, int src, i32 imm);
+  void add(int dst, int a, int b);
+  void sub(int dst, int a, int b);
+  void ld32(int dst, int base, i32 wordOffset);
+  void st32(int base, i32 wordOffset, int src);
+  void ld64(int dst, int base, i32 firstWordOffset);  ///< LD_I + LD_IH pair
+  void st64(int base, i32 firstWordOffset, int src);  ///< ST_I + ST_IH pair
+
+  // -- Control flow -----------------------------------------------------------
+
+  struct Label {
+    int id = -1;
+  };
+  Label newLabel();
+  void bind(Label l);
+  void br(Label l);
+  /// Branch taken when CPRF[pred] is true.
+  void brIf(int pred, Label l);
+  /// pred_<cmp> helper: p = (a < b) etc.
+  void predLt(int pred, int a, int b);
+  void predNe(int pred, int a, int b);
+
+  // -- Kernels / control ------------------------------------------------------
+
+  int addKernel(const ScheduledKernel& k);
+  int addKernel(const KernelConfig& k);
+  /// Launches kernel `kernelId` with the trip count in CDRF[tripReg];
+  /// optionally guarded by CPRF[guard] (0 = always).
+  void cga(int kernelId, int tripReg, int guard = 0);
+  void halt();
+
+  /// Opens profiling region `regionName` (created on first use).
+  void marker(const std::string& regionName);
+  /// Closes the current profiling region.
+  void markerEnd();
+
+  // -- Data -------------------------------------------------------------------
+
+  /// Reserves `bytes` of L1 (aligned), returns the byte address.
+  u32 reserve(u32 bytes, u32 align = 8);
+  u32 dataI16(const std::vector<i16>& values, u32 align = 8);
+  u32 dataI32(const std::vector<i32>& values, u32 align = 8);
+  u32 dataWords(const std::vector<u32>& words, u32 align = 8);
+
+  Program build();
+
+ private:
+  void flush();  ///< list-schedule the pending block into bundles
+
+  Program prog_;
+  std::vector<Instr> block_;
+  std::vector<int> labelBundle_;  ///< bundle index per label (-1 unbound)
+  struct Fixup {
+    std::size_t bundle;
+    int label;
+  };
+  std::vector<Fixup> fixups_;
+  u32 dataTop_ = 0;
+  bool built_ = false;
+};
+
+}  // namespace adres

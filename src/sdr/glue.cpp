@@ -1,0 +1,212 @@
+#include "sdr/glue.hpp"
+
+namespace adres::sdr {
+namespace {
+
+// Register convention: r60 holds 0 and r61 holds 0xFFFF (set by the modem
+// program prologue); predicates p1..p4 are glue scratch.
+constexpr int kZeroReg = 60;
+
+Instr ins(Opcode op, int dst, int s1, int s2) {
+  Instr in;
+  in.op = op;
+  in.dst = static_cast<u8>(dst);
+  in.src1 = static_cast<u8>(s1);
+  in.src2 = static_cast<u8>(s2);
+  return in;
+}
+
+Instr insImm(Opcode op, int dst, int s1, i32 imm) {
+  Instr in;
+  in.op = op;
+  in.dst = static_cast<u8>(dst);
+  in.src1 = static_cast<u8>(s1);
+  in.useImm = true;
+  in.imm = imm;
+  return in;
+}
+
+Instr pred(Opcode op, int p, int s1, int s2) {
+  Instr in;
+  in.op = op;
+  in.dst = static_cast<u8>(p);
+  in.src1 = static_cast<u8>(s1);
+  in.src2 = static_cast<u8>(s2);
+  return in;
+}
+
+Instr predImm(Opcode op, int p, int s1, i32 imm) {
+  Instr in;
+  in.op = op;
+  in.dst = static_cast<u8>(p);
+  in.src1 = static_cast<u8>(s1);
+  in.useImm = true;
+  in.imm = imm;
+  return in;
+}
+
+Instr guarded(Instr in, int g) {
+  in.guard = static_cast<u8>(g);
+  return in;
+}
+
+}  // namespace
+
+void emitUnpack(ProgramBuilder& pb, int dstRe, int dstIm, int src) {
+  pb.emit(insImm(Opcode::ASR, dstIm, src, 16));
+  pb.emit(insImm(Opcode::LSL, dstRe, src, 16));
+  pb.emit(insImm(Opcode::ASR, dstRe, dstRe, 16));
+}
+
+void emitFold(ProgramBuilder& pb, int dstRe, int dstIm, int accReg) {
+  using greg::kT0;
+  pb.emit(insImm(Opcode::C4SHUF, kT0, accReg, 0b00001110));  // [l2,l3,l2,l3]
+  pb.emit(ins(Opcode::C4ADD, kT0, accReg, kT0));
+  emitUnpack(pb, dstRe, dstIm, kT0);
+}
+
+void emitL1MagLanes(ProgramBuilder& pb, int dstWord, int accReg) {
+  using greg::kT0;
+  pb.emit(ins(Opcode::C4ABS, kT0, accReg, 0));
+  pb.emit(ins(Opcode::C4PADD, dstWord, kT0, 0));
+}
+
+void emitAtan2(ProgramBuilder& pb, int dstTurns, int imReg, int reReg) {
+  using namespace greg;
+  const int re = kT0, im = kT1, a = kT2, t = kT3, t2 = kT4, frac = kT5;
+  pb.mov(re, reReg);
+  pb.mov(im, imReg);
+  // Conjugate to the upper half plane.
+  pb.predLt(1, im, kZeroReg);
+  pb.emit(guarded(ins(Opcode::SUB, im, kZeroReg, im), 1));
+  // Mirror to the right half plane.
+  pb.predLt(2, re, kZeroReg);
+  pb.emit(guarded(ins(Opcode::SUB, re, kZeroReg, re), 2));
+  // Swap into the first octant (im <= re).
+  pb.emit(pred(Opcode::PRED_GT, 3, im, re));
+  pb.emit(guarded(ins(Opcode::MOV, t, re, 0), 3));
+  pb.emit(guarded(ins(Opcode::MOV, re, im, 0), 3));
+  pb.emit(guarded(ins(Opcode::MOV, im, t, 0), 3));
+  // Normalize below 2^11 (re is the max): binary steps {8,4,2,1}.
+  for (int s : {8, 4, 2, 1}) {
+    pb.emit(insImm(Opcode::LSR, t, re, 10 + s));
+    pb.emit(predImm(Opcode::PRED_NE, 4, t, 0));
+    pb.emit(insImm(Opcode::MOVI, t2, 0, 0));
+    pb.emit(guarded(insImm(Opcode::MOVI, t2, 0, s), 4));
+    pb.emit(ins(Opcode::LSR, re, re, t2));
+    pb.emit(ins(Opcode::LSR, im, im, t2));
+  }
+  // ratio12 = (im << 12) / re, with re == 0 -> 4096; clamp to 4096.
+  pb.emit(insImm(Opcode::LSL, t, im, 12));
+  pb.emit(ins(Opcode::DIV, a, t, re));
+  pb.emit(predImm(Opcode::PRED_EQ, 4, re, 0));
+  pb.li(t2, 4096);
+  pb.emit(guarded(ins(Opcode::MOV, a, t2, 0), 4));
+  pb.emit(pred(Opcode::PRED_GT, 4, a, t2));
+  pb.emit(guarded(ins(Opcode::MOV, a, t2, 0), 4));
+  // Interpolate the arctan table.
+  pb.emit(insImm(Opcode::LSR, t, a, 4));
+  pb.emit(insImm(Opcode::AND, frac, a, 15));
+  pb.emit(insImm(Opcode::LSL, t, t, 1));
+  pb.emit(ins(Opcode::ADD, t, kAtanTab, t));
+  pb.emit(insImm(Opcode::LD_UC2, t2, t, 0));
+  pb.emit(insImm(Opcode::LD_UC2, t, t, 1));
+  pb.emit(ins(Opcode::SUB, t, t, t2));
+  pb.emit(ins(Opcode::MUL, t, t, frac));
+  pb.emit(insImm(Opcode::ASR, t, t, 4));
+  pb.emit(ins(Opcode::ADD, a, t2, t));
+  // Octant reflections.
+  pb.li(t, 16384);
+  pb.emit(guarded(ins(Opcode::SUB, a, t, a), 3));
+  pb.li(t, 32768);
+  pb.emit(guarded(ins(Opcode::SUB, a, t, a), 2));
+  pb.li(t, 65536);
+  pb.emit(guarded(ins(Opcode::SUB, a, t, a), 1));
+  // (0, 0) input -> 0.
+  pb.emit(ins(Opcode::OR, t, reReg, imReg));
+  pb.emit(predImm(Opcode::PRED_EQ, 4, t, 0));
+  pb.emit(guarded(insImm(Opcode::MOVI, a, 0, 0), 4));
+  // Wrap to u16.
+  pb.emit(insImm(Opcode::LSL, dstTurns, a, 16));
+  pb.emit(insImm(Opcode::LSR, dstTurns, dstTurns, 16));
+}
+
+void emitSin(ProgramBuilder& pb, int dst, int turnsReg) {
+  using namespace greg;
+  const int q = kT0, frac = kT1, idx = kT2, sub = kT3, t0 = kT4;
+  pb.emit(insImm(Opcode::LSR, q, turnsReg, 14));  // quadrant 0..3
+  pb.li(t0, 0x3FFF);
+  pb.emit(ins(Opcode::AND, frac, turnsReg, t0));
+  pb.emit(insImm(Opcode::LSR, idx, frac, 6));
+  pb.emit(insImm(Opcode::AND, sub, frac, 63));
+  // Odd quadrants run the table backwards from 256 - idx.
+  pb.emit(insImm(Opcode::AND, t0, q, 1));
+  pb.emit(predImm(Opcode::PRED_NE, 1, t0, 0));
+  pb.li(t0, 256);
+  pb.emit(guarded(ins(Opcode::SUB, idx, t0, idx), 1));
+  // Second interpolation point.
+  pb.emit(insImm(Opcode::ADD, t0, idx, 1));
+  pb.emit(guarded(insImm(Opcode::ADD, t0, idx, -1), 1));
+  // a = tab[i0], b = tab[i1] (sign-extending halfword loads).
+  pb.emit(insImm(Opcode::LSL, idx, idx, 1));
+  pb.emit(ins(Opcode::ADD, idx, kSinTab, idx));
+  pb.emit(insImm(Opcode::LD_C2, idx, idx, 0));
+  pb.emit(insImm(Opcode::LSL, t0, t0, 1));
+  pb.emit(ins(Opcode::ADD, t0, kSinTab, t0));
+  pb.emit(insImm(Opcode::LD_C2, t0, t0, 0));
+  // dst = a + ((b - a) * sub >> 6).
+  pb.emit(ins(Opcode::SUB, t0, t0, idx));
+  pb.emit(ins(Opcode::MUL, t0, t0, sub));
+  pb.emit(insImm(Opcode::ASR, t0, t0, 6));
+  pb.emit(ins(Opcode::ADD, dst, idx, t0));
+  // Lower-half quadrants negate.
+  pb.emit(insImm(Opcode::AND, t0, q, 2));
+  pb.emit(predImm(Opcode::PRED_NE, 1, t0, 0));
+  pb.emit(guarded(ins(Opcode::SUB, dst, kZeroReg, dst), 1));
+}
+
+void emitPhasor(ProgramBuilder& pb, int dstPacked, int turnsReg) {
+  using namespace greg;
+  emitSin(pb, kT5, turnsReg);
+  pb.mov(kT6, kT5);  // sin
+  pb.li(kT5, 0x4000);
+  pb.emit(ins(Opcode::ADD, kT5, turnsReg, kT5));
+  pb.emit(insImm(Opcode::LSL, kT5, kT5, 16));
+  pb.emit(insImm(Opcode::LSR, kT5, kT5, 16));
+  emitSin(pb, kT7, kT5);  // cos
+  // pack (sin << 16) | (cos & 0xFFFF).
+  pb.emit(insImm(Opcode::LSL, kT6, kT6, 16));
+  pb.emit(insImm(Opcode::LSL, kT5, kT7, 16));
+  pb.emit(insImm(Opcode::LSR, kT5, kT5, 16));
+  pb.emit(ins(Opcode::OR, dstPacked, kT6, kT5));
+}
+
+void emitBroadcast64(ProgramBuilder& pb, int dst64, int srcPacked) {
+  using greg::kScratchAddr;
+  pb.st32(kScratchAddr, 0, srcPacked);
+  pb.st32(kScratchAddr, 1, srcPacked);
+  pb.ld64(dst64, kScratchAddr, 0);
+}
+
+void emitCmulPacked(ProgramBuilder& pb, int dstPacked, int aPacked,
+                    int bPacked) {
+  using namespace greg;
+  emitBroadcast64(pb, kT5, aPacked);
+  emitBroadcast64(pb, kT6, bPacked);
+  pb.emit(ins(Opcode::D4PROD, kT7, kT5, kT6));
+  pb.emit(ins(Opcode::C4PROD, kT5, kT5, kT6));
+  pb.emit(ins(Opcode::C4PSUB, kT7, kT7, 0));
+  pb.emit(ins(Opcode::C4PADD, kT5, kT5, 0));
+  pb.emit(ins(Opcode::C4MIX, kT7, kT7, kT5));
+  pb.st64(kScratchAddr, 0, kT7);
+  pb.ld32(dstPacked, kScratchAddr, 0);
+}
+
+void emitArgmaxStep(ProgramBuilder& pb, int bestMag, int bestIdx, int magReg,
+                    int idxReg) {
+  pb.emit(pred(Opcode::PRED_GT, 1, magReg, bestMag));
+  pb.emit(guarded(ins(Opcode::MOV, bestMag, magReg, 0), 1));
+  pb.emit(guarded(ins(Opcode::MOV, bestIdx, idxReg, 0), 1));
+}
+
+}  // namespace adres::sdr

@@ -1,0 +1,67 @@
+// VLIW glue-code emitters: the non-kernel code of the modem (paper Table 2
+// "VLIW" and "mixed" rows).  Accumulator folds, saturating L1 magnitudes,
+// table-interpolated atan2 and phasor generation, packed complex multiply,
+// and the xcorr arg-max — all emitted as real VLIW instructions through the
+// ProgramBuilder, bit-exact with the dsp/ golden routines.
+#pragma once
+
+#include "sched/progbuilder.hpp"
+
+namespace adres::sdr {
+
+/// CDRF registers reserved for glue scratch (distinct from kernel live-ins
+/// r1..r8, live-outs r16..23, packed constants r32.., scheduler scratch
+/// r48..63).
+namespace greg {
+inline constexpr int kT0 = 24;
+inline constexpr int kT1 = 25;
+inline constexpr int kT2 = 26;
+inline constexpr int kT3 = 27;
+inline constexpr int kT4 = 28;
+inline constexpr int kT5 = 29;
+inline constexpr int kT6 = 30;
+inline constexpr int kT7 = 31;
+/// Address of an 8-byte L1 scratch slot the glue may clobber.
+inline constexpr int kScratchAddr = 43;
+/// Base addresses of the sine and atan tables (set once at program start).
+inline constexpr int kSinTab = 44;
+inline constexpr int kAtanTab = 45;
+}  // namespace greg
+
+/// dst.re (sext low 16) and dst.im (high 16) from a packed 32-bit complex.
+void emitUnpack(ProgramBuilder& pb, int dstRe, int dstIm, int src);
+
+/// Folds a SIMD accumulator word (two complex lanes) into scalar re/im:
+/// (l0+l2, l1+l3) saturating — C4SHUF + C4ADD + sign extraction.
+void emitFold(ProgramBuilder& pb, int dstRe, int dstIm, int accReg);
+
+/// Saturating L1 magnitude lanes of an accumulator word:
+/// dst = satAdd(|re|,|im|) per complex lane -> [m0, m0, m1, m1].
+void emitL1MagLanes(ProgramBuilder& pb, int dstWord, int accReg);
+
+/// Q16-turn atan2 (bit-exact with dsp::atan2Turns); inputs are full i32.
+/// Clobbers kT0..kT7.
+void emitAtan2(ProgramBuilder& pb, int dstTurns, int imReg, int reReg);
+
+/// Q15 sine of a Q16-turn angle (bit-exact with dsp::sinQ15).
+/// Clobbers kT0..kT4.
+void emitSin(ProgramBuilder& pb, int dst, int turnsReg);
+
+/// Packed phasor [cos|sin<<16] of a Q16-turn angle (dsp::phasorQ15 packed
+/// as a 32-bit complex).  Clobbers kT0..kT6.
+void emitPhasor(ProgramBuilder& pb, int dstPacked, int turnsReg);
+
+/// Builds a 64-bit lane word [c, c] in `dst64` from a packed 32-bit complex
+/// in `srcPacked` via the L1 scratch slot.
+void emitBroadcast64(ProgramBuilder& pb, int dst64, int srcPacked);
+
+/// Packed complex multiply dst = a * b (Q15, the exact cint16 recipe),
+/// using SIMD ops on broadcast words.  Clobbers kT5..kT7.
+void emitCmulPacked(ProgramBuilder& pb, int dstPacked, int aPacked, int bPacked);
+
+/// Running arg-max update: if magReg > bestMag: bestMag = mag, bestIdx = idx.
+/// Branchless (compare + multiply blend).  Clobbers kT0, kT1.
+void emitArgmaxStep(ProgramBuilder& pb, int bestMag, int bestIdx, int magReg,
+                    int idxReg);
+
+}  // namespace adres::sdr

@@ -1,0 +1,489 @@
+#include "sdr/kernels.hpp"
+
+namespace adres::sdr {
+
+ValueId cmulPair(KernelBuilder& b, ValueId x, ValueId y) {
+  auto d = b.op(Opcode::D4PROD, x, y);
+  auto c = b.op(Opcode::C4PROD, x, y);
+  auto re = b.op(Opcode::C4PSUB, d);
+  auto im = b.op(Opcode::C4PADD, c);
+  return b.op(Opcode::C4MIX, re, im);
+}
+
+ValueId conjPair(KernelBuilder& b, ValueId y) {
+  auto n = b.op(Opcode::C4NEG, y);
+  return b.op(Opcode::C4MIX, y, n);
+}
+
+ValueId macShifted2(KernelBuilder& b, ValueId acc, ValueId x, ValueId y,
+                    ValueId splat8192) {
+  auto p = cmulPair(b, x, y);
+  auto pr = b.op(Opcode::D4PROD, p, splat8192);
+  return b.op(Opcode::C4ADD, acc, pr);
+}
+
+// ---------------------------------------------------------------------------
+
+KernelDfg FshiftKernel::build() {
+  KernelBuilder b("fshift");
+  auto src = b.liveIn(kSrc);
+  auto dst = b.liveIn(kDst);
+  auto w4 = b.liveIn(kW4);
+  auto i = b.carried(kIdx);
+  auto phA = b.carried(kPhA);
+  auto phB = b.carried(kPhB);
+
+  auto a = b.op(Opcode::ADD, src, i);
+  auto x0lo = b.loadImm(Opcode::LD_I, a, 0);
+  auto x0 = b.loadHighImm(x0lo, a, 1);
+  auto x1lo = b.loadImm(Opcode::LD_I, a, 2);
+  auto x1 = b.loadHighImm(x1lo, a, 3);
+
+  auto y0 = cmulPair(b, x0, phA);
+  auto y1 = cmulPair(b, x1, phB);
+
+  auto o = b.op(Opcode::ADD, dst, i);
+  b.storeImm(Opcode::ST_I, o, 0, y0);
+  b.storeImm(Opcode::ST_IH, o, 1, y0);
+  b.storeImm(Opcode::ST_I, o, 2, y1);
+  b.storeImm(Opcode::ST_IH, o, 3, y1);
+
+  b.defineCarried(phA, cmulPair(b, phA, w4));
+  b.defineCarried(phB, cmulPair(b, phB, w4));
+  b.defineCarried(i, b.opImm(Opcode::ADD, i, 16));
+  return b.build();
+}
+
+KernelDfg AcorrKernel::build() {
+  KernelBuilder b("acorr");
+  auto src = b.liveIn(kSrc);
+  auto srcLag = b.liveIn(kSrcLag);
+  auto splat = b.liveIn(kSplat);
+  auto i = b.carried(kIdx);
+  auto accP = b.carried(kAccP);
+  auto accE1 = b.carried(kAccE1);
+  auto accE2 = b.carried(kAccE2);
+
+  auto a = b.op(Opcode::ADD, src, i);
+  auto xlo = b.loadImm(Opcode::LD_I, a, 0);
+  auto x = b.loadHighImm(xlo, a, 1);
+  auto al = b.op(Opcode::ADD, srcLag, i);
+  auto ylo = b.loadImm(Opcode::LD_I, al, 0);
+  auto y = b.loadHighImm(ylo, al, 1);
+
+  auto yc = conjPair(b, y);
+  auto xc = conjPair(b, x);
+  b.defineCarried(accP, macShifted2(b, accP, x, yc, splat));
+  b.defineCarried(accE1, macShifted2(b, accE1, x, xc, splat));
+  b.defineCarried(accE2, macShifted2(b, accE2, y, yc, splat));
+  b.defineCarried(i, b.opImm(Opcode::ADD, i, 8));
+
+  b.liveOut(kAccP, accP);
+  b.liveOut(kAccE1, accE1);
+  b.liveOut(kAccE2, accE2);
+  return b.build();
+}
+
+KernelDfg CfoCorrKernel::build() {
+  KernelBuilder b("cfo_corr");
+  auto src = b.liveIn(kSrc);
+  auto srcLag = b.liveIn(kSrcLag);
+  auto splat = b.liveIn(kSplat);
+  auto i = b.carried(kIdx);
+  auto acc = b.carried(kAcc);
+
+  auto a = b.op(Opcode::ADD, src, i);
+  auto xlo = b.loadImm(Opcode::LD_I, a, 0);
+  auto x = b.loadHighImm(xlo, a, 1);
+  auto al = b.op(Opcode::ADD, srcLag, i);
+  auto ylo = b.loadImm(Opcode::LD_I, al, 0);
+  auto y = b.loadHighImm(ylo, al, 1);
+
+  auto yc = conjPair(b, y);
+  b.defineCarried(acc, macShifted2(b, acc, x, yc, splat));
+  b.defineCarried(i, b.opImm(Opcode::ADD, i, 8));
+  b.liveOut(kAcc, acc);
+  return b.build();
+}
+
+KernelDfg XcorrKernel::build() {
+  KernelBuilder b("xcorr");
+  auto splat = b.liveIn(reg::kConst0);  // [2048 x4] rounding multiplier
+
+  // Per-quadrant carried address counters (all seeded from kSrc, advancing
+  // 4 bytes per reference sample): localizes address fan-out so each
+  // memory FU owns its own pointer, as DRESC's strength-reduced induction
+  // variables would.
+  // 8 hypotheses per launch (the full 16-point search runs the kernel
+  // twice, the second launch with kSrc advanced by 8 samples).
+  // Every load pair owns a private induction pointer (DRESC-style
+  // strength-reduced clones): pointer, LD_I and LD_IH then co-locate on
+  // one memory FU and their routes collapse to free local-RF reads.
+  ValueId srcPtr[4];
+  for (auto& p : srcPtr) p = b.carried(kSrc);
+  ValueId refPtr[2];
+  for (auto& p : refPtr) p = b.carried(kRef);
+
+  // Conjugated broadcast reference sample Lc[k] (8 bytes per k), loaded
+  // once per half: replicating the load caps every value's fan-out at
+  // ~4 ports, which the mesh routes without move congestion.
+  ValueId lcQ[2];
+  for (int h = 0; h < 2; ++h) {
+    auto lclo = b.loadImm(Opcode::LD_I, refPtr[h], 0);
+    lcQ[h] = b.loadHighImm(lclo, refPtr[h], 1);
+  }
+
+  for (int j = 0; j < 4; ++j) {
+    auto acc = b.carried(kAccBase + j);
+    auto xlo = b.loadImm(Opcode::LD_I, srcPtr[j], 2 * j);
+    auto x = b.loadHighImm(xlo, srcPtr[j], 2 * j + 1);
+    auto p = cmulPair(b, x, lcQ[j / 2]);
+    auto pr = b.op(Opcode::D4PROD, p, splat);  // rounded /16
+    b.defineCarried(acc, b.op(Opcode::C4ADD, acc, pr));
+    b.liveOut(kAccBase + j, acc);
+  }
+  for (auto& p : srcPtr) b.defineCarried(p, b.opImm(Opcode::ADD, p, 4));
+  for (auto& p : refPtr) b.defineCarried(p, b.opImm(Opcode::ADD, p, 8));
+  return b.build();
+}
+
+// ---------------------------------------------------------------------------
+// FFT kernels.
+// ---------------------------------------------------------------------------
+
+KernelDfg BitrevKernel::build() {
+  KernelBuilder b("fft_bitrev");
+  auto inBase = b.liveIn(kIn);
+  auto outPtr = b.carried(kOut);
+  auto idxPtr = b.carried(kIdxTab);
+  auto off = b.loadImm(Opcode::LD_UC2, idxPtr, 0);
+  auto x = b.load(Opcode::LD_I, inBase, off);
+  b.storeImm(Opcode::ST_I, outPtr, 0, x);
+  b.defineCarried(outPtr, b.opImm(Opcode::ADD, outPtr, 4));
+  b.defineCarried(idxPtr, b.opImm(Opcode::ADD, idxPtr, 2));
+  return b.build();
+}
+
+KernelDfg FftStage1Kernel::build() {
+  KernelBuilder b("fft_stage1");
+  auto ptr = b.carried(kBuf);
+  auto xlo = b.loadImm(Opcode::LD_I, ptr, 0);
+  auto x = b.loadHighImm(xlo, ptr, 1);
+  auto s = b.opImm(Opcode::C4SHUF, x, 0b01001110);  // [b, a]
+  auto ah = b.opImm(Opcode::C4SHIFTR, x, 1);
+  auto sh = b.opImm(Opcode::C4SHIFTR, s, 1);
+  auto add = b.op(Opcode::C4ADD, ah, sh);            // [(a+b)/2, (b+a)/2]
+  auto sub = b.op(Opcode::C4SUB, ah, sh);            // [(a-b)/2, (b-a)/2]
+  auto subHi = b.opImm(Opcode::C4SHUF, sub, 0b01000000);  // lanes2,3 = sub0,1
+  auto out = b.op(Opcode::C4HILO, add, subHi);
+  b.storeImm(Opcode::ST_I, ptr, 0, out);
+  b.storeImm(Opcode::ST_IH, ptr, 1, out);
+  b.defineCarried(ptr, b.opImm(Opcode::ADD, ptr, 8));
+  return b.build();
+}
+
+KernelDfg FftStageKernel::build(int halfBytes, bool scaleX8) {
+  KernelBuilder b("fft_stage");
+  auto buf = b.liveIn(kBuf);
+  auto offPtr = b.carried(kOffTab);
+  auto twPtr = b.carried(kTwTab);
+
+  auto aOff = b.loadImm(Opcode::LD_UC2, offPtr, 0);
+  auto aOff4 = b.opImm(Opcode::ADD, aOff, 4);
+  auto bOff = b.opImm(Opcode::ADD, aOff, halfBytes);
+  auto bOff4 = b.opImm(Opcode::ADD, bOff, 4);
+
+  auto alo = b.load(Opcode::LD_I, buf, aOff);
+  auto a = b.loadHigh(alo, buf, aOff4);
+  auto blo = b.load(Opcode::LD_I, buf, bOff);
+  auto bv = b.loadHigh(blo, buf, bOff4);
+  auto wlo = b.loadImm(Opcode::LD_I, twPtr, 0);
+  auto w = b.loadHighImm(wlo, twPtr, 1);
+
+  auto t = cmulPair(b, bv, w);
+  auto ah = b.opImm(Opcode::C4SHIFTR, a, 1);
+  auto th = b.opImm(Opcode::C4SHIFTR, t, 1);
+  auto aOut = b.op(Opcode::C4ADD, ah, th);
+  auto bOut = b.op(Opcode::C4SUB, ah, th);
+  if (scaleX8) {
+    for (int i = 0; i < 3; ++i) {
+      aOut = b.op(Opcode::C4ADD, aOut, aOut);
+      bOut = b.op(Opcode::C4ADD, bOut, bOut);
+    }
+  }
+
+  b.store(Opcode::ST_I, buf, aOff, aOut);
+  b.store(Opcode::ST_IH, buf, aOff4, aOut);
+  b.store(Opcode::ST_I, buf, bOff, bOut);
+  b.store(Opcode::ST_IH, buf, bOff4, bOut);
+
+  b.defineCarried(offPtr, b.opImm(Opcode::ADD, offPtr, 2));
+  b.defineCarried(twPtr, b.opImm(Opcode::ADD, twPtr, 8));
+  return b.build();
+}
+
+// ---------------------------------------------------------------------------
+// Channel estimation / equalization / detection / demodulation kernels.
+// ---------------------------------------------------------------------------
+
+KernelDfg InterleaveKernel::build() {
+  KernelBuilder b("sample_ordering");
+  auto base0 = b.liveIn(kBase0);
+  auto base1 = b.liveIn(kBase1);
+  auto tab = b.carried(kTab);
+  auto out = b.carried(kOut);
+  auto off = b.loadImm(Opcode::LD_UC2, tab, 0);
+  auto x0 = b.load(Opcode::LD_I, base0, off);
+  auto x1 = b.load(Opcode::LD_I, base1, off);
+  b.storeImm(Opcode::ST_I, out, 0, x0);
+  b.storeImm(Opcode::ST_I, out, 1, x1);
+  b.defineCarried(tab, b.opImm(Opcode::ADD, tab, 2));
+  b.defineCarried(out, b.opImm(Opcode::ADD, out, 8));
+  return b.build();
+}
+
+KernelDfg ChestKernel::build() {
+  KernelBuilder b("sdm_processing");
+  auto p1 = b.carried(kLtf1);
+  auto p2 = b.carried(kLtf2);
+  auto ps = b.carried(kSign);
+  auto po = b.carried(kOut);
+  auto r1lo = b.loadImm(Opcode::LD_I, p1, 0);
+  auto r1 = b.loadHighImm(r1lo, p1, 1);
+  auto r2lo = b.loadImm(Opcode::LD_I, p2, 0);
+  auto r2 = b.loadHighImm(r2lo, p2, 1);
+  auto slo = b.loadImm(Opcode::LD_I, ps, 0);
+  auto sw = b.loadHighImm(slo, ps, 1);
+  auto sum = b.op(Opcode::C4ADD, r1, r2);
+  auto dif = b.op(Opcode::C4SUB, r1, r2);
+  auto h0 = b.op(Opcode::D4PROD, b.opImm(Opcode::C4SHIFTR, sum, 1), sw);
+  auto h1 = b.op(Opcode::D4PROD, b.opImm(Opcode::C4SHIFTR, dif, 1), sw);
+  b.storeImm(Opcode::ST_I, po, 0, h0);
+  b.storeImm(Opcode::ST_IH, po, 1, h0);
+  b.storeImm(Opcode::ST_I, po, 2, h1);
+  b.storeImm(Opcode::ST_IH, po, 3, h1);
+  b.defineCarried(p1, b.opImm(Opcode::ADD, p1, 8));
+  b.defineCarried(p2, b.opImm(Opcode::ADD, p2, 8));
+  b.defineCarried(ps, b.opImm(Opcode::ADD, ps, 8));
+  b.defineCarried(po, b.opImm(Opcode::ADD, po, 16));
+  return b.build();
+}
+
+namespace {
+
+/// Scalar extraction of the packed complex in the LOW 32 bits of `w`:
+/// re = sext16(w & 0xFFFF), im = w >> 16 (arithmetic).
+struct ScalarC {
+  ValueId re, im;
+};
+ScalarC extractLow(KernelBuilder& b, ValueId w) {
+  auto re = b.opImm(Opcode::ASR, b.opImm(Opcode::LSL, w, 16), 16);
+  auto im = b.opImm(Opcode::ASR, w, 16);
+  return {re, im};
+}
+ScalarC extractHigh(KernelBuilder& b, ValueId w) {
+  // Shuffle lanes [2,3] down, then extract.
+  auto lo = b.opImm(Opcode::C4SHUF, w, 0b00001110);
+  return extractLow(b, lo);
+}
+
+}  // namespace
+
+KernelDfg EqCoeffKernel::buildNorm() {
+  KernelBuilder b("eq_coeff_norm");
+  auto ph = b.carried(kH);
+  auto pm = b.carried(kMid);
+  auto amp128 = b.liveIn(kAmp128);
+  auto c4096 = b.liveIn(kC4096);
+  auto zero = b.constant(0, 40);
+
+  // Load hcol0 = [h00 (=a), h10 (=c)], hcol1 = [h01 (=b), h11 (=d)].
+  auto c0lo = b.loadImm(Opcode::LD_I, ph, 0);
+  auto col0 = b.loadHighImm(c0lo, ph, 1);
+  auto c1lo = b.loadImm(Opcode::LD_I, ph, 2);
+  auto col1 = b.loadHighImm(c1lo, ph, 3);
+  ScalarC a = extractLow(b, col0);
+  ScalarC c = extractHigh(b, col0);
+  ScalarC bb = extractLow(b, col1);
+  ScalarC d = extractHigh(b, col1);
+
+  auto mul = [&](ValueId x, ValueId y) { return b.op(Opcode::MUL, x, y); };
+  auto sub = [&](ValueId x, ValueId y) { return b.op(Opcode::SUB, x, y); };
+  auto add = [&](ValueId x, ValueId y) { return b.op(Opcode::ADD, x, y); };
+
+  auto dr0 = sub(sub(mul(a.re, d.re), mul(a.im, d.im)),
+                 sub(mul(bb.re, c.re), mul(bb.im, c.im)));
+  auto di0 = sub(add(mul(a.re, d.im), mul(a.im, d.re)),
+                 add(mul(bb.re, c.im), mul(bb.im, c.re)));
+
+  // m = |dr| | |di| via sign-mask abs.
+  auto iabs = [&](ValueId x) {
+    auto sgn = b.opImm(Opcode::ASR, x, 31);
+    return sub(b.op(Opcode::XOR, x, sgn), sgn);
+  };
+  auto m0 = b.op(Opcode::OR, iabs(dr0), iabs(di0));
+
+  // Branchless binary normalization: steps {16, 8, 4, 2, 1}.
+  ValueId dr = dr0, di = di0, m = m0;
+  ValueId k = zero;
+  for (int st : {16, 8, 4, 2, 1}) {
+    const int log2s = st == 16 ? 4 : st == 8 ? 3 : st == 4 ? 2 : st == 2 ? 1 : 0;
+    auto cond = b.opImm(Opcode::NE, b.opImm(Opcode::LSR, m, 9 + st), 0);
+    auto amt = log2s == 0 ? cond : b.opImm(Opcode::LSL, cond, log2s);
+    dr = b.op(Opcode::ASR, dr, amt);
+    di = b.op(Opcode::ASR, di, amt);
+    m = b.op(Opcode::LSR, m, amt);
+    k = add(k, amt);
+  }
+
+  auto m8a = b.opImm(Opcode::LSR, add(mul(dr, dr), mul(di, di)), 8);
+  auto m8 = add(m8a, b.opImm(Opcode::EQ, m8a, 0));
+  auto invRaw = b.op(Opcode::DIV, amp128, m8);
+  auto over = mul(b.op(Opcode::GT, invRaw, c4096), sub(invRaw, c4096));
+  auto inv = sub(invRaw, over);
+
+  // sh = max(k - 5, 0).
+  auto shRaw = b.opImm(Opcode::ADD, k, -5);
+  auto shNeg = b.opImm(Opcode::ASR, shRaw, 31);
+  auto sh = b.op(Opcode::AND, shRaw, b.opImm(Opcode::NOR, shNeg, 0));
+
+  b.storeImm(Opcode::ST_I, pm, 0, dr);
+  b.storeImm(Opcode::ST_I, pm, 1, di);
+  b.storeImm(Opcode::ST_I, pm, 2, inv);
+  b.storeImm(Opcode::ST_I, pm, 3, sh);
+
+  b.defineCarried(ph, b.opImm(Opcode::ADD, ph, 16));
+  b.defineCarried(pm, b.opImm(Opcode::ADD, pm, 16));
+  return b.build();
+}
+
+KernelDfg EqCoeffKernel::buildApply() {
+  KernelBuilder b("eq_coeff_apply");
+  auto ph = b.carried(kH);
+  auto pm = b.carried(kMid);
+  auto pw = b.carried(kW);
+  auto zero = b.constant(0, 40);
+  auto c32767 = b.constant(32767, 41);
+  auto cm32768 = b.constant(-32768, 42);
+
+  auto c0lo = b.loadImm(Opcode::LD_I, ph, 0);
+  auto col0 = b.loadHighImm(c0lo, ph, 1);
+  auto c1lo = b.loadImm(Opcode::LD_I, ph, 2);
+  auto col1 = b.loadHighImm(c1lo, ph, 3);
+  ScalarC a = extractLow(b, col0);
+  ScalarC c = extractHigh(b, col0);
+  ScalarC bb = extractLow(b, col1);
+  ScalarC d = extractHigh(b, col1);
+
+  auto dr = b.loadImm(Opcode::LD_I, pm, 0);
+  auto di = b.loadImm(Opcode::LD_I, pm, 1);
+  auto inv = b.loadImm(Opcode::LD_I, pm, 2);
+  auto sh = b.loadImm(Opcode::LD_I, pm, 3);
+
+  auto mul = [&](ValueId x, ValueId y) { return b.op(Opcode::MUL, x, y); };
+  auto sub = [&](ValueId x, ValueId y) { return b.op(Opcode::SUB, x, y); };
+  auto add = [&](ValueId x, ValueId y) { return b.op(Opcode::ADD, x, y); };
+
+  // One W entry from (adjRe, adjIm): clamped ((num>>7)*inv)>>sh in Q13.
+  auto finish = [&](ValueId numv) {
+    auto t0 = b.op(Opcode::ASR, mul(b.opImm(Opcode::ASR, numv, 7), inv), sh);
+    auto overP = mul(b.op(Opcode::GT, t0, c32767), sub(t0, c32767));
+    auto t1 = sub(t0, overP);
+    auto overN = mul(b.op(Opcode::LT, t1, cm32768), sub(t1, cm32768));
+    return sub(t1, overN);
+  };
+  auto entry = [&](ScalarC adj, bool negate) {
+    ScalarC aj = adj;
+    if (negate) {
+      aj.re = sub(zero, adj.re);
+      aj.im = sub(zero, adj.im);
+    }
+    auto numRe = add(mul(aj.re, dr), mul(aj.im, di));
+    auto numIm = sub(mul(aj.im, dr), mul(aj.re, di));
+    auto tre = finish(numRe);
+    auto tim = finish(numIm);
+    // Pack (im << 16) | (re & 0xFFFF).
+    auto reMask = b.opImm(Opcode::LSR, b.opImm(Opcode::LSL, tre, 16), 16);
+    return b.op(Opcode::OR, b.opImm(Opcode::LSL, tim, 16), reMask);
+  };
+
+  auto w00 = entry(d, false);
+  auto w01 = entry(bb, true);
+  auto w10 = entry(c, true);
+  auto w11 = entry(a, false);
+  b.storeImm(Opcode::ST_I, pw, 0, w00);
+  b.storeImm(Opcode::ST_I, pw, 1, w01);
+  b.storeImm(Opcode::ST_I, pw, 2, w10);
+  b.storeImm(Opcode::ST_I, pw, 3, w11);
+
+  b.defineCarried(ph, b.opImm(Opcode::ADD, ph, 16));
+  b.defineCarried(pm, b.opImm(Opcode::ADD, pm, 16));
+  b.defineCarried(pw, b.opImm(Opcode::ADD, pw, 16));
+  return b.build();
+}
+
+KernelDfg CompKernel::build() {
+  KernelBuilder b("comp");
+  auto pr = b.carried(kRx);
+  auto pwm = b.carried(kWMat);
+  auto po0 = b.carried(kOut0);
+  auto po1 = b.carried(kOut1);
+
+  auto rlo = b.loadImm(Opcode::LD_I, pr, 0);
+  auto rw = b.loadHighImm(rlo, pr, 1);
+  auto w0lo = b.loadImm(Opcode::LD_I, pwm, 0);
+  auto w0 = b.loadHighImm(w0lo, pwm, 1);
+  auto w1lo = b.loadImm(Opcode::LD_I, pwm, 2);
+  auto w1 = b.loadHighImm(w1lo, pwm, 3);
+
+  auto detect = [&](ValueId wrow) {
+    auto t = cmulPair(b, wrow, rw);              // [w_i0*r0, w_i1*r1]
+    auto s = b.opImm(Opcode::C4SHUF, t, 0b01001110);
+    auto cs = b.op(Opcode::C4ADD, t, s);          // cross sum in lanes 0,1
+    auto d1 = b.op(Opcode::C4ADD, cs, cs);        // x4: W is Q13
+    return b.op(Opcode::C4ADD, d1, d1);
+  };
+  auto y0 = detect(w0);
+  auto y1 = detect(w1);
+  b.storeImm(Opcode::ST_I, po0, 0, y0);
+  b.storeImm(Opcode::ST_I, po1, 0, y1);
+
+  b.defineCarried(pr, b.opImm(Opcode::ADD, pr, 8));
+  b.defineCarried(pwm, b.opImm(Opcode::ADD, pwm, 16));
+  b.defineCarried(po0, b.opImm(Opcode::ADD, po0, 4));
+  b.defineCarried(po1, b.opImm(Opcode::ADD, po1, 4));
+  return b.build();
+}
+
+KernelDfg DemodKernel::build() {
+  KernelBuilder b("demod_qam64");
+  auto det = b.liveIn(kDet);
+  auto derot = b.liveIn(kDerot);
+  auto offW = b.liveIn(kOffW);
+  auto c12 = b.liveIn(kC12);
+  auto mulW = b.liveIn(kMul);
+  auto zeroW = b.liveIn(kZero);
+  auto sevenW = b.liveIn(kSeven);
+  auto tab = b.carried(kTab);
+  auto out = b.carried(kOut);
+
+  auto off = b.loadImm(Opcode::LD_UC2, tab, 0);
+  auto y = b.load(Opcode::LD_I, det, off);
+  auto yd = cmulPair(b, y, derot);
+  // Hard slicing to level indices (exact sliceLevel equivalent):
+  auto x1 = b.op(Opcode::C4ADD, yd, offW);
+  auto x2 = b.opImm(Opcode::C4SHIFTR, x1, 6);
+  auto x3 = b.op(Opcode::C4SUB, x2, c12);
+  auto idxRaw = b.op(Opcode::D4PROD, x3, mulW);
+  auto idx = b.op(Opcode::C4MIN, b.op(Opcode::C4MAX, idxRaw, zeroW), sevenW);
+  // Gray code: g = idx ^ (idx >> 1) (lane shift, bitwise xor).
+  auto idxS = b.opImm(Opcode::C4SHIFTR, idx, 1);
+  auto gray = b.op(Opcode::XOR, idx, idxS);
+  b.storeImm(Opcode::ST_I, out, 0, gray);
+
+  b.defineCarried(tab, b.opImm(Opcode::ADD, tab, 2));
+  b.defineCarried(out, b.opImm(Opcode::ADD, out, 4));
+  return b.build();
+}
+
+}  // namespace adres::sdr

@@ -1,0 +1,229 @@
+// Processor-mapped MIMO-OFDM kernels (one builder per Table 2 kernel).
+//
+// Each struct documents its CDRF register interface (live-ins the VLIW glue
+// must set, live-outs it may read back) and builds the kernel dataflow
+// graph in exactly the arithmetic of the golden models (dsp/lanes.hpp), so
+// scheduled kernels are bit-exact against dsp/ functions.
+//
+// Data layout convention: complex samples are 32-bit words (re in the low
+// 16 bits, im in the high 16); a 64-bit kernel load pair fetches two
+// consecutive samples into the SIMD lane layout [re0, im0, re1, im1].
+#pragma once
+
+#include "sched/dfg.hpp"
+
+namespace adres::sdr {
+
+/// Shared CDRF register plan.  Live-ins from r1; live-outs from r16;
+/// r32..r39 hold packed 64-bit SIMD constants (loaded from L1 by glue);
+/// r48..r63 are scheduler scratch (ScheduleOptions default).
+namespace reg {
+inline constexpr int kIn0 = 1;
+inline constexpr int kIn1 = 2;
+inline constexpr int kIn2 = 3;
+inline constexpr int kIn3 = 4;
+inline constexpr int kIn4 = 5;
+inline constexpr int kIn5 = 6;
+inline constexpr int kIn6 = 7;
+inline constexpr int kIn7 = 8;
+inline constexpr int kOut0 = 16;
+inline constexpr int kOut1 = 17;
+inline constexpr int kOut2 = 18;
+inline constexpr int kOut3 = 19;
+inline constexpr int kOut4 = 20;
+inline constexpr int kOut5 = 21;
+inline constexpr int kOut6 = 22;
+inline constexpr int kOut7 = 23;
+inline constexpr int kConst0 = 32;  ///< packed SIMD constants live here up
+}  // namespace reg
+
+/// The 5-op packed complex multiply, as a DFG fragment.
+ValueId cmulPair(KernelBuilder& b, ValueId x, ValueId y);
+/// conj of both lanes: C4MIX(y, C4NEG(y)).
+ValueId conjPair(KernelBuilder& b, ValueId y);
+/// acc + round(x*y / 4): D4PROD by 8192 + C4ADD (see dsp/lanes.hpp).
+ValueId macShifted2(KernelBuilder& b, ValueId acc, ValueId x, ValueId y,
+                    ValueId splat8192);
+
+// ---------------------------------------------------------------------------
+// fshift: y[k] = x[k] * ph, block-of-4 phasor recurrence (Table 2 "fshift").
+// trips = n/4.
+// ---------------------------------------------------------------------------
+struct FshiftKernel {
+  static constexpr int kSrc = reg::kIn0;     ///< input byte address
+  static constexpr int kDst = reg::kIn1;     ///< output byte address
+  static constexpr int kPhA = reg::kConst0;      ///< [ph0, ph1]
+  static constexpr int kPhB = reg::kConst0 + 1;  ///< [ph2, ph3]
+  static constexpr int kW4 = reg::kConst0 + 2;   ///< [w^4, w^4]
+  static constexpr int kIdx = reg::kIn2;     ///< loop byte index seed (0)
+  static KernelDfg build();
+  static u32 trips(int nSamples) { return static_cast<u32>(nSamples / 4); }
+};
+
+// ---------------------------------------------------------------------------
+// acorr: lag-16 autocorrelation + both window energies over 32 samples
+// (Table 2 "acorr", run per candidate position).  trips = 16.
+// Live-outs: P accumulator word, E1 word, E2 word (lane-fold in glue).
+// ---------------------------------------------------------------------------
+struct AcorrKernel {
+  static constexpr int kSrc = reg::kIn0;      ///< &r[d]
+  static constexpr int kSrcLag = reg::kIn1;   ///< &r[d+16]
+  static constexpr int kIdx = reg::kIn2;      ///< 0
+  static constexpr int kSplat = reg::kConst0; ///< [8192 x4]
+  static constexpr int kAccP = reg::kOut0;
+  static constexpr int kAccE1 = reg::kOut1;
+  static constexpr int kAccE2 = reg::kOut2;
+  static KernelDfg build();
+  static constexpr u32 kTrips = 16;
+};
+
+// ---------------------------------------------------------------------------
+// Lag correlation for CFO estimation (Table 2 "freq offset estimation"):
+// acc = sum (r[k..k+1] * conj(r[k+lag..])) rounded >> 2.  trips = n/2.
+// ---------------------------------------------------------------------------
+struct CfoCorrKernel {
+  static constexpr int kSrc = reg::kIn0;      ///< &r[d]
+  static constexpr int kSrcLag = reg::kIn1;   ///< &r[d+lag]
+  static constexpr int kIdx = reg::kIn2;      ///< 0
+  static constexpr int kSplat = reg::kConst0;
+  static constexpr int kAcc = reg::kOut0;
+  static KernelDfg build();
+  static u32 trips(int nSamples) { return static_cast<u32>(nSamples / 2); }
+};
+
+// ---------------------------------------------------------------------------
+// xcorr: 8 timing hypotheses per launch against the 64-sample LTF
+// reference (Table 2 "xcorr"; the full 16-point search launches twice,
+// advancing kSrc by 8 samples).  Four carried accumulators, each covering
+// two adjacent hypotheses; the conjugated broadcast reference table
+// Lc[k] = [L*(k).re, L*(k).im, L*(k).re, L*(k).im] lives in L1.
+// trips = 64 (one reference sample per iteration).
+// ---------------------------------------------------------------------------
+struct XcorrKernel {
+  static constexpr int kSrc = reg::kIn0;     ///< &r[from] (seeds 2 pointers)
+  static constexpr int kRef = reg::kIn1;     ///< &Lc[0] (broadcast table)
+  static constexpr int kAccBase = reg::kOut0;  ///< 4 accumulators out0..out3
+  static KernelDfg build();
+  static constexpr u32 kTrips = 64;
+  static constexpr int kHypothesesPerLaunch = 8;
+};
+
+// ---------------------------------------------------------------------------
+// FFT kernels (Table 2 "fft (2x)"): bit-reversal gather, the trivial-twiddle
+// first stage, and a generic descriptor-driven stage for stages 2..6.
+// All operate in place on back-to-back 64-sample (256-byte) buffers so one
+// launch covers both antennas — the paper's "(2x)".
+// ---------------------------------------------------------------------------
+
+/// out[i] = in[rev[i]] gather (one 32-bit sample per trip).
+struct BitrevKernel {
+  static constexpr int kIn = reg::kIn0;    ///< input buffer byte address
+  static constexpr int kOut = reg::kIn1;   ///< output buffer (seeds pointer)
+  static constexpr int kIdxTab = reg::kIn2;///< u16 byte-offset table (seeds)
+  static KernelDfg build();
+  static u32 trips(int nFfts) { return static_cast<u32>(64 * nFfts); }
+};
+
+/// Stage 1 (W=1) butterflies on adjacent samples, one 64-bit word per trip.
+struct FftStage1Kernel {
+  static constexpr int kBuf = reg::kIn0;  ///< seeds the in-place pointer
+  static KernelDfg build();
+  static u32 trips(int nFfts) { return static_cast<u32>(32 * nFfts); }
+};
+
+/// Stages 2..6: descriptor-driven butterfly pairs.  The final stage of a
+/// receive FFT applies the x8 scaling (three saturating doublings) that
+/// inverts the transmit-side x8 (dsp::rxFft contract).
+struct FftStageKernel {
+  static constexpr int kBuf = reg::kIn0;     ///< buffer base address
+  static constexpr int kOffTab = reg::kIn1;  ///< seeds aOffsets pointer
+  static constexpr int kTwTab = reg::kIn2;   ///< seeds twiddle-pair pointer
+  /// `halfBytes` from FftStageTables (compile-time per stage).
+  static KernelDfg build(int halfBytes, bool scaleX8 = false);
+  static u32 trips(int nFfts) { return static_cast<u32>(16 * nFfts); }
+};
+
+// ---------------------------------------------------------------------------
+// sample ordering (Table 2): gathers the 52 used tones of two antenna
+// spectra into interleaved words used[tone] = [ant0[bin], ant1[bin]].
+// trips = 52.
+// ---------------------------------------------------------------------------
+struct InterleaveKernel {
+  static constexpr int kBase0 = reg::kIn0;   ///< antenna-0 spectrum base
+  static constexpr int kBase1 = reg::kIn1;   ///< antenna-1 spectrum base
+  static constexpr int kTab = reg::kIn2;     ///< seeds used-bin offset table ptr
+  static constexpr int kOut = reg::kIn3;     ///< seeds output pointer
+  static KernelDfg build();
+  static constexpr u32 kTrips = 52;
+};
+
+// ---------------------------------------------------------------------------
+// SDM processing (Table 2): MIMO channel estimation from the two
+// interleaved MIMO-LTF spectra.  Writes per tone two words:
+// hcol0 = [h00, h10], hcol1 = [h01, h11] at 16-byte stride.  trips = 52.
+// ---------------------------------------------------------------------------
+struct ChestKernel {
+  static constexpr int kLtf1 = reg::kIn0;  ///< seeds interleaved-LTF1 pointer
+  static constexpr int kLtf2 = reg::kIn1;  ///< seeds interleaved-LTF2 pointer
+  static constexpr int kSign = reg::kIn2;  ///< seeds sign-splat table pointer
+  static constexpr int kOut = reg::kIn3;   ///< seeds H output pointer
+  static KernelDfg build();
+  static constexpr u32 kTrips = 52;
+};
+
+// ---------------------------------------------------------------------------
+// equalize coeff calc (Table 2): the branchless 32-bit ZF inversion of
+// dsp::equalizerCoeffOne, one tone per trip (uses a hardwired divider, so
+// II >= 8).  Reads the chest layout, writes per tone two words
+// [w00, w01], [w10, w11] at 16-byte stride.  trips = 52.
+// Constant registers (set by glue): see members.
+// ---------------------------------------------------------------------------
+struct EqCoeffKernel {
+  static constexpr int kH = reg::kIn0;       ///< seeds H pointer (chest layout)
+  static constexpr int kW = reg::kIn1;       ///< seeds W output pointer
+  static constexpr int kMid = reg::kIn2;     ///< seeds intermediate pointer
+  static constexpr int kAmp128 = reg::kIn3;  ///< constant kLtfAmpQ15 << 7
+  static constexpr int kC4096 = reg::kIn4;   ///< constant 4096
+  /// Two launches per symbol set: buildNorm computes the normalized
+  /// determinant and its 24-bit reciprocal per tone (writes 16-byte
+  /// [dr, di, inv, sh] records at kMid); buildApply forms the four W
+  /// entries from those records.
+  static KernelDfg buildNorm();
+  static KernelDfg buildApply();
+  static constexpr u32 kTrips = 52;
+};
+
+// ---------------------------------------------------------------------------
+// comp (Table 2): SDM detection y = W * r per used tone; stream-separated
+// outputs.  trips = 52 (per OFDM symbol).
+// ---------------------------------------------------------------------------
+struct CompKernel {
+  static constexpr int kRx = reg::kIn0;   ///< seeds interleaved-rx pointer
+  static constexpr int kWMat = reg::kIn1; ///< seeds W pointer (eqcoeff layout)
+  static constexpr int kOut0 = reg::kIn2; ///< seeds stream-0 output pointer
+  static constexpr int kOut1 = reg::kIn3; ///< seeds stream-1 output pointer
+  static KernelDfg build();
+  static constexpr u32 kTrips = 52;
+};
+
+// ---------------------------------------------------------------------------
+// demod QAM64 (Table 2): CPE derotation + hard slicing + gray encoding of
+// one detected stream; one data tone per trip (gathered past the pilots).
+// Output per tone: 32-bit word [grayI (u16), grayQ (u16)].
+// trips = 48 per stream per OFDM symbol.
+// ---------------------------------------------------------------------------
+struct DemodKernel {
+  static constexpr int kDet = reg::kIn0;     ///< detected-stream base address
+  static constexpr int kTab = reg::kIn1;     ///< seeds data-tone offset table
+  static constexpr int kOut = reg::kIn2;     ///< seeds gray output pointer
+  static constexpr int kDerot = reg::kConst0;     ///< [derot, derot]
+  static constexpr int kOffW = reg::kConst0 + 1;  ///< splat(8*unit = 6400)
+  static constexpr int kC12 = reg::kConst0 + 2;   ///< splat(12)
+  static constexpr int kMul = reg::kConst0 + 3;   ///< splat(1312)
+  static constexpr int kZero = reg::kConst0 + 4;  ///< splat(0)
+  static constexpr int kSeven = reg::kConst0 + 5; ///< splat(7)
+  static KernelDfg build();
+  static constexpr u32 kTrips = 48;
+};
+
+}  // namespace adres::sdr

@@ -1,0 +1,60 @@
+// The complete 2x2 MIMO-OFDM receiver as one processor program
+// (paper §4): every Table 2 kernel is a CGA launch under its own profiling
+// region, glued by real VLIW code (synchronization decisions, atan2,
+// phasor generation, tracking, loop control).
+//
+// The program assumes the packet starts within the first STF period of the
+// receive buffers (the platform's front-end triggers capture), runs
+// detection at two fixed offsets, synchronizes, estimates and inverts the
+// channel, then loops over symbol pairs (the paper's "two symbols are
+// processed in parallel" loop merging).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/processor.hpp"
+#include "dsp/modem.hpp"
+
+namespace adres::sdr {
+
+/// L1 byte-address plan of the receiver.
+struct ModemLayout {
+  u32 rx0 = 0, rx1 = 0;        ///< received waveforms (per antenna)
+  u32 comp = 0;                ///< coarse-compensated LTF window
+  u32 compMimo0 = 0, compMimo1 = 0;  ///< compensated MIMO-LTF windows
+  u32 compData0 = 0, compData1 = 0;  ///< compensated data-symbol pair
+  u32 fftWork = 0;             ///< 4 x 256-byte FFT buffers
+  u32 interleaved0 = 0, interleaved1 = 0;  ///< used tones, LTF symbols
+  u32 hBuf = 0, hBuf2 = 0, midBuf = 0, wBuf = 0;
+  u32 rxUsed0 = 0, rxUsed1 = 0;  ///< used tones, data symbols of a pair
+  u32 det0 = 0, det1 = 0;        ///< detected streams (2 symbols each)
+  u32 gray = 0;                  ///< demod output words
+  u32 status = 0;                ///< word0: detection flag; word1: ltfStart
+  u32 scratch = 0;
+};
+
+struct ModemOnProcessor {
+  Program program;
+  ModemLayout layout;
+  int numSymbols = 0;  ///< must be even (symbol pairs)
+};
+
+/// Builds the receiver program for `numSymbols` data symbols.
+ModemOnProcessor buildModemProgram(int numSymbols);
+
+struct ProcessorRxResult {
+  bool detected = false;
+  u32 ltfStart = 0;                 ///< sample index chosen by fine timing
+  std::vector<u8> bits;             ///< decoded payload (from gray words)
+  u64 cycles = 0;
+  double elapsedUs = 0.0;
+};
+
+/// Loads the rx waveforms into L1 (DMA), runs the program, decodes the
+/// gray output words into payload bits.
+ProcessorRxResult runModemOnProcessor(
+    Processor& proc, const ModemOnProcessor& m,
+    const std::array<std::vector<cint16>, 2>& rx);
+
+}  // namespace adres::sdr

@@ -1,0 +1,91 @@
+#include "sdr/tables.hpp"
+
+#include "common/check.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/ofdm.hpp"
+#include "dsp/preamble.hpp"
+
+namespace adres::sdr {
+
+std::vector<u16> bitrevByteOffsets() {
+  const auto rev = dsp::bitReverseTable(64);
+  std::vector<u16> out(64);
+  for (int i = 0; i < 64; ++i)
+    out[static_cast<std::size_t>(i)] = static_cast<u16>(4 * rev[static_cast<std::size_t>(i)]);
+  return out;
+}
+
+FftStageTables fftStageTables(int stage, int nFfts) {
+  ADRES_CHECK(stage >= 2 && stage <= 6, "generic kernel covers stages 2..6");
+  FftStageTables t;
+  const int len = 1 << stage;
+  const int half = len / 2;
+  const int step = 64 / len;
+  t.halfBytes = 4 * half;
+  for (int f = 0; f < nFfts; ++f) {
+    const int fftBase = 256 * f;  // 64 samples * 4 bytes
+    for (int base = 0; base < 64; base += len) {
+      for (int k = 0; k < half; k += 2) {
+        t.aOffsets.push_back(static_cast<u16>(fftBase + 4 * (base + k)));
+        t.twiddlePairs.push_back(packC2(dsp::twiddle(k * step, 64),
+                                        dsp::twiddle((k + 1) * step, 64)));
+      }
+    }
+  }
+  t.pairCount = static_cast<int>(t.aOffsets.size());
+  return t;
+}
+
+std::vector<Word> ltfConjBroadcast() {
+  const auto& ref = dsp::ltfSymbolTime();
+  std::vector<Word> out;
+  out.reserve(ref.size());
+  for (const cint16& v : ref) out.push_back(packC2(v.conj(), v.conj()));
+  return out;
+}
+
+}  // namespace adres::sdr
+
+namespace adres::sdr {
+
+std::vector<u16> usedBinByteOffsets() {
+  const auto& uidx = dsp::usedCarrierIdx();
+  std::vector<u16> out(uidx.size());
+  for (std::size_t i = 0; i < uidx.size(); ++i)
+    out[i] = static_cast<u16>(4 * dsp::binOf(uidx[i]));
+  return out;
+}
+
+std::vector<Word> ltfSignSplats() {
+  const auto& uidx = dsp::usedCarrierIdx();
+  std::vector<Word> out(uidx.size());
+  for (std::size_t i = 0; i < uidx.size(); ++i) {
+    const i16 v = static_cast<i16>(dsp::ltfSign(uidx[i]) * 32767);
+    out[i] = packLanes(v, v, v, v);
+  }
+  return out;
+}
+
+std::vector<u16> dataToneByteOffsets() {
+  const auto& uidx = dsp::usedCarrierIdx();
+  std::vector<u16> out;
+  for (std::size_t i = 0; i < uidx.size(); ++i) {
+    bool isPilot = false;
+    for (int p : dsp::kPilotIdx) isPilot = isPilot || p == uidx[i];
+    if (!isPilot) out.push_back(static_cast<u16>(4 * i));
+  }
+  return out;
+}
+
+std::array<int, 4> pilotUsedPositions() {
+  const auto& uidx = dsp::usedCarrierIdx();
+  std::array<int, 4> out{};
+  int n = 0;
+  for (std::size_t i = 0; i < uidx.size(); ++i) {
+    for (int p : dsp::kPilotIdx)
+      if (p == uidx[i]) out[static_cast<std::size_t>(n++)] = static_cast<int>(i);
+  }
+  return out;
+}
+
+}  // namespace adres::sdr

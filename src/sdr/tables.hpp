@@ -1,0 +1,46 @@
+// L1 lookup tables for the mapped kernels: FFT butterfly descriptors and
+// twiddles, bit-reversal gather offsets, broadcast reference sequences.
+// Generated from the same dsp/ functions the golden models use.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace adres::sdr {
+
+/// Byte offsets (u16) of sample rev[i] for the bit-reversal gather over a
+/// 64-sample buffer.
+std::vector<u16> bitrevByteOffsets();
+
+/// Per-stage butterfly descriptors for FFT stages 2..6 over `nFfts`
+/// back-to-back 64-sample buffers (256 bytes apart):
+///  - aOffsets: u16 byte offset of each butterfly-pair's `a` word,
+///  - twiddles: packed [w0, w1] twiddle pair per descriptor.
+struct FftStageTables {
+  std::vector<u16> aOffsets;
+  std::vector<Word> twiddlePairs;
+  int halfBytes = 0;   ///< byte distance between a and b words
+  int pairCount = 0;   ///< descriptors per launch (= trips)
+};
+FftStageTables fftStageTables(int stage, int nFfts);
+
+/// Conjugated broadcast LTF reference: Lc[k] = [L*(k), L*(k)], 64 words.
+std::vector<Word> ltfConjBroadcast();
+
+/// Byte offsets (u16) of the 52 used-carrier FFT bins, ascending signed
+/// index order (the sample-ordering gather).
+std::vector<u16> usedBinByteOffsets();
+
+/// Per-used-tone LTF sign splats: [sign*32767 x4] (chest kernel input).
+std::vector<Word> ltfSignSplats();
+
+/// Byte offsets (u16) of the 48 data tones within a 52-entry used-tone
+/// buffer (4 bytes per tone), transmission order.
+std::vector<u16> dataToneByteOffsets();
+
+/// Used-tone positions of the four pilots within the 52-entry layout.
+std::array<int, 4> pilotUsedPositions();
+
+}  // namespace adres::sdr

@@ -1,0 +1,119 @@
+// KernelConfig validation and configuration-image round trips.
+#include "cga/context.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cga/topology.hpp"
+#include "common/check.hpp"
+
+namespace adres {
+namespace {
+
+KernelConfig makeSimpleKernel() {
+  KernelConfig k;
+  k.name = "acc";
+  k.ii = 1;
+  k.schedLength = 1;
+  k.contexts.resize(1);
+  FuOp& f = k.contexts[0].fu[5];
+  f.op = Opcode::ADD;
+  f.src1 = SrcSel::localRf(0);
+  f.src2 = SrcSel::imm();
+  f.imm = 1;
+  f.dst.toLocalRf = true;
+  f.dst.localAddr = 0;
+  f.schedTime = 0;
+  k.preloads.push_back({5, 0, 10});
+  k.writebacks.push_back({11, 5, 0});
+  return k;
+}
+
+TEST(Context, ValidKernelPasses) {
+  EXPECT_NO_THROW(makeSimpleKernel().validate());
+}
+
+TEST(Context, RejectsWrongContextCount) {
+  KernelConfig k = makeSimpleKernel();
+  k.ii = 2;
+  EXPECT_THROW(k.validate(), SimError);
+}
+
+TEST(Context, RejectsGlobalAccessWithoutPort) {
+  KernelConfig k = makeSimpleKernel();
+  k.contexts[0].fu[5].src1 = SrcSel::globalRf(3);
+  EXPECT_THROW(k.validate(), SimError) << "FU5 has no CDRF port";
+  k = makeSimpleKernel();
+  k.contexts[0].fu[5].dst.toGlobalRf = true;
+  EXPECT_THROW(k.validate(), SimError);
+}
+
+TEST(Context, RejectsNonMeshOutputRead) {
+  KernelConfig k = makeSimpleKernel();
+  // FU5 (row1,col1) cannot read FU15 (row3,col3).
+  k.contexts[0].fu[5].src1 = SrcSel::output(15);
+  EXPECT_THROW(k.validate(), SimError);
+  // But it can read FU1 (its north neighbour).
+  k.contexts[0].fu[5].src1 = SrcSel::output(1);
+  EXPECT_NO_THROW(k.validate());
+}
+
+TEST(Context, RejectsMisplacedSchedTime) {
+  KernelConfig k = makeSimpleKernel();
+  k.contexts[0].fu[5].schedTime = 1;  // 1 % 1 == 0 ok; use ii=2 case
+  k.ii = 2;
+  k.contexts.resize(2);
+  EXPECT_THROW(k.validate(), SimError) << "op in wrong context slot";
+}
+
+TEST(Context, RejectsOpOnWrongFu) {
+  KernelConfig k = makeSimpleKernel();
+  k.contexts[0].fu[8].op = Opcode::LD_I;  // loads only on FUs 0-3
+  k.contexts[0].fu[8].src1 = SrcSel::localRf(0);
+  EXPECT_THROW(k.validate(), SimError);
+}
+
+TEST(Context, RejectsControlOpsInArray) {
+  KernelConfig k = makeSimpleKernel();
+  k.contexts[0].fu[0].op = Opcode::BR;
+  EXPECT_THROW(k.validate(), SimError);
+}
+
+TEST(Context, EncodeDecodeRoundTrip) {
+  const KernelConfig k = makeSimpleKernel();
+  const auto img = encodeKernel(k);
+  const KernelConfig d = decodeKernel(img);
+  EXPECT_EQ(d.name, "acc");
+  EXPECT_EQ(d.ii, 1);
+  EXPECT_EQ(d.schedLength, 1);
+  ASSERT_EQ(d.preloads.size(), 1u);
+  EXPECT_EQ(d.preloads[0].globalReg, 10);
+  ASSERT_EQ(d.writebacks.size(), 1u);
+  EXPECT_EQ(d.writebacks[0].globalReg, 11);
+  const FuOp& f = d.contexts[0].fu[5];
+  EXPECT_EQ(f.op, Opcode::ADD);
+  EXPECT_EQ(f.src1, SrcSel::localRf(0));
+  EXPECT_EQ(f.src2, SrcSel::imm());
+  EXPECT_EQ(f.imm, 1);
+  EXPECT_TRUE(f.dst.toLocalRf);
+}
+
+TEST(Context, NegativeImmediatesSurviveEncoding) {
+  KernelConfig k = makeSimpleKernel();
+  k.contexts[0].fu[5].imm = -1234;
+  const KernelConfig d = decodeKernel(encodeKernel(k));
+  EXPECT_EQ(d.contexts[0].fu[5].imm, -1234);
+}
+
+TEST(Context, UltraWideWordSize) {
+  // Sanity: the per-cycle configuration word is in the several-hundred-bit
+  // range the paper's "ultra wide" description implies.
+  EXPECT_GT(contextWordBits(), 512);
+  EXPECT_LT(contextWordBits(), 4096);
+}
+
+TEST(Context, OpCount) {
+  EXPECT_EQ(makeSimpleKernel().opCount(), 1);
+}
+
+}  // namespace
+}  // namespace adres

@@ -1,0 +1,66 @@
+#include "common/bitfield.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace adres {
+namespace {
+
+TEST(BitField, WriteReadRoundTrip) {
+  BitWriter w;
+  w.put(0x5, 3);
+  w.put(0x1234, 16);
+  w.put(1, 1);
+  w.put(0xFFFFFFFFFFFFFFFFull, 64);
+  BitReader r(w.bytes());
+  EXPECT_EQ(r.get(3), 0x5u);
+  EXPECT_EQ(r.get(16), 0x1234u);
+  EXPECT_EQ(r.get(1), 1u);
+  EXPECT_EQ(r.get(64), 0xFFFFFFFFFFFFFFFFull);
+}
+
+TEST(BitField, OverflowingValueThrows) {
+  BitWriter w;
+  EXPECT_THROW(w.put(0x10, 4), SimError);
+}
+
+TEST(BitField, ReadPastEndThrows) {
+  BitWriter w;
+  w.put(1, 1);
+  BitReader r(w.bytes());
+  (void)r.get(1);
+  // The byte has 7 padding bits; reading a 9th bit overruns.
+  (void)r.get(7);
+  EXPECT_THROW(r.get(1), SimError);
+}
+
+TEST(BitField, AlignPadsWithZeros) {
+  BitWriter w;
+  w.put(1, 1);
+  w.alignTo(32);
+  EXPECT_EQ(w.bitCount(), 32u);
+  BitReader r(w.bytes());
+  EXPECT_EQ(r.get(1), 1u);
+  EXPECT_EQ(r.get(31), 0u);
+}
+
+TEST(BitField, RandomizedRoundTrip) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::pair<u64, int>> fields;
+    BitWriter w;
+    for (int i = 0; i < 40; ++i) {
+      const int bits = 1 + static_cast<int>(rng.below(64));
+      const u64 v = bits == 64 ? rng.next() : (rng.next() & ((u64{1} << bits) - 1));
+      fields.emplace_back(v, bits);
+      w.put(v, bits);
+    }
+    BitReader r(w.bytes());
+    for (const auto& [v, bits] : fields) EXPECT_EQ(r.get(bits), v);
+  }
+}
+
+}  // namespace
+}  // namespace adres

@@ -1,0 +1,91 @@
+// Lane/packing helpers and saturating Q15 arithmetic.
+#include "common/types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adres {
+namespace {
+
+TEST(Lanes, PackUnpackRoundTrip) {
+  const Word w = packLanes(-1, 2, -32768, 32767);
+  EXPECT_EQ(lane(w, 0), -1);
+  EXPECT_EQ(lane(w, 1), 2);
+  EXPECT_EQ(lane(w, 2), -32768);
+  EXPECT_EQ(lane(w, 3), 32767);
+  const auto l = unpackLanes(w);
+  EXPECT_EQ(packLanes(l[0], l[1], l[2], l[3]), w);
+}
+
+TEST(Lanes, WithLaneReplacesOnlyOneLane) {
+  Word w = packLanes(10, 20, 30, 40);
+  w = withLane(w, 2, -7);
+  EXPECT_EQ(lane(w, 0), 10);
+  EXPECT_EQ(lane(w, 1), 20);
+  EXPECT_EQ(lane(w, 2), -7);
+  EXPECT_EQ(lane(w, 3), 40);
+}
+
+TEST(Lanes, LaneUMatchesBitPattern) {
+  const Word w = packLanes(-1, 0, 1, -2);
+  EXPECT_EQ(laneU(w, 0), 0xFFFFu);
+  EXPECT_EQ(laneU(w, 3), 0xFFFEu);
+}
+
+TEST(Scalar, Lo32IsSigned) {
+  EXPECT_EQ(lo32(0xFFFFFFFFull), -1);
+  EXPECT_EQ(lo32u(0xFFFFFFFFull), 0xFFFFFFFFu);
+  EXPECT_EQ(fromScalar(i32{-1}), 0xFFFFFFFFull) << "high half cleared";
+}
+
+TEST(Sat16, AddSaturates) {
+  EXPECT_EQ(satAdd16(32000, 1000), 32767);
+  EXPECT_EQ(satAdd16(-32000, -1000), -32768);
+  EXPECT_EQ(satAdd16(100, -50), 50);
+}
+
+TEST(Sat16, SubSaturates) {
+  EXPECT_EQ(satSub16(-32000, 1000), -32768);
+  EXPECT_EQ(satSub16(32000, -1000), 32767);
+}
+
+TEST(Sat16, NegAndAbsHandleIntMin) {
+  EXPECT_EQ(satNeg16(-32768), 32767);
+  EXPECT_EQ(satAbs16(-32768), 32767);
+  EXPECT_EQ(satAbs16(-5), 5);
+  EXPECT_EQ(satNeg16(5), -5);
+}
+
+TEST(MulQ15, UnitAndRounding) {
+  // 0.5 * 0.5 = 0.25.
+  EXPECT_EQ(mulQ15(16384, 16384), 8192);
+  // -1.0 * -1.0 saturates.
+  EXPECT_EQ(mulQ15(-32768, -32768), 32767);
+  // Rounding: 1 * 1 (tiny) rounds to 0 but 0x4000-scaled half rounds up.
+  EXPECT_EQ(mulQ15(1, 1), 0);
+  EXPECT_EQ(mulQ15(32767, 1), 1);
+}
+
+TEST(Cint16, ComplexProductMatchesDouble) {
+  const cint16 a{8192, -4096};   // 0.25 - 0.125j
+  const cint16 b{16384, 16384};  // 0.5 + 0.5j
+  const cint16 p = a * b;
+  // (0.25 - 0.125j)(0.5+0.5j) = 0.1875 + 0.0625j
+  EXPECT_NEAR(p.re / 32768.0, 0.1875, 2e-4);
+  EXPECT_NEAR(p.im / 32768.0, 0.0625, 2e-4);
+}
+
+TEST(Cint16, ConjAndNorm) {
+  const cint16 a{1000, -2000};
+  EXPECT_EQ(a.conj().im, 2000);
+  EXPECT_GT(a.norm2(), 0);
+}
+
+TEST(Cint16, PackC2RoundTrip) {
+  const cint16 s0{-3, 4}, s1{5, -6};
+  const Word w = packC2(s0, s1);
+  EXPECT_EQ(unpackC(w, 0), s0);
+  EXPECT_EQ(unpackC(w, 1), s1);
+}
+
+}  // namespace
+}  // namespace adres

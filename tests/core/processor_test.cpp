@@ -1,0 +1,198 @@
+// Processor-level behaviour: mode switching, sleep/resume, external stall,
+// region profiling, program loading through the binary/DMA paths.
+#include <gtest/gtest.h>
+
+#include "bus/ahb.hpp"
+#include "core/processor.hpp"
+#include "sched/progbuilder.hpp"
+
+namespace adres {
+namespace {
+
+KernelConfig accumulatorKernel() {
+  KernelConfig k;
+  k.name = "acc";
+  k.ii = 1;
+  k.schedLength = 1;
+  k.contexts.resize(1);
+  FuOp& f = k.contexts[0].fu[5];
+  f.op = Opcode::ADD;
+  f.src1 = SrcSel::localRf(0);
+  f.src2 = SrcSel::imm();
+  f.imm = 1;
+  f.dst.toLocalRf = true;
+  f.dst.localAddr = 0;
+  k.preloads.push_back({5, 0, 10});
+  k.writebacks.push_back({11, 5, 0});
+  return k;
+}
+
+TEST(Processor, CgaInstructionRunsKernel) {
+  ProgramBuilder b("cga_test");
+  const int kid = b.addKernel(accumulatorKernel());
+  b.li(10, 1000);  // accumulator seed
+  b.li(12, 50);    // trip count
+  b.cga(kid, 12);
+  b.halt();
+  Processor p;
+  p.load(b.build());
+  EXPECT_EQ(p.run(), StopReason::kHalt);
+  EXPECT_EQ(p.regs().peek(11), 1050u);
+  EXPECT_EQ(p.activity().modeSwitches, 2u);
+  EXPECT_GT(p.activity().cgaCycles, 50u) << "kernel + switch overhead";
+  EXPECT_GT(p.activity().vliwCycles, 0u);
+}
+
+TEST(Processor, KernelSurvivesConfigMemoryRoundTrip) {
+  // load() encodes kernels into configuration memory via DMA and decodes
+  // them back; a second identical launch must still work.
+  ProgramBuilder b("cfg_rt");
+  const int kid = b.addKernel(accumulatorKernel());
+  b.li(10, 0);
+  b.li(12, 3);
+  b.cga(kid, 12);
+  b.mov(10, 11);
+  b.cga(kid, 12);
+  b.halt();
+  Processor p;
+  p.load(b.build());
+  p.run();
+  EXPECT_EQ(p.regs().peek(11), 6u) << "two launches of 3 trips each";
+  EXPECT_GT(p.dma().stats().transfers, 0u) << "config image loaded via DMA";
+  EXPECT_GT(p.configMem().stats().contextFetches, 0u);
+}
+
+TEST(Processor, HaltSleepsAndResumeContinues) {
+  ProgramBuilder b("sleep");
+  b.li(1, 1);
+  b.halt();
+  b.li(1, 2);
+  b.halt();
+  Processor p;
+  p.load(b.build());
+  EXPECT_EQ(p.run(), StopReason::kHalt);
+  EXPECT_TRUE(p.sleeping());
+  EXPECT_EQ(p.regs().peek(1), 1u);
+  // While sleeping, run() returns immediately.
+  EXPECT_EQ(p.run(), StopReason::kHalt);
+  p.resume();
+  EXPECT_FALSE(p.sleeping());
+  EXPECT_EQ(p.run(), StopReason::kHalt);
+  EXPECT_EQ(p.regs().peek(1), 2u);
+}
+
+TEST(Processor, SleepStateVisibleOverAhb) {
+  ProgramBuilder b("sleep2");
+  b.halt();
+  Processor p;
+  AhbSlave bus;
+  p.attachBus(bus);
+  p.load(b.build());
+  EXPECT_EQ(bus.read32(mmap::kSpecialBase + sreg::kStatus), 0u);
+  p.run();
+  EXPECT_EQ(bus.read32(mmap::kSpecialBase + sreg::kStatus), 1u);
+  // The L1 stays accessible in sleep mode (paper §2.A).
+  bus.write32(mmap::kL1Base + 0x100, 0xBEEF);
+  EXPECT_EQ(bus.read32(mmap::kL1Base + 0x100), 0xBEEFu);
+}
+
+TEST(Processor, ExternalStallHoldsState) {
+  ProgramBuilder b("stall");
+  b.li(1, 1);
+  b.li(2, 2);
+  b.halt();
+  Processor p;
+  p.load(b.build());
+  p.setExternalStall(true);
+  EXPECT_EQ(p.run(), StopReason::kExternalStall);
+  const u64 c = p.cycles();
+  EXPECT_EQ(p.run(), StopReason::kExternalStall);
+  EXPECT_EQ(p.cycles(), c) << "no progress while stalled";
+  p.setExternalStall(false);
+  EXPECT_EQ(p.run(), StopReason::kHalt);
+  EXPECT_EQ(p.regs().peek(2), 2u);
+}
+
+TEST(Processor, MaxCycleBudget) {
+  ProgramBuilder b("budget");
+  b.li(1, 0);
+  auto top = b.newLabel();
+  b.bind(top);
+  b.addi(1, 1, 1);
+  b.br(top);  // infinite loop
+  Processor p;
+  p.load(b.build());
+  EXPECT_EQ(p.run(500), StopReason::kMaxCycles);
+  EXPECT_GE(p.cycles(), 500u);
+}
+
+TEST(Processor, RegionProfiling) {
+  ProgramBuilder b("regions");
+  const int kid = b.addKernel(accumulatorKernel());
+  b.marker("setup");
+  b.li(10, 0);
+  b.li(12, 400);
+  b.marker("kernel");
+  b.cga(kid, 12);
+  b.markerEnd();
+  b.halt();
+  Processor p;
+  const Program prog = b.build();
+  p.load(prog);
+  p.run();
+  const auto& profs = p.profiles();
+  ASSERT_EQ(profs.size(), 2u);
+  const RegionProfile& setup = profs.at(prog.regionId("setup"));
+  const RegionProfile& kern = profs.at(prog.regionId("kernel"));
+  EXPECT_GT(setup.cycles, 0u);
+  EXPECT_EQ(setup.cgaCycles, 0u);
+  EXPECT_EQ(setup.mode(), "VLIW");
+  EXPECT_GT(kern.cgaCycles, 400u);
+  EXPECT_EQ(kern.mode(), "CGA");
+  EXPECT_GT(kern.ipc(), 0.5) << "accumulator sustains ~1 op/cycle";
+  EXPECT_EQ(kern.entries, 1u);
+}
+
+TEST(Processor, ElapsedTimeUses400MHzClock) {
+  ProgramBuilder b("clk");
+  b.halt();
+  Processor p;
+  p.load(b.build());
+  p.run();
+  EXPECT_NEAR(p.elapsedUs(), static_cast<double>(p.cycles()) / 400.0, 1e-12);
+}
+
+TEST(Processor, DataSegmentsLoadedThroughDma) {
+  ProgramBuilder b("data");
+  const u32 tab = b.dataI32({10, 20, 30, 40});
+  b.li(1, static_cast<i32>(tab));
+  b.ld32(2, 1, 2);
+  b.halt();
+  Processor p;
+  p.load(b.build());
+  p.run();
+  EXPECT_EQ(p.regs().peek(2), 30u);
+  EXPECT_GT(p.dma().stats().wordsMoved, 0u);
+}
+
+TEST(Processor, GuardedCgaSkipsKernel) {
+  ProgramBuilder b("guarded_cga");
+  const int kid = b.addKernel(accumulatorKernel());
+  b.li(10, 7);
+  b.li(12, 5);
+  Instr pc;
+  pc.op = Opcode::PRED_CLEAR;
+  pc.dst = 3;
+  b.emit(pc);
+  // Guarded-off cga: kernel must not run.
+  b.cga(kid, 12, /*guard=*/3);
+  b.halt();
+  Processor p;
+  p.load(b.build());
+  p.run();
+  EXPECT_EQ(p.regs().peek(11), 0u) << "kernel skipped, no writeback";
+  EXPECT_EQ(p.activity().modeSwitches, 0u);
+}
+
+}  // namespace
+}  // namespace adres

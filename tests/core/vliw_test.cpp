@@ -1,0 +1,229 @@
+// VLIW-mode execution: arithmetic, hazards, branches, predication, memory.
+#include <gtest/gtest.h>
+
+#include "core/processor.hpp"
+#include "sched/progbuilder.hpp"
+
+namespace adres {
+namespace {
+
+TEST(Vliw, BasicArithmeticProgram) {
+  ProgramBuilder b("arith");
+  b.li(1, 100);
+  b.li(2, 23);
+  b.add(3, 1, 2);
+  b.sub(4, 1, 2);
+  b.halt();
+  Processor p;
+  p.load(b.build());
+  EXPECT_EQ(p.run(), StopReason::kHalt);
+  EXPECT_EQ(p.regs().peek(3), 123u);
+  EXPECT_EQ(p.regs().peek(4), 77u);
+}
+
+TEST(Vliw, LiBuildsLargeConstants) {
+  ProgramBuilder b("li");
+  b.li(1, 0x00ABC123);
+  b.li(2, -5);
+  b.li(3, 2047);
+  b.li(4, -2048);
+  b.li(5, 0x00FFFFFF);
+  b.halt();
+  Processor p;
+  p.load(b.build());
+  p.run();
+  EXPECT_EQ(p.regs().peek(1), 0x00ABC123u);
+  EXPECT_EQ(p.regs().peek(2), 0xFFFFFFFBu);
+  EXPECT_EQ(p.regs().peek(3), 2047u);
+  EXPECT_EQ(p.regs().peek(4), 0xFFFFF800u);
+  EXPECT_EQ(p.regs().peek(5), 0x00FFFFFFu);
+}
+
+TEST(Vliw, StoreLoadRoundTrip) {
+  ProgramBuilder b("mem");
+  const u32 buf = b.reserve(64);
+  b.li(1, static_cast<i32>(buf));
+  b.li(2, 0x1234);
+  b.st32(1, 0, 2);
+  b.st32(1, 1, 2);
+  b.ld32(3, 1, 0);
+  b.halt();
+  Processor p;
+  p.load(b.build());
+  p.run();
+  EXPECT_EQ(p.regs().peek(3), 0x1234u);
+  EXPECT_EQ(p.l1().read32(buf + 4), 0x1234u);
+}
+
+TEST(Vliw, Load64PairAndStore64Pair) {
+  ProgramBuilder b("mem64");
+  const u32 buf = b.reserve(32);
+  b.li(1, static_cast<i32>(buf));
+  b.li(2, 0x1111);
+  b.li(3, 0x2222);
+  b.st32(1, 0, 2);
+  b.st32(1, 1, 3);
+  b.ld64(4, 1, 0);       // r4 = {hi: 0x2222, lo: 0x1111}
+  b.st64(1, 2, 4);       // words 2,3 = lo,hi
+  b.halt();
+  Processor p;
+  p.load(b.build());
+  p.run();
+  EXPECT_EQ(p.regs().peek(4), 0x00002222'00001111ull);
+  EXPECT_EQ(p.l1().read32(buf + 8), 0x1111u);
+  EXPECT_EQ(p.l1().read32(buf + 12), 0x2222u);
+}
+
+TEST(Vliw, LoadLatencyStallsDependent) {
+  // Dependent add right after a load must wait for the 5-cycle latency.
+  ProgramBuilder b("lat");
+  const u32 buf = b.reserve(16);
+  b.li(1, static_cast<i32>(buf));
+  b.li(2, 7);
+  b.st32(1, 0, 2);
+  b.halt();
+  Processor p;
+  p.load(b.build());
+  p.run();
+
+  ProgramBuilder b2("lat2");
+  b2.li(1, static_cast<i32>(buf));
+  b2.ld32(3, 1, 0);
+  b2.addi(4, 3, 1);
+  b2.halt();
+  Processor p2;
+  p2.load(b2.build());
+  // Carry the stored data over.
+  p2.l1().write32(buf, 7);
+  p2.run();
+  EXPECT_EQ(p2.regs().peek(4), 8u);
+  EXPECT_GT(p2.activity().vliwStallCycles, 0u) << "load-use stall happened";
+}
+
+TEST(Vliw, CountedLoopWithBranch) {
+  // r1 = sum 1..10 using a predicated backward branch.
+  ProgramBuilder b("loop");
+  b.li(1, 0);   // sum
+  b.li(2, 1);   // i
+  b.li(3, 10);  // limit
+  auto top = b.newLabel();
+  b.bind(top);
+  b.add(1, 1, 2);
+  b.addi(2, 2, 1);
+  {
+    Instr p;
+    p.op = Opcode::PRED_LE;
+    p.dst = 1;
+    p.src1 = 2;
+    p.src2 = 3;
+    b.emit(p);
+  }
+  b.brIf(1, top);
+  b.halt();
+  Processor p;
+  p.load(b.build());
+  EXPECT_EQ(p.run(), StopReason::kHalt);
+  EXPECT_EQ(p.regs().peek(1), 55u);
+}
+
+TEST(Vliw, GuardSquashesSideEffects) {
+  ProgramBuilder b("guard");
+  b.li(1, 5);
+  {
+    Instr pset;
+    pset.op = Opcode::PRED_CLEAR;
+    pset.dst = 2;
+    b.emit(pset);
+  }
+  Instr in;
+  in.op = Opcode::ADD;
+  in.guard = 2;  // false -> squashed
+  in.dst = 1;
+  in.src1 = 1;
+  in.useImm = true;
+  in.imm = 100;
+  b.emit(in);
+  b.halt();
+  Processor p;
+  p.load(b.build());
+  p.run();
+  EXPECT_EQ(p.regs().peek(1), 5u) << "guarded-off op must not retire";
+}
+
+TEST(Vliw, BrlLinksAndJmpReturns) {
+  // Hand-built call/return: brl links PC+1 into R9, jmp r9 returns.
+  Program prog;
+  prog.name = "call2";
+  Bundle b0;  // r2 = 1
+  b0.slot[0].op = Opcode::MOVI;
+  b0.slot[0].dst = 2;
+  b0.slot[0].useImm = true;
+  b0.slot[0].imm = 1;
+  Bundle b1;  // brl +2 (to bundle 3)
+  b1.slot[0].op = Opcode::BRL;
+  b1.slot[0].useImm = true;
+  b1.slot[0].imm = 2;
+  Bundle b2;  // halt (return lands here)
+  b2.slot[0].op = Opcode::HALT;
+  Bundle b3;  // r2 += 10
+  b3.slot[0].op = Opcode::ADD;
+  b3.slot[0].dst = 2;
+  b3.slot[0].src1 = 2;
+  b3.slot[0].useImm = true;
+  b3.slot[0].imm = 10;
+  Bundle b4;  // jmp r9
+  b4.slot[0].op = Opcode::JMP;
+  b4.slot[0].src2 = kLinkReg;
+  prog.bundles = {b0, b1, b2, b3, b4};
+  Processor p;
+  p.load(prog);
+  EXPECT_EQ(p.run(), StopReason::kHalt);
+  EXPECT_EQ(p.regs().peek(2), 11u);
+}
+
+TEST(Vliw, DivByZeroSetsException) {
+  ProgramBuilder b("div0");
+  b.li(1, 5);
+  b.li(2, 0);
+  Instr d;
+  d.op = Opcode::DIV;
+  d.dst = 3;
+  d.src1 = 1;
+  d.src2 = 2;
+  b.emit(d);
+  b.halt();
+  Processor p;
+  p.load(b.build());
+  p.run();
+  EXPECT_TRUE(p.exceptions().divByZero);
+  EXPECT_EQ(p.regs().peek(3), 0u);
+}
+
+TEST(Vliw, IcacheColdMissesAccounted) {
+  ProgramBuilder b("ic");
+  b.li(1, 1);
+  b.halt();
+  Processor p;
+  p.load(b.build());
+  p.run();
+  EXPECT_GT(p.icache().stats().misses, 0u) << "cold start misses";
+  EXPECT_GE(p.activity().vliwStallCycles,
+            static_cast<u64>(kICacheMissPenalty));
+}
+
+TEST(Vliw, OffEndIsReported) {
+  Program prog;
+  prog.name = "offend";
+  Bundle b0;
+  b0.slot[0].op = Opcode::MOVI;
+  b0.slot[0].dst = 1;
+  b0.slot[0].useImm = true;
+  b0.slot[0].imm = 1;
+  prog.bundles = {b0};
+  Processor p;
+  p.load(prog);
+  EXPECT_EQ(p.run(), StopReason::kOffEnd);
+}
+
+}  // namespace
+}  // namespace adres

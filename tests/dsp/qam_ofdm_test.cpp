@@ -1,0 +1,157 @@
+// QAM mapping and OFDM carrier-plan tests.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "dsp/ofdm.hpp"
+#include "dsp/qam.hpp"
+
+namespace adres::dsp {
+namespace {
+
+class QamRoundTrip : public ::testing::TestWithParam<Modulation> {};
+
+TEST_P(QamRoundTrip, AllSymbolsRoundTrip) {
+  const Modulation m = GetParam();
+  const int n = bitsPerSymbol(m);
+  for (u32 v = 0; v < (1u << n); ++v) {
+    std::vector<u8> bits(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) bits[static_cast<std::size_t>(i)] = (v >> i) & 1;
+    const cint16 s = qamMap(m, bits, 0);
+    std::vector<u8> back(static_cast<std::size_t>(n), 0xFF);
+    qamDemap(m, s, back, 0);
+    EXPECT_EQ(back, bits) << "constellation point " << v;
+  }
+}
+
+TEST_P(QamRoundTrip, SurvivesNoiseWithinHalfUnit) {
+  const Modulation m = GetParam();
+  const int n = bitsPerSymbol(m);
+  const i16 unit = qamUnit(m);
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<u8> bits(static_cast<std::size_t>(n));
+    for (auto& b : bits) b = rng.bit();
+    cint16 s = qamMap(m, bits, 0);
+    // Perturb by strictly less than one unit (decision distance).
+    s.re = sat16(s.re + static_cast<i16>(rng.below(static_cast<u64>(unit))) -
+                 unit / 2);
+    s.im = sat16(s.im + static_cast<i16>(rng.below(static_cast<u64>(unit))) -
+                 unit / 2);
+    std::vector<u8> back(static_cast<std::size_t>(n));
+    qamDemap(m, s, back, 0);
+    EXPECT_EQ(back, bits);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModulations, QamRoundTrip,
+                         ::testing::Values(Modulation::kBpsk, Modulation::kQpsk,
+                                           Modulation::kQam16,
+                                           Modulation::kQam64));
+
+TEST(Qam, BitsPerSymbol) {
+  EXPECT_EQ(bitsPerSymbol(Modulation::kBpsk), 1);
+  EXPECT_EQ(bitsPerSymbol(Modulation::kQpsk), 2);
+  EXPECT_EQ(bitsPerSymbol(Modulation::kQam16), 4);
+  EXPECT_EQ(bitsPerSymbol(Modulation::kQam64), 6);
+}
+
+TEST(Qam, GrayNeighboursDifferInOneBit) {
+  // Adjacent QAM-64 I-levels must differ in exactly one bit (gray code).
+  const Modulation m = Modulation::kQam64;
+  const i16 unit = qamUnit(m);
+  u32 prev = 0;
+  for (int level = -7; level <= 7; level += 2) {
+    std::vector<u8> bits(6);
+    qamDemap(m, {static_cast<i16>(level * unit), static_cast<i16>(-7 * unit)},
+             bits, 0);
+    u32 v = 0;
+    for (int i = 0; i < 3; ++i) v |= static_cast<u32>(bits[static_cast<std::size_t>(i)]) << i;
+    if (level > -7) {
+      const u32 x = v ^ prev;
+      EXPECT_EQ(x & (x - 1), 0u) << "non-gray transition at level " << level;
+      EXPECT_NE(x, 0u);
+    }
+    prev = v;
+  }
+}
+
+TEST(Qam, VectorHelpersRoundTrip) {
+  Rng rng(6);
+  std::vector<u8> bits(6 * 48);
+  for (auto& b : bits) b = rng.bit();
+  const auto syms = qamModulate(Modulation::kQam64, bits);
+  EXPECT_EQ(syms.size(), 48u);
+  EXPECT_EQ(qamDemodulate(Modulation::kQam64, syms), bits);
+}
+
+TEST(Ofdm, CarrierPlanCounts) {
+  EXPECT_EQ(dataCarrierIdx().size(), 48u);
+  EXPECT_EQ(usedCarrierIdx().size(), 52u);
+  // No data carrier collides with a pilot or DC.
+  for (int k : dataCarrierIdx()) {
+    EXPECT_NE(k, 0);
+    for (int p : kPilotIdx) EXPECT_NE(k, p);
+    EXPECT_GE(k, -26);
+    EXPECT_LE(k, 26);
+  }
+}
+
+TEST(Ofdm, MapGatherRoundTrip) {
+  Rng rng(8);
+  std::vector<cint16> data(kDataCarriers);
+  for (cint16& v : data)
+    v = {static_cast<i16>(rng.next()), static_cast<i16>(rng.next())};
+  const auto spec = mapSubcarriers(data, 3, 9000);
+  EXPECT_EQ(gatherDataCarriers(spec), data);
+  // Zero carriers are actually zero.
+  for (int k = 27; k <= 37; ++k)
+    EXPECT_EQ(spec[static_cast<std::size_t>(k)], cint16{});
+  EXPECT_EQ(spec[0], cint16{}) << "DC null";
+  // Pilots carry the per-symbol polarity.
+  const auto pilots = gatherPilots(spec);
+  const i16 pol = pilotPolarity(3);
+  for (int p = 0; p < kPilotCarriers; ++p) {
+    EXPECT_EQ(pilots[static_cast<std::size_t>(p)].re,
+              static_cast<i16>(kPilotBase[static_cast<std::size_t>(p)] * pol * 9000));
+    EXPECT_EQ(pilots[static_cast<std::size_t>(p)].im, 0);
+  }
+}
+
+TEST(Ofdm, UsedCarriersContainDataAndPilots) {
+  std::vector<cint16> data(kDataCarriers);
+  for (int i = 0; i < kDataCarriers; ++i)
+    data[static_cast<std::size_t>(i)] = {static_cast<i16>(i + 1), 0};
+  const auto spec = mapSubcarriers(data, 0, 9000);
+  const auto used = gatherUsedCarriers(spec);
+  EXPECT_EQ(used.size(), 52u);
+  int nonzero = 0;
+  for (const cint16& v : used)
+    if (!(v == cint16{})) ++nonzero;
+  EXPECT_EQ(nonzero, 52);
+}
+
+TEST(Ofdm, CyclicPrefix) {
+  std::vector<cint16> sym(kNfft);
+  for (int i = 0; i < kNfft; ++i) sym[static_cast<std::size_t>(i)] = {static_cast<i16>(i), 0};
+  const auto withCp = addCyclicPrefix(sym);
+  ASSERT_EQ(withCp.size(), static_cast<std::size_t>(kSymbolLen));
+  for (int i = 0; i < kCpLen; ++i)
+    EXPECT_EQ(withCp[static_cast<std::size_t>(i)].re, kNfft - kCpLen + i);
+  EXPECT_EQ(withCp[kCpLen].re, 0);
+}
+
+TEST(Ofdm, SymbolTiming) {
+  EXPECT_EQ(kSymbolLen, 80);
+  EXPECT_NEAR(kSymbolTimeUs, 4.0, 1e-12) << "4 us OFDM symbol at 20 MHz";
+}
+
+TEST(Ofdm, PilotPolarityIsSigns) {
+  for (int s = 0; s < 64; ++s) {
+    const i16 p = pilotPolarity(s);
+    EXPECT_TRUE(p == 1 || p == -1);
+  }
+}
+
+}  // namespace
+}  // namespace adres::dsp

@@ -1,0 +1,158 @@
+// Preamble generation + synchronization chain tests.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "dsp/channel.hpp"
+#include "dsp/preamble.hpp"
+#include "dsp/sync.hpp"
+#include "dsp/trig.hpp"
+
+namespace adres::dsp {
+namespace {
+
+TEST(Preamble, StfIsSixteenSamplePeriodic) {
+  const auto& stf = stfTime();
+  ASSERT_EQ(stf.size(), static_cast<std::size_t>(kStfLen));
+  for (int n = 0; n + kStfPeriod < kStfLen; ++n) {
+    EXPECT_EQ(stf[static_cast<std::size_t>(n)],
+              stf[static_cast<std::size_t>(n + kStfPeriod)])
+        << "sample " << n;
+  }
+}
+
+TEST(Preamble, LtfFieldRepeatsTwice) {
+  const auto ltf = ltfField();
+  ASSERT_EQ(ltf.size(), static_cast<std::size_t>(kLtfLen));
+  for (int n = 0; n < kNfft; ++n)
+    EXPECT_EQ(ltf[static_cast<std::size_t>(kLtfCp + n)],
+              ltf[static_cast<std::size_t>(kLtfCp + kNfft + n)]);
+}
+
+TEST(Preamble, MimoPreambleShapes) {
+  const auto pre = mimoPreamble();
+  for (const auto& w : pre)
+    EXPECT_EQ(w.size(), static_cast<std::size_t>(kPreambleLen));
+  // MIMO-LTF symbols are P-mapped: antenna1's second MIMO-LTF is the
+  // negation of its first.
+  const int base = kStfLen + kLtfLen;
+  for (int n = 0; n < kSymbolLen; ++n) {
+    const cint16 s0 = pre[1][static_cast<std::size_t>(base + n)];
+    const cint16 s1 = pre[1][static_cast<std::size_t>(base + kSymbolLen + n)];
+    EXPECT_EQ(s1.re, static_cast<i16>(-s0.re));
+    EXPECT_EQ(s1.im, static_cast<i16>(-s0.im));
+  }
+}
+
+TEST(Sync, AcorrDetectsStfNotNoise) {
+  const auto& stf = stfTime();
+  std::vector<cint16> sig(stf.begin(), stf.end());
+  sig.resize(300, cint16{});
+  const AcorrResult onStf = acorrAt(sig, 8);
+  EXPECT_TRUE(onStf.detected());
+
+  Rng rng(3);
+  std::vector<cint16> noise(300);
+  for (cint16& v : noise)
+    v = {static_cast<i16>(static_cast<i16>(rng.next()) / 8),
+         static_cast<i16>(static_cast<i16>(rng.next()) / 8)};
+  int detections = 0;
+  for (int d = 0; d < 200; ++d)
+    if (acorrAt(noise, d).detected()) ++detections;
+  EXPECT_LT(detections, 5) << "noise must not look periodic";
+}
+
+TEST(Sync, PacketDetectFindsPreambleStart) {
+  std::vector<cint16> sig(40, cint16{});  // leading silence
+  const auto& stf = stfTime();
+  sig.insert(sig.end(), stf.begin(), stf.end());
+  sig.resize(400, cint16{});
+  const int d = packetDetect(sig);
+  // The correlator may fire up to one STF period early (partial overlap
+  // already correlates); anywhere within [start-16, start+16] is a lock.
+  EXPECT_GE(d, 24);
+  EXPECT_LE(d, 56) << "detection within one STF period of packet start";
+}
+
+TEST(Sync, XcorrPeaksAtLtfStart) {
+  std::vector<cint16> sig(50, cint16{});
+  const auto ltf = ltfField();
+  sig.insert(sig.end(), ltf.begin(), ltf.end());
+  sig.resize(400, cint16{});
+  // First LTF period starts at 50 + 32.
+  const int peak = xcorrPeak(sig, 60, 110);
+  EXPECT_EQ(peak, 82);
+}
+
+class CfoSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CfoSweep, StfEstimatorRecoversOffset) {
+  // Inject a known CFO (in Q16 turns/sample) onto the STF and check the
+  // estimator returns the compensating step.
+  const int inject = GetParam();
+  const auto& stf = stfTime();
+  std::vector<cint16> rot(stf.size());
+  for (std::size_t n = 0; n < stf.size(); ++n) {
+    const cint16 ph = phasorQ15(static_cast<u16>(
+        static_cast<i32>(inject) * static_cast<i32>(n)));
+    rot[n] = stf[n] * ph;
+  }
+  const i16 est = cfoEstimateStf(rot, 16);
+  // The saturating lane accumulation quantizes a few percent at the
+  // largest offsets; the fine (LTF, lag-64) stage absorbs that residual.
+  EXPECT_NEAR(est, -inject, 8) << "coarse step within lane quantization";
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, CfoSweep,
+                         ::testing::Values(-160, -80, -20, 0, 20, 80, 160));
+// +-160 Q16 units/sample ~= +-49 kHz ~= 20 ppm at 2.4 GHz.
+
+TEST(Sync, LtfEstimatorIsFiner) {
+  const int inject = 40;
+  const auto& sym = ltfSymbolTime();
+  std::vector<cint16> two;
+  for (int rep = 0; rep < 2; ++rep)
+    for (const cint16& v : sym) two.push_back(v);
+  for (std::size_t n = 0; n < two.size(); ++n)
+    two[n] = two[n] * phasorQ15(static_cast<u16>(static_cast<i32>(inject) *
+                                                 static_cast<i32>(n)));
+  const i16 est = cfoEstimateLtf(two, 0);
+  EXPECT_NEAR(est, -inject, 1);
+}
+
+TEST(Sync, FshiftCompensatesRotation) {
+  // Rotate, compensate, compare (allowing Q15 phasor-recurrence decay).
+  const auto& sym = ltfSymbolTime();
+  std::vector<cint16> rot(sym.size());
+  const int step = 50;
+  for (std::size_t n = 0; n < sym.size(); ++n)
+    rot[n] = sym[n] * phasorQ15(static_cast<u16>(static_cast<i32>(step) *
+                                                 static_cast<i32>(n)));
+  const auto fixed = fshift(rot, 0, static_cast<int>(rot.size()),
+                            static_cast<i16>(-step));
+  double err = 0, ref = 0;
+  for (std::size_t n = 0; n < sym.size(); ++n) {
+    err += std::hypot(double(fixed[n].re) - sym[n].re,
+                      double(fixed[n].im) - sym[n].im);
+    ref += std::hypot(double(sym[n].re), double(sym[n].im));
+  }
+  EXPECT_LT(err / ref, 0.06) << "phasor-recurrence magnitude decay bound";
+}
+
+TEST(Sync, ChannelCfoVisibleToEstimator) {
+  // End-to-end: the channel injects ppm-scale CFO; the STF estimator must
+  // see it through the MIMO channel.
+  ChannelConfig cc;
+  cc.flat = true;
+  cc.snrDb = 40;
+  cc.cfoPpm = 12;
+  MimoChannel ch(cc);
+  const auto rx = ch.run(mimoPreamble());
+  const double expectTurns = cfoTurnsPerSample(cc) * 65536.0;
+  const i16 est = cfoEstimateStf(rx[0], 16);
+  EXPECT_NEAR(-est, expectTurns, 6.0);
+}
+
+}  // namespace
+}  // namespace adres::dsp

@@ -1,0 +1,184 @@
+// Fixed-point trig and FFT properties.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/trig.hpp"
+
+namespace adres::dsp {
+namespace {
+
+TEST(Trig, CardinalAngles) {
+  EXPECT_EQ(sinQ15(0), 0);
+  EXPECT_NEAR(sinQ15(16384), 32767, 1);   // 1/4 turn
+  EXPECT_EQ(sinQ15(32768), 0);            // 1/2 turn
+  EXPECT_NEAR(sinQ15(49152), -32767, 1);  // 3/4 turn
+  EXPECT_NEAR(cosQ15(0), 32767, 1);
+  EXPECT_NEAR(cosQ15(32768), -32767, 1);
+}
+
+TEST(Trig, MatchesDoubleSinCos) {
+  for (u32 t = 0; t < 65536; t += 97) {
+    const double a = 2.0 * M_PI * t / 65536.0;
+    EXPECT_NEAR(sinQ15(static_cast<u16>(t)), std::sin(a) * 32767.0, 200.0)
+        << "t=" << t;
+    EXPECT_NEAR(cosQ15(static_cast<u16>(t)), std::cos(a) * 32767.0, 200.0);
+  }
+}
+
+TEST(Trig, PhasorIsUnitMagnitude) {
+  for (u32 t = 0; t < 65536; t += 1111) {
+    const cint16 p = phasorQ15(static_cast<u16>(t));
+    const double mag = std::hypot(p.re / 32768.0, p.im / 32768.0);
+    EXPECT_NEAR(mag, 1.0, 0.01);
+  }
+}
+
+TEST(Trig, Atan2MatchesDouble) {
+  Rng rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    const i32 re = static_cast<i32>(rng.below(65536)) - 32768;
+    const i32 im = static_cast<i32>(rng.below(65536)) - 32768;
+    if (re == 0 && im == 0) continue;
+    const double a = std::atan2(static_cast<double>(im), static_cast<double>(re));
+    double turns = a / (2.0 * M_PI);
+    if (turns < 0) turns += 1.0;
+    const double got = atan2Turns(im, re) / 65536.0;
+    double diff = std::fabs(got - turns);
+    if (diff > 0.5) diff = 1.0 - diff;
+    EXPECT_LT(diff, 0.002) << "re=" << re << " im=" << im;
+  }
+}
+
+TEST(Trig, Atan2Origin) { EXPECT_EQ(atan2Turns(0, 0), 0); }
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<cint16> x(64, cint16{});
+  x[0] = {25600, 0};
+  fftScaled(x);
+  for (const cint16& v : x) {
+    EXPECT_NEAR(v.re, 25600 / 64, 8);
+    EXPECT_NEAR(v.im, 0, 8);
+  }
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  // x[n] = A e^{+j 2 pi 5 n / 64} -> bin 5 gets A/64 * 64 = A (scaled /N
+  // -> A... fftScaled gives A at bin 5 scaled by 1).
+  std::vector<cint16> x(64);
+  for (int n = 0; n < 64; ++n) {
+    const u16 t = static_cast<u16>((5 * n * 1024) & 0xFFFF);
+    const cint16 p = phasorQ15(t);
+    x[static_cast<std::size_t>(n)] = {static_cast<i16>(p.re / 4),
+                                      static_cast<i16>(p.im / 4)};
+  }
+  fftScaled(x);
+  // Energy concentrated in bin 5.
+  int best = 0;
+  i32 bestMag = -1;
+  for (int k = 0; k < 64; ++k) {
+    const i32 m = std::abs(i32{x[static_cast<std::size_t>(k)].re}) +
+                  std::abs(i32{x[static_cast<std::size_t>(k)].im});
+    if (m > bestMag) {
+      bestMag = m;
+      best = k;
+    }
+  }
+  EXPECT_EQ(best, 5);
+  EXPECT_NEAR(x[5].re, 32767 / 4, 300);
+  EXPECT_NEAR(x[5].im, 0, 300);
+}
+
+TEST(Fft, InverseRoundTrip) {
+  // x -> fftScaled (1/N) -> x8 -> ifftScaled -> x8 recovers x exactly up
+  // to quantization (8*8 = 64 = N), with all intermediates in range.
+  Rng rng(7);
+  std::vector<cint16> x(64);
+  for (cint16& v : x)
+    v = {static_cast<i16>(static_cast<i16>(rng.next()) / 8),
+         static_cast<i16>(static_cast<i16>(rng.next()) / 8)};
+  std::vector<cint16> y = x;
+  fftScaled(y);
+  for (cint16& v : y) {
+    v.re = sat16(i32{v.re} * 8);
+    v.im = sat16(i32{v.im} * 8);
+  }
+  ifftScaled(y);
+  for (cint16& v : y) {
+    v.re = sat16(i32{v.re} * 8);
+    v.im = sat16(i32{v.im} * 8);
+  }
+  double err = 0, ref = 0;
+  for (int n = 0; n < 64; ++n) {
+    err += std::hypot(double(y[static_cast<std::size_t>(n)].re) - x[static_cast<std::size_t>(n)].re,
+                      double(y[static_cast<std::size_t>(n)].im) - x[static_cast<std::size_t>(n)].im);
+    ref += std::hypot(double(x[static_cast<std::size_t>(n)].re), double(x[static_cast<std::size_t>(n)].im));
+  }
+  EXPECT_LT(err / ref, 0.12) << "round-trip error within 16-bit quantization";
+}
+
+TEST(Fft, LinearityProperty) {
+  Rng rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<cint16> a(64), b(64), sum(64);
+    for (int n = 0; n < 64; ++n) {
+      a[static_cast<std::size_t>(n)] = {static_cast<i16>(static_cast<i16>(rng.next()) / 8),
+                                        static_cast<i16>(static_cast<i16>(rng.next()) / 8)};
+      b[static_cast<std::size_t>(n)] = {static_cast<i16>(static_cast<i16>(rng.next()) / 8),
+                                        static_cast<i16>(static_cast<i16>(rng.next()) / 8)};
+      sum[static_cast<std::size_t>(n)] = a[static_cast<std::size_t>(n)] + b[static_cast<std::size_t>(n)];
+    }
+    fftScaled(a);
+    fftScaled(b);
+    fftScaled(sum);
+    for (int k = 0; k < 64; ++k) {
+      EXPECT_NEAR(sum[static_cast<std::size_t>(k)].re,
+                  a[static_cast<std::size_t>(k)].re + b[static_cast<std::size_t>(k)].re, 24);
+      EXPECT_NEAR(sum[static_cast<std::size_t>(k)].im,
+                  a[static_cast<std::size_t>(k)].im + b[static_cast<std::size_t>(k)].im, 24);
+    }
+  }
+}
+
+TEST(Fft, ParsevalWithinScaling) {
+  Rng rng(13);
+  std::vector<cint16> x(64);
+  for (cint16& v : x)
+    v = {static_cast<i16>(static_cast<i16>(rng.next()) / 4),
+         static_cast<i16>(static_cast<i16>(rng.next()) / 4)};
+  double timeE = 0;
+  for (const cint16& v : x)
+    timeE += double(v.re) * v.re + double(v.im) * v.im;
+  std::vector<cint16> y = x;
+  fftScaled(y);
+  double freqE = 0;
+  for (const cint16& v : y)
+    freqE += double(v.re) * v.re + double(v.im) * v.im;
+  // FFT/N: sum|X/N|^2 = sum|x|^2 / N.
+  EXPECT_NEAR(freqE, timeE / 64.0, timeE / 64.0 * 0.15);
+}
+
+TEST(Fft, TwiddleTable) {
+  EXPECT_EQ(twiddle(0, 64).re, 32767);
+  EXPECT_EQ(twiddle(0, 64).im, 0);
+  EXPECT_NEAR(twiddle(16, 64).re, 0, 2);   // -j
+  EXPECT_NEAR(twiddle(16, 64).im, -32767, 2);
+  EXPECT_NEAR(twiddle(32, 64).re, -32767, 2);
+}
+
+TEST(Fft, BitReversalIsInvolution) {
+  const auto t = bitReverseTable(64);
+  for (int i = 0; i < 64; ++i)
+    EXPECT_EQ(t[static_cast<std::size_t>(t[static_cast<std::size_t>(i)])], i);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<cint16> x(48);
+  EXPECT_THROW(fftScaled(x), SimError);
+}
+
+}  // namespace
+}  // namespace adres::dsp

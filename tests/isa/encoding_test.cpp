@@ -1,0 +1,162 @@
+// 128-bit bundle encode/decode round trips.
+#include "isa/encoding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace adres {
+namespace {
+
+bool sameInstr(const Instr& a, const Instr& b) {
+  if (a.op != b.op || a.guard != b.guard || a.src1 != b.src1 ||
+      a.useImm != b.useImm)
+    return false;
+  // Stores carry src3 in the dst field (no destination register).
+  if (isStore(a.op)) {
+    if (a.src3 != b.src3) return false;
+  } else if (a.dst != b.dst) {
+    return false;
+  }
+  if (a.useImm) return a.imm == b.imm;
+  return a.src2 == b.src2 && (isStore(a.op) || a.src3 == b.src3);
+}
+
+TEST(Encoding, BundleIs16Bytes) {
+  Bundle b;
+  EXPECT_EQ(encodeBundle(b).size(), static_cast<std::size_t>(kBundleBytes));
+}
+
+TEST(Encoding, SimpleRoundTrip) {
+  Bundle b;
+  b.slot[0].op = Opcode::ADD;
+  b.slot[0].dst = 3;
+  b.slot[0].src1 = 4;
+  b.slot[0].src2 = 5;
+  b.slot[1].op = Opcode::LD_I;
+  b.slot[1].dst = 7;
+  b.slot[1].src1 = 8;
+  b.slot[1].useImm = true;
+  b.slot[1].imm = -12;
+  b.slot[2].op = Opcode::ST_I;
+  b.slot[2].src1 = 9;
+  b.slot[2].src2 = 10;
+  b.slot[2].src3 = 11;
+  const Bundle d = decodeBundle(encodeBundle(b));
+  for (int i = 0; i < kVliwSlots; ++i) EXPECT_TRUE(sameInstr(b.slot[i], d.slot[i]));
+}
+
+TEST(Encoding, GuardedAndImmediateExtremes) {
+  Bundle b;
+  b.slot[0].op = Opcode::BR;
+  b.slot[0].guard = 15;
+  b.slot[0].useImm = true;
+  b.slot[0].imm = -2048;
+  b.slot[1].op = Opcode::MOVI;
+  b.slot[1].dst = 63;
+  b.slot[1].useImm = true;
+  b.slot[1].imm = 2047;
+  b.slot[2].op = Opcode::MOVIH;
+  b.slot[2].dst = 1;
+  b.slot[2].src1 = 1;
+  b.slot[2].useImm = true;
+  b.slot[2].imm = 4095;  // unsigned control immediate
+  const Bundle d = decodeBundle(encodeBundle(b));
+  EXPECT_EQ(d.slot[0].imm, -2048);
+  EXPECT_EQ(d.slot[1].imm, 2047);
+  EXPECT_EQ(d.slot[2].imm, 4095) << "MOVIH immediate decodes unsigned";
+}
+
+TEST(Encoding, ProgramImageLayout) {
+  std::vector<Bundle> prog(5);
+  prog[2].slot[0].op = Opcode::HALT;
+  const auto image = encodeProgram(prog);
+  EXPECT_EQ(image.size(), 5u * kBundleBytes);
+  const auto back = decodeProgram(image);
+  ASSERT_EQ(back.size(), 5u);
+  EXPECT_EQ(back[2].slot[0].op, Opcode::HALT);
+}
+
+TEST(Encoding, RejectsWrongSize) {
+  EXPECT_THROW(decodeBundle(std::vector<u8>(15)), SimError);
+  EXPECT_THROW(decodeProgram(std::vector<u8>(17)), SimError);
+}
+
+TEST(Encoding, RandomizedRoundTrip) {
+  Rng rng(11);
+  for (int trial = 0; trial < 300; ++trial) {
+    Bundle b;
+    for (auto& s : b.slot) {
+      s.op = static_cast<Opcode>(rng.below(static_cast<u64>(kOpcodeCount)));
+      s.guard = static_cast<u8>(rng.below(16));
+      s.dst = static_cast<u8>(rng.below(64));
+      s.src1 = static_cast<u8>(rng.below(64));
+      s.useImm = rng.bit();
+      if (s.useImm) {
+        if (s.op == Opcode::C4SHUF || s.op == Opcode::MOVIH) {
+          s.imm = static_cast<i32>(rng.below(4096));
+        } else {
+          s.imm = static_cast<i32>(rng.below(4096)) - 2048;
+        }
+      } else {
+        s.src2 = static_cast<u8>(rng.below(64));
+        s.src3 = static_cast<u8>(rng.below(64));
+      }
+    }
+    const Bundle d = decodeBundle(encodeBundle(b));
+    for (int i = 0; i < kVliwSlots; ++i)
+      EXPECT_TRUE(sameInstr(b.slot[i], d.slot[i])) << "slot " << i;
+  }
+}
+
+TEST(Validate, SlotLegality) {
+  Instr br;
+  br.op = Opcode::BR;
+  br.useImm = true;
+  br.imm = 1;
+  EXPECT_NO_THROW(validate(br, 0));
+  EXPECT_THROW(validate(br, 1), SimError) << "branch only on slot/FU 0";
+
+  Instr div;
+  div.op = Opcode::DIV;
+  EXPECT_NO_THROW(validate(div, 1));
+  EXPECT_THROW(validate(div, 2), SimError);
+
+  Instr ld;
+  ld.op = Opcode::LD_I;
+  EXPECT_NO_THROW(validate(ld, 2));
+  EXPECT_THROW(validate(ld, 5), SimError) << "loads only on FUs 0-3";
+}
+
+TEST(Validate, ImmediateRanges) {
+  Instr in;
+  in.op = Opcode::ADD;
+  in.useImm = true;
+  in.imm = 5000;
+  EXPECT_THROW(validate(in, 0), SimError);
+  in.imm = -3000;
+  EXPECT_THROW(validate(in, 0), SimError);
+  in.imm = 100;
+  EXPECT_NO_THROW(validate(in, 0));
+
+  Instr shuf;
+  shuf.op = Opcode::C4SHUF;
+  shuf.useImm = false;
+  EXPECT_THROW(validate(shuf, 0), SimError) << "C4SHUF requires useImm";
+}
+
+TEST(Disassembly, ReadableStrings) {
+  Instr in;
+  in.op = Opcode::ADD;
+  in.dst = 1;
+  in.src1 = 2;
+  in.useImm = true;
+  in.imm = 7;
+  EXPECT_EQ(toString(in), "ADD r1, r2, #7");
+  in.guard = 3;
+  EXPECT_EQ(toString(in), "(p3) ADD r1, r2, #7");
+}
+
+}  // namespace
+}  // namespace adres

@@ -1,0 +1,91 @@
+// Table 1 metadata: groups, latencies, FU coverage.
+#include "isa/opcodes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adres {
+namespace {
+
+TEST(OpInfo, Table1Latencies) {
+  EXPECT_EQ(opInfo(Opcode::ADD).latency, 1);
+  EXPECT_EQ(opInfo(Opcode::AND).latency, 1);
+  EXPECT_EQ(opInfo(Opcode::LSL).latency, 1);
+  EXPECT_EQ(opInfo(Opcode::EQ).latency, 1);
+  EXPECT_EQ(opInfo(Opcode::PRED_EQ).latency, 1);
+  EXPECT_EQ(opInfo(Opcode::MUL).latency, 2);
+  EXPECT_EQ(opInfo(Opcode::JMP).latency, 2);
+  EXPECT_EQ(opInfo(Opcode::BR).latency, 3);
+  EXPECT_EQ(opInfo(Opcode::LD_I).latency, 5);
+  EXPECT_EQ(opInfo(Opcode::ST_I).latency, 1);
+  EXPECT_EQ(opInfo(Opcode::C4ADD).latency, 1);
+  EXPECT_EQ(opInfo(Opcode::D4PROD).latency, 3);
+  EXPECT_EQ(opInfo(Opcode::DIV).latency, 8);
+}
+
+TEST(OpInfo, Table1FuCoverage) {
+  EXPECT_EQ(opInfo(Opcode::ADD).fuMask, 0xFFFF) << "arith on all 16 FUs";
+  EXPECT_EQ(opInfo(Opcode::BR).fuMask, 0x0001) << "branch on FU0 only";
+  EXPECT_EQ(opInfo(Opcode::ST_I).fuMask, 0x000F) << "stores on FUs 0-3";
+  EXPECT_EQ(opInfo(Opcode::LD_I).fuMask, 0x000F) << "loads on FUs 0-3";
+  EXPECT_EQ(opInfo(Opcode::DIV).fuMask, 0x0003) << "2 hardwired dividers";
+  EXPECT_EQ(opInfo(Opcode::C4PROD).fuMask, 0xFFFF);
+}
+
+TEST(OpInfo, GroupAssignment) {
+  EXPECT_EQ(opInfo(Opcode::ADD).group, OpGroup::kArith);
+  EXPECT_EQ(opInfo(Opcode::XNOR).group, OpGroup::kLogic);
+  EXPECT_EQ(opInfo(Opcode::ASR).group, OpGroup::kShift);
+  EXPECT_EQ(opInfo(Opcode::LE_U).group, OpGroup::kComp);
+  EXPECT_EQ(opInfo(Opcode::PRED_GE_U).group, OpGroup::kPred);
+  EXPECT_EQ(opInfo(Opcode::MUL_U).group, OpGroup::kMul);
+  EXPECT_EQ(opInfo(Opcode::BRL).group, OpGroup::kBranch);
+  EXPECT_EQ(opInfo(Opcode::LD_UC2).group, OpGroup::kLdmem);
+  EXPECT_EQ(opInfo(Opcode::ST_C2).group, OpGroup::kStmem);
+  EXPECT_EQ(opInfo(Opcode::CGA).group, OpGroup::kControl);
+  EXPECT_EQ(opInfo(Opcode::C4SHUF).group, OpGroup::kSimd1);
+  EXPECT_EQ(opInfo(Opcode::D4PROD).group, OpGroup::kSimd2);
+  EXPECT_EQ(opInfo(Opcode::DIV_U).group, OpGroup::kDiv);
+}
+
+TEST(OpInfo, Classifiers) {
+  EXPECT_TRUE(isLoad(Opcode::LD_C));
+  EXPECT_FALSE(isLoad(Opcode::ST_C));
+  EXPECT_TRUE(isStore(Opcode::ST_IH));
+  EXPECT_TRUE(isMem(Opcode::LD_IH));
+  EXPECT_TRUE(isBranch(Opcode::JMPL));
+  EXPECT_TRUE(isPredDef(Opcode::PRED_SET));
+  EXPECT_TRUE(isControl(Opcode::HALT));
+  EXPECT_TRUE(isSimd(Opcode::C4MIX));
+  EXPECT_FALSE(isSimd(Opcode::MUL));
+  EXPECT_TRUE(writesDataReg(Opcode::ADD));
+  EXPECT_FALSE(writesDataReg(Opcode::ST_I));
+  EXPECT_TRUE(writesDataReg(Opcode::JMPL)) << "link register";
+  EXPECT_FALSE(writesDataReg(Opcode::BR));
+  EXPECT_FALSE(isPipelined(Opcode::DIV));
+  EXPECT_TRUE(isPipelined(Opcode::D4PROD));
+}
+
+TEST(OpInfo, GopsAccounting) {
+  EXPECT_EQ(ops16PerInstr(Opcode::C4ADD), 4);
+  EXPECT_EQ(ops16PerInstr(Opcode::D4PROD), 4);
+  EXPECT_EQ(ops16PerInstr(Opcode::ADD), 1);
+  EXPECT_EQ(ops16PerInstr(Opcode::DIV), 1);
+}
+
+TEST(OpInfo, EveryOpcodeHasMetadata) {
+  for (int i = 0; i < kOpcodeCount; ++i) {
+    const OpInfo& info = opInfo(static_cast<Opcode>(i));
+    EXPECT_FALSE(info.name.empty());
+    EXPECT_GE(info.latency, 1);
+    EXPECT_NE(info.fuMask, 0);
+  }
+}
+
+TEST(OpInfo, GroupNames) {
+  EXPECT_EQ(groupName(OpGroup::kArith), "Arith");
+  EXPECT_EQ(groupName(OpGroup::kSimd2), "SIMD2");
+  EXPECT_EQ(groupName(OpGroup::kDiv), "Div");
+}
+
+}  // namespace
+}  // namespace adres

@@ -1,0 +1,216 @@
+// Closed-form checks of every compute opcode of Table 1.
+#include "isa/semantics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace adres {
+namespace {
+
+TEST(Scalar, ArithWrapsAt32Bits) {
+  EXPECT_EQ(evalOp(Opcode::ADD, 0x7FFFFFFF, 1, 0), 0x80000000ull);
+  EXPECT_EQ(evalOp(Opcode::SUB, 0, 1, 0), 0xFFFFFFFFull);
+  EXPECT_EQ(evalOp(Opcode::ADD_U, 0xFFFFFFFF, 2, 0), 1ull);
+}
+
+TEST(Scalar, HighHalfClearedByBasicOps) {
+  // Basic-group ops define only the 32 LSBs (paper §2.B).
+  EXPECT_EQ(evalOp(Opcode::ADD, 0xAAAA0000'00000001ull, 1, 0), 2ull);
+  EXPECT_EQ(evalOp(Opcode::OR, 0xFFFF0000'F0F0F0F0ull, 0x0F0F0F0Full, 0),
+            0xFFFFFFFFull);
+}
+
+TEST(Scalar, MovKeepsAll64Bits) {
+  EXPECT_EQ(evalOp(Opcode::MOV, 0x123456789ABCDEF0ull, 0, 0),
+            0x123456789ABCDEF0ull);
+}
+
+TEST(Scalar, MoviPair) {
+  // li 0x00ABC123 == MOVI 0x123 ; MOVIH 0xABC merges around the low 12 bits.
+  const Word lo = evalOp(Opcode::MOVI, 0, 0, 0x123);
+  EXPECT_EQ(lo, 0x123ull);
+  EXPECT_EQ(evalOp(Opcode::MOVIH, lo, 0, 0xABC), 0x00ABC123ull);
+  // Sign extension of MOVI.
+  EXPECT_EQ(evalOp(Opcode::MOVI, 0, 0, -1), 0xFFFFFFFFull);
+}
+
+TEST(Scalar, LogicOps) {
+  const Word a = 0b1100, b = 0b1010;
+  EXPECT_EQ(evalOp(Opcode::AND, a, b, 0), 0b1000u);
+  EXPECT_EQ(evalOp(Opcode::OR, a, b, 0), 0b1110u);
+  EXPECT_EQ(evalOp(Opcode::XOR, a, b, 0), 0b0110u);
+  EXPECT_EQ(lo32u(evalOp(Opcode::NAND, a, b, 0)), ~0b1000u);
+  EXPECT_EQ(lo32u(evalOp(Opcode::NOR, a, b, 0)), ~0b1110u);
+  EXPECT_EQ(lo32u(evalOp(Opcode::XNOR, a, b, 0)), ~0b0110u);
+}
+
+TEST(Scalar, Shifts) {
+  EXPECT_EQ(evalOp(Opcode::LSL, 1, 31, 0), 0x80000000ull);
+  EXPECT_EQ(evalOp(Opcode::LSR, 0x80000000ull, 31, 0), 1ull);
+  EXPECT_EQ(evalOp(Opcode::ASR, 0x80000000ull, 31, 0), 0xFFFFFFFFull);
+  // Amount is mod 32.
+  EXPECT_EQ(evalOp(Opcode::LSL, 1, 33, 0), 2ull);
+}
+
+TEST(Scalar, SignedVsUnsignedCompares) {
+  const Word minus1 = 0xFFFFFFFFull;
+  EXPECT_EQ(evalOp(Opcode::LT, minus1, 1, 0), 1u);
+  EXPECT_EQ(evalOp(Opcode::LT_U, minus1, 1, 0), 0u);
+  EXPECT_EQ(evalOp(Opcode::GT, minus1, 1, 0), 0u);
+  EXPECT_EQ(evalOp(Opcode::GT_U, minus1, 1, 0), 1u);
+  EXPECT_EQ(evalOp(Opcode::GE, 5, 5, 0), 1u);
+  EXPECT_EQ(evalOp(Opcode::LE, 5, 5, 0), 1u);
+  EXPECT_EQ(evalOp(Opcode::EQ, 5, 5, 0), 1u);
+  EXPECT_EQ(evalOp(Opcode::NE, 5, 5, 0), 0u);
+}
+
+TEST(Scalar, PredOpsMirrorCompares) {
+  EXPECT_EQ(evalOp(Opcode::PRED_SET, 0, 0, 0), 1u);
+  EXPECT_EQ(evalOp(Opcode::PRED_CLEAR, 0, 0, 0), 0u);
+  for (i32 a : {-5, 0, 5}) {
+    for (i32 b : {-5, 0, 5}) {
+      const Word wa = fromScalar(a), wb = fromScalar(b);
+      EXPECT_EQ(evalOp(Opcode::PRED_LT, wa, wb, 0), a < b ? 1u : 0u);
+      EXPECT_EQ(evalOp(Opcode::PRED_GE, wa, wb, 0), a >= b ? 1u : 0u);
+      EXPECT_EQ(evalOp(Opcode::PRED_EQ, wa, wb, 0), a == b ? 1u : 0u);
+    }
+  }
+}
+
+TEST(Scalar, MulLow32) {
+  EXPECT_EQ(evalOp(Opcode::MUL, 0x10000, 0x10000, 0), 0ull);
+  EXPECT_EQ(evalOp(Opcode::MUL, fromScalar(i32{-3}), 7, 0),
+            fromScalar(i32{-21}));
+}
+
+TEST(Scalar, Div24Bit) {
+  EXPECT_EQ(evalOp(Opcode::DIV, fromScalar(100), fromScalar(7), 0),
+            fromScalar(14) & 0xFFFFFF);
+  // Operands are taken from the 24 LSBs, sign-extended.
+  EXPECT_EQ(lo32(evalOp(Opcode::DIV, 0x00FFFFFFull /* -1 in 24 bits */,
+                        fromScalar(1), 0)) & 0xFFFFFF,
+            0xFFFFFF);
+  // Div by zero yields 0 (and the core raises the exception flag).
+  EXPECT_EQ(evalOp(Opcode::DIV, fromScalar(5), fromScalar(0), 0), 0u);
+  EXPECT_EQ(evalOp(Opcode::DIV_U, fromScalar(100), fromScalar(3), 0), 33u);
+}
+
+// --- SIMD ---
+
+TEST(Simd, C4AddSubSaturate) {
+  const Word a = packLanes(30000, -30000, 5, -5);
+  const Word b = packLanes(5000, -5000, 1, 1);
+  EXPECT_EQ(evalOp(Opcode::C4ADD, a, b, 0), packLanes(32767, -32768, 6, -4));
+  EXPECT_EQ(evalOp(Opcode::C4SUB, a, b, 0), packLanes(25000, -25000, 4, -6));
+}
+
+TEST(Simd, Shifts) {
+  const Word a = packLanes(1, -4, 256, -1);
+  EXPECT_EQ(evalOp(Opcode::C4SHIFTL, a, 2, 0), packLanes(4, -16, 1024, -4));
+  EXPECT_EQ(evalOp(Opcode::C4SHIFTR, a, 1, 0), packLanes(0, -2, 128, -1));
+}
+
+TEST(Simd, PairwiseAddSub) {
+  const Word a = packLanes(10, 3, -7, 2);
+  EXPECT_EQ(evalOp(Opcode::C4PADD, a, 0, 0), packLanes(13, 13, -5, -5));
+  EXPECT_EQ(evalOp(Opcode::C4PSUB, a, 0, 0), packLanes(7, 7, -9, -9));
+}
+
+TEST(Simd, MixAndShuf) {
+  const Word a = packLanes(1, 2, 3, 4);
+  const Word b = packLanes(5, 6, 7, 8);
+  EXPECT_EQ(evalOp(Opcode::C4MIX, a, b, 0), packLanes(1, 6, 3, 8));
+  EXPECT_EQ(evalOp(Opcode::C4HILO, a, b, 0), packLanes(1, 2, 7, 8));
+  // Shuffle control 0b01001110 -> lanes [2,3,0,1]: pair swap.
+  EXPECT_EQ(evalOp(Opcode::C4SHUF, a, 0, 0b01001110), packLanes(3, 4, 1, 2));
+  // Broadcast lane 0.
+  EXPECT_EQ(evalOp(Opcode::C4SHUF, a, 0, 0), packLanes(1, 1, 1, 1));
+}
+
+TEST(Simd, MaxMinAbsNeg) {
+  const Word a = packLanes(5, -5, -32768, 7);
+  const Word b = packLanes(3, -3, 0, 9);
+  EXPECT_EQ(evalOp(Opcode::C4MAX, a, b, 0), packLanes(5, -3, 0, 9));
+  EXPECT_EQ(evalOp(Opcode::C4MIN, a, b, 0), packLanes(3, -5, -32768, 7));
+  EXPECT_EQ(evalOp(Opcode::C4ABS, a, 0, 0), packLanes(5, 5, 32767, 7));
+  EXPECT_EQ(evalOp(Opcode::C4NEG, a, 0, 0), packLanes(-5, 5, 32767, -7));
+}
+
+TEST(Simd, D4ProdIsLanewiseQ15) {
+  const Word a = packLanes(16384, -16384, 32767, 100);
+  const Word b = packLanes(16384, 16384, -32768, 200);
+  const Word p = evalOp(Opcode::D4PROD, a, b, 0);
+  EXPECT_EQ(lane(p, 0), 8192);
+  EXPECT_EQ(lane(p, 1), -8192);
+  EXPECT_EQ(lane(p, 2), mulQ15(32767, -32768));
+  EXPECT_EQ(lane(p, 3), mulQ15(100, 200));
+}
+
+TEST(Simd, C4ProdCrossesPairs) {
+  const Word a = packLanes(100, 200, 300, 400);
+  const Word b = packLanes(1000, 2000, 3000, 4000);
+  const Word p = evalOp(Opcode::C4PROD, a, b, 0);
+  EXPECT_EQ(lane(p, 0), mulQ15(100, 2000));
+  EXPECT_EQ(lane(p, 1), mulQ15(200, 1000));
+  EXPECT_EQ(lane(p, 2), mulQ15(300, 4000));
+  EXPECT_EQ(lane(p, 3), mulQ15(400, 3000));
+}
+
+// The complex-multiply recipe the kernels use: two cint16 per word.
+TEST(Simd, ComplexMultiplyRecipe) {
+  Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    const cint16 x0{static_cast<i16>(rng.next()), static_cast<i16>(rng.next())};
+    const cint16 x1{static_cast<i16>(rng.next()), static_cast<i16>(rng.next())};
+    const cint16 y0{static_cast<i16>(rng.next()), static_cast<i16>(rng.next())};
+    const cint16 y1{static_cast<i16>(rng.next()), static_cast<i16>(rng.next())};
+    const Word x = packC2(x0, x1), y = packC2(y0, y1);
+    const Word d = evalOp(Opcode::D4PROD, x, y, 0);  // [rr, ii, ...]
+    const Word c = evalOp(Opcode::C4PROD, x, y, 0);  // [ri, ir, ...]
+    const Word re = evalOp(Opcode::C4PSUB, d, 0, 0); // rr-ii duplicated
+    const Word im = evalOp(Opcode::C4PADD, c, 0, 0); // ri+ir duplicated
+    const Word z = evalOp(Opcode::C4MIX, re, im, 0); // [re0, im0, re1, im1]
+    // Compare against the cint16 golden product (identical Q15 recipe).
+    EXPECT_EQ(unpackC(z, 0), x0 * y0);
+    EXPECT_EQ(unpackC(z, 1), x1 * y1);
+  }
+}
+
+TEST(Loads, ExtensionAndMerge) {
+  EXPECT_EQ(applyLoadResult(Opcode::LD_UC, 0, 0xFF), 0xFFull);
+  EXPECT_EQ(applyLoadResult(Opcode::LD_C, 0, 0xFF), 0xFFFFFFFFull);
+  EXPECT_EQ(applyLoadResult(Opcode::LD_UC2, 0, 0x8000), 0x8000ull);
+  EXPECT_EQ(applyLoadResult(Opcode::LD_C2, 0, 0x8000), 0xFFFF8000ull);
+  EXPECT_EQ(applyLoadResult(Opcode::LD_I, 0xAAAA0000'11111111ull, 0x1234),
+            0x1234ull);
+  EXPECT_EQ(applyLoadResult(Opcode::LD_IH, 0x11111111ull, 0xDEAD),
+            0x0000DEAD'11111111ull);
+}
+
+TEST(Stores, DataSelection) {
+  const Word v = 0xCAFEBABE'12345678ull;
+  EXPECT_EQ(storeData(Opcode::ST_C, v), 0x78u);
+  EXPECT_EQ(storeData(Opcode::ST_C2, v), 0x5678u);
+  EXPECT_EQ(storeData(Opcode::ST_I, v), 0x12345678u);
+  EXPECT_EQ(storeData(Opcode::ST_IH, v), 0xCAFEBABEu);
+}
+
+TEST(Mem, AccessSizesAndScales) {
+  EXPECT_EQ(memAccessBytes(Opcode::LD_UC), 1);
+  EXPECT_EQ(memAccessBytes(Opcode::LD_C2), 2);
+  EXPECT_EQ(memAccessBytes(Opcode::ST_I), 4);
+  EXPECT_EQ(memImmScale(Opcode::ST_C), 0);
+  EXPECT_EQ(memImmScale(Opcode::LD_C2), 1);
+  EXPECT_EQ(memImmScale(Opcode::LD_I), 2);
+}
+
+TEST(EvalOp, RejectsPipelineOps) {
+  EXPECT_THROW(evalOp(Opcode::JMP, 0, 0, 0), SimError);
+  EXPECT_THROW(evalOp(Opcode::LD_I, 0, 0, 0), SimError);
+  EXPECT_THROW(evalOp(Opcode::CGA, 0, 0, 0), SimError);
+}
+
+}  // namespace
+}  // namespace adres

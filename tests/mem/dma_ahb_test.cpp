@@ -1,0 +1,115 @@
+// DMA engine, configuration memory, and the AHB slave port.
+#include <gtest/gtest.h>
+
+#include "bus/ahb.hpp"
+#include "core/processor.hpp"
+#include "mem/config_mem.hpp"
+#include "mem/dma.hpp"
+#include "mem/scratchpad.hpp"
+
+namespace adres {
+namespace {
+
+TEST(ConfigMem, ByteWordAccess) {
+  ConfigMemory cm;
+  cm.write32(0x10, 0x11223344);
+  EXPECT_EQ(cm.read32(0x10), 0x11223344u);
+  EXPECT_EQ(cm.read8(0x10), 0x44u);
+  EXPECT_THROW(cm.read8(kConfigMemBytes), SimError);
+}
+
+TEST(ConfigMem, LoadAndReadBytes) {
+  ConfigMemory cm;
+  cm.loadBytes(4, {1, 2, 3, 4});
+  EXPECT_EQ(cm.readBytes(4, 4), (std::vector<u8>{1, 2, 3, 4}));
+  EXPECT_EQ(cm.stats().dmaBytes, 4u);
+}
+
+TEST(Dma, CostModel) {
+  Scratchpad l1;
+  ConfigMemory cm;
+  DmaEngine dma(l1, cm);
+  const u64 c = dma.toL1(0, std::vector<u8>(64, 0xAB));
+  EXPECT_EQ(c, static_cast<u64>(DmaEngine::kSetupCoreCycles +
+                                16 * DmaEngine::kCoreCyclesPerWord));
+  EXPECT_EQ(l1.read32(60), 0xABABABABu);
+  EXPECT_EQ(dma.stats().wordsMoved, 16u);
+}
+
+TEST(Dma, RoundTripThroughL1) {
+  Scratchpad l1;
+  ConfigMemory cm;
+  DmaEngine dma(l1, cm);
+  std::vector<u8> in{0x10, 0x20, 0x30, 0x40, 0x50, 0x60, 0x70, 0x80};
+  dma.toL1(0x40, in);
+  std::vector<u8> out;
+  dma.fromL1(0x40, 8, out);
+  EXPECT_EQ(out, in);
+}
+
+TEST(Dma, WholeWordsOnly) {
+  Scratchpad l1;
+  ConfigMemory cm;
+  DmaEngine dma(l1, cm);
+  EXPECT_THROW(dma.toL1(0, std::vector<u8>(3)), SimError);
+}
+
+TEST(Ahb, RegionDecodeAndOverlapRejection) {
+  AhbSlave bus;
+  u32 reg = 0;
+  bus.addRegion(
+      "a", 0x0, 0x100, [&](u32 off) { return off + 1; },
+      [&](u32, u32 v) { reg = v; });
+  EXPECT_THROW(bus.addRegion("b", 0x80, 0x100, nullptr, nullptr), SimError);
+  EXPECT_EQ(bus.read32(0x10), 0x11u);
+  bus.write32(0x0, 99);
+  EXPECT_EQ(reg, 99u);
+  EXPECT_THROW(bus.read32(0x200), SimError) << "decode error";
+  EXPECT_THROW(bus.read32(0x2), SimError) << "unaligned";
+}
+
+TEST(Ahb, ProcessorMemoryMap) {
+  Processor p;
+  AhbSlave bus;
+  p.attachBus(bus);
+
+  // L1 visible through the slave port.
+  p.l1().write32(0x123 * 4, 0xFEEDFACE);
+  EXPECT_EQ(bus.read32(mmap::kL1Base + 0x123 * 4), 0xFEEDFACEu);
+  bus.write32(mmap::kL1Base + 0x40, 0x11112222);
+  EXPECT_EQ(p.l1().read32(0x40), 0x11112222u);
+
+  // Config memory region.
+  bus.write32(mmap::kConfigBase + 8, 0xA5A5A5A5);
+  EXPECT_EQ(p.configMem().read32(8), 0xA5A5A5A5u);
+
+  // Special registers: status reads as running, cycle counter visible.
+  EXPECT_EQ(bus.read32(mmap::kSpecialBase + sreg::kStatus), 0u);
+  EXPECT_EQ(bus.read32(mmap::kSpecialBase + sreg::kCycleLo), 0u);
+
+  // Debug data interface: indirect L1 window.
+  bus.write32(mmap::kSpecialBase + sreg::kDebugAddr, 0x40);
+  EXPECT_EQ(bus.read32(mmap::kSpecialBase + sreg::kDebugData), 0x11112222u);
+  bus.write32(mmap::kSpecialBase + sreg::kDebugData, 0x33334444);
+  EXPECT_EQ(p.l1().read32(0x40), 0x33334444u);
+
+  // AHB priority setting round-trips.
+  bus.write32(mmap::kSpecialBase + sreg::kAhbPriority, 1);
+  EXPECT_EQ(bus.read32(mmap::kSpecialBase + sreg::kAhbPriority), 1u);
+
+  // Writes to read-only registers rejected.
+  EXPECT_THROW(bus.write32(mmap::kSpecialBase + sreg::kStatus, 1), SimError);
+}
+
+TEST(Ahb, BurstCycleAccounting) {
+  AhbSlave bus;
+  bus.addRegion(
+      "a", 0, 0x100, [](u32) { return 0u; }, [](u32, u32) {});
+  (void)bus.read32(0);
+  EXPECT_EQ(bus.stats().busCycles, 2u) << "address + data phase";
+  (void)bus.readBurst(0, 4);
+  EXPECT_EQ(bus.stats().busCycles, 2u + 5u) << "INCR burst pipelines addresses";
+}
+
+}  // namespace
+}  // namespace adres

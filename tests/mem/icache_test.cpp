@@ -1,0 +1,46 @@
+// Direct-mapped I$: cold misses, hits, conflict eviction.
+#include "mem/icache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adres {
+namespace {
+
+TEST(ICache, ColdMissThenHit) {
+  ICache ic;
+  EXPECT_EQ(ic.fetch(0), kICacheMissPenalty);
+  EXPECT_EQ(ic.fetch(0), 0);
+  EXPECT_EQ(ic.fetch(4), 0) << "same 16-byte line";
+  EXPECT_EQ(ic.fetch(16), kICacheMissPenalty) << "next line";
+  EXPECT_EQ(ic.stats().accesses, 4u);
+  EXPECT_EQ(ic.stats().misses, 2u);
+}
+
+TEST(ICache, DirectMappedConflict) {
+  ICache ic;
+  // Two addresses 32 KiB apart map to the same line and evict each other.
+  EXPECT_EQ(ic.fetch(0), kICacheMissPenalty);
+  EXPECT_EQ(ic.fetch(kICacheBytes), kICacheMissPenalty);
+  EXPECT_EQ(ic.fetch(0), kICacheMissPenalty) << "evicted";
+  EXPECT_EQ(ic.fetch(kICacheBytes), kICacheMissPenalty);
+}
+
+TEST(ICache, CapacityHoldsWholeCache) {
+  ICache ic;
+  for (u32 a = 0; a < kICacheBytes; a += kICacheLineBytes)
+    EXPECT_EQ(ic.fetch(a), kICacheMissPenalty);
+  for (u32 a = 0; a < kICacheBytes; a += kICacheLineBytes)
+    EXPECT_EQ(ic.fetch(a), 0) << "whole cache resident";
+}
+
+TEST(ICache, ResetColdsTheCache) {
+  ICache ic;
+  (void)ic.fetch(0);
+  EXPECT_EQ(ic.fetch(0), 0);
+  ic.reset();
+  EXPECT_EQ(ic.fetch(0), kICacheMissPenalty);
+  EXPECT_EQ(ic.stats().accesses, 1u) << "stats also reset";
+}
+
+}  // namespace
+}  // namespace adres

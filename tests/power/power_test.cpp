@@ -1,0 +1,100 @@
+// Power and area model tests.
+#include <gtest/gtest.h>
+
+#include "power/area_model.hpp"
+#include "power/energy_model.hpp"
+#include "sched/progbuilder.hpp"
+
+namespace adres::power {
+namespace {
+
+TEST(Area, MatchesPaperTotalsAndShares) {
+  const AreaReport r = analyzeArea();
+  EXPECT_NEAR(r.totalMm2, 5.79, 0.01);
+  EXPECT_NEAR(r.shares.at("memories (L1 + I$ + config)"), 0.50, 0.01);
+  EXPECT_NEAR(r.shares.at("CGA FUs"), 0.29, 0.01);
+  EXPECT_NEAR(r.shares.at("VLIW FUs"), 0.08, 0.01);
+  EXPECT_NEAR(r.shares.at("global RF"), 0.05, 0.01);
+  EXPECT_NEAR(r.shares.at("distributed RFs"), 0.03, 0.01);
+}
+
+TEST(Area, ScalesWithStructure) {
+  AreaParams big;
+  big.cgaFus = 32;
+  const AreaReport base = analyzeArea();
+  const AreaReport r = analyzeArea(big);
+  EXPECT_NEAR(r.blocksMm2.at("CGA FUs"), 2 * base.blocksMm2.at("CGA FUs"),
+              1e-9);
+  EXPECT_GT(r.totalMm2, base.totalMm2);
+}
+
+TEST(Energy, CoefficientsReflectRfAsymmetry) {
+  const auto c = EnergyCoefficients::defaultCalibration();
+  EXPECT_LT(c.lrfAccessPj, c.cdrfAccessPj)
+      << "local 2R/1W files must be cheaper per access";
+  EXPECT_GT(c.configFetchPj, c.icacheAccessPj)
+      << "ultra-wide context words cost more than one 128-bit line";
+}
+
+TEST(Energy, VliwOnlyProgramReportsVliwPowerOnly) {
+  ProgramBuilder b("vliw_only");
+  b.li(1, 0);
+  for (int i = 0; i < 200; ++i) b.addi(1, 1, 1);
+  b.halt();
+  Processor p;
+  p.load(b.build());
+  p.run();
+  const PowerReport r = analyze(p);
+  EXPECT_GT(r.vliwActiveMw, 0.0);
+  EXPECT_EQ(r.cgaCycles, 0u);
+  EXPECT_NEAR(r.averageActiveMw, r.vliwActiveMw, 1e-9);
+  // Dependent-chain ALU code lands in the single-to-tens of mW range.
+  EXPECT_GT(r.vliwActiveMw, 5.0);
+  EXPECT_LT(r.vliwActiveMw, 150.0);
+}
+
+TEST(Energy, KernelModeCostsMoreThanVliwMode) {
+  // A dense CGA accumulator vs the same work as VLIW code.
+  ProgramBuilder b("mix");
+  KernelConfig k;
+  k.name = "acc";
+  k.ii = 1;
+  k.schedLength = 1;
+  k.contexts.resize(1);
+  for (int fu = 0; fu < kCgaFus; ++fu) {
+    FuOp& f = k.contexts[0].fu[fu];
+    f.op = Opcode::C4ADD;
+    f.src1 = SrcSel::localRf(0);
+    f.src2 = SrcSel::localRf(1);
+    f.dst.toLocalRf = true;
+    f.dst.localAddr = 0;
+  }
+  const int kid = b.addKernel(k);
+  b.li(1, 500);
+  b.cga(kid, 1);
+  b.halt();
+  Processor p;
+  p.load(b.build());
+  p.run();
+  const PowerReport r = analyze(p);
+  EXPECT_GT(r.cgaActiveMw, r.vliwActiveMw)
+      << "a saturated array burns more than scalar glue";
+  EXPECT_GT(r.cgaActiveMw, 100.0) << "saturated array in the 100s of mW";
+  EXPECT_LT(r.cgaActiveMw, 1000.0);
+}
+
+TEST(Energy, BreakdownsSumToOne) {
+  ProgramBuilder b("sum1");
+  b.li(1, 1);
+  b.halt();
+  Processor p;
+  p.load(b.build());
+  p.run();
+  const PowerReport r = analyze(p);
+  double s = 0;
+  for (const auto& [k2, v] : r.vliwBreakdown) s += v;
+  EXPECT_NEAR(s, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace adres::power

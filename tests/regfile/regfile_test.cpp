@@ -1,0 +1,53 @@
+#include "regfile/regfiles.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adres {
+namespace {
+
+TEST(Cdrf, ReadWriteAndStats) {
+  CentralRegFile rf;
+  rf.write(5, 0x123456789ABCDEFull);
+  EXPECT_EQ(rf.read(5), 0x123456789ABCDEFull);
+  EXPECT_EQ(rf.stats().reads, 1u);
+  EXPECT_EQ(rf.stats().writes, 1u);
+  EXPECT_THROW(rf.read(64), SimError);
+  EXPECT_THROW(rf.write(-1, 0), SimError);
+}
+
+TEST(Cdrf, PredicateFile) {
+  CentralRegFile rf;
+  rf.writePred(3, true);
+  EXPECT_TRUE(rf.readPred(3));
+  EXPECT_FALSE(rf.readPred(4));
+  EXPECT_EQ(rf.predStats().writes, 1u);
+  EXPECT_THROW(rf.readPred(64), SimError);
+}
+
+TEST(Cdrf, PeekPokeBypassStats) {
+  CentralRegFile rf;
+  rf.poke(1, 42);
+  EXPECT_EQ(rf.peek(1), 42u);
+  EXPECT_EQ(rf.stats().reads, 0u);
+  EXPECT_EQ(rf.stats().writes, 0u);
+}
+
+TEST(Cdrf, ClearZeroesEverything) {
+  CentralRegFile rf;
+  rf.poke(10, 7);
+  rf.pokePred(2, true);
+  rf.clear();
+  EXPECT_EQ(rf.peek(10), 0u);
+  EXPECT_FALSE(rf.peekPred(2));
+}
+
+TEST(LocalRf, SixteenEntries) {
+  LocalRegFile rf;
+  rf.write(15, 99);
+  EXPECT_EQ(rf.read(15), 99u);
+  EXPECT_THROW(rf.write(16, 0), SimError);
+  EXPECT_EQ(rf.stats().reads, 1u);
+}
+
+}  // namespace
+}  // namespace adres

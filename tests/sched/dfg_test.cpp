@@ -1,0 +1,119 @@
+// Kernel DFG builder and reference interpreter.
+#include "sched/dfg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+
+namespace adres {
+namespace {
+
+using testutil::ScratchpadMem;
+
+TEST(Dfg, BuilderProducesValidGraph) {
+  KernelBuilder b("k");
+  auto i = b.carried(1);
+  auto base = b.liveIn(2);
+  auto addr = b.op(Opcode::ADD, base, i);
+  auto v = b.loadImm(Opcode::LD_I, addr, 0);
+  auto v2 = b.opImm(Opcode::ADD, v, 1);
+  b.storeImm(Opcode::ST_I, addr, 16, v2);
+  auto inext = b.opImm(Opcode::ADD, i, 4);
+  b.defineCarried(i, inext);
+  b.liveOut(3, i);
+  const KernelDfg g = b.build();
+  EXPECT_EQ(g.opNodeCount(), 5);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(Dfg, PhiWithoutDefinitionRejected) {
+  KernelBuilder b("bad");
+  auto i = b.carried(1);
+  b.opImm(Opcode::ADD, i, 1);
+  EXPECT_THROW(b.build(), SimError);
+}
+
+TEST(Dfg, InterpreterRunsAccumulator) {
+  KernelBuilder b("acc");
+  auto acc = b.carried(1);
+  auto next = b.opImm(Opcode::ADD, acc, 3);
+  b.defineCarried(acc, next);
+  b.liveOut(2, acc);
+  const KernelDfg g = b.build();
+  Scratchpad l1;
+  ScratchpadMem mem(l1);
+  const RefResult r = interpretKernel(g, 10, {{1, 5}}, mem);
+  ASSERT_EQ(r.liveOutValues.size(), 1u);
+  EXPECT_EQ(r.liveOutValues[0].first, 2);
+  EXPECT_EQ(r.liveOutValues[0].second, 35u);
+}
+
+TEST(Dfg, InterpreterZeroTripsKeepsSeed) {
+  KernelBuilder b("acc0");
+  auto acc = b.carried(1);
+  auto next = b.opImm(Opcode::ADD, acc, 3);
+  b.defineCarried(acc, next);
+  b.liveOut(2, acc);
+  const KernelDfg g = b.build();
+  Scratchpad l1;
+  ScratchpadMem mem(l1);
+  const RefResult r = interpretKernel(g, 0, {{1, 7}}, mem);
+  EXPECT_EQ(r.liveOutValues[0].second, 7u);
+}
+
+TEST(Dfg, InterpreterMemoryKernel) {
+  // out[i] = in[i] * 2 over 8 words.
+  KernelBuilder b("dbl");
+  auto i = b.carried(1);
+  auto inB = b.liveIn(2);
+  auto outB = b.liveIn(3);
+  auto ai = b.op(Opcode::ADD, inB, i);
+  auto v = b.loadImm(Opcode::LD_I, ai, 0);
+  auto v2 = b.opImm(Opcode::LSL, v, 1);
+  auto ao = b.op(Opcode::ADD, outB, i);
+  b.storeImm(Opcode::ST_I, ao, 0, v2);
+  b.defineCarried(i, b.opImm(Opcode::ADD, i, 4));
+  const KernelDfg g = b.build();
+
+  Scratchpad l1;
+  for (u32 k = 0; k < 8; ++k) l1.write32(0x100 + 4 * k, k + 1);
+  ScratchpadMem mem(l1);
+  (void)interpretKernel(g, 8, {{1, 0}, {2, 0x100}, {3, 0x200}}, mem);
+  for (u32 k = 0; k < 8; ++k)
+    EXPECT_EQ(l1.read32(0x200 + 4 * k), 2 * (k + 1));
+}
+
+TEST(Dfg, InterpreterRequiresLiveIns) {
+  KernelBuilder b("needs");
+  auto x = b.liveIn(4);
+  b.opImm(Opcode::ADD, x, 1);
+  const KernelDfg g = b.build();
+  Scratchpad l1;
+  ScratchpadMem mem(l1);
+  EXPECT_THROW(interpretKernel(g, 1, {}, mem), SimError);
+}
+
+TEST(Dfg, Ld64PairInInterpreter) {
+  KernelBuilder b("ld64");
+  auto base = b.liveIn(1);
+  auto lo = b.loadImm(Opcode::LD_I, base, 0);
+  auto full = b.loadHighImm(lo, base, 1);
+  b.liveOut(2, full);
+  const KernelDfg g = b.build();
+  Scratchpad l1;
+  l1.write32(0x80, 0xAAAA5555);
+  l1.write32(0x84, 0x1234FEDC);
+  ScratchpadMem mem(l1);
+  const RefResult r = interpretKernel(g, 1, {{1, 0x80}}, mem);
+  EXPECT_EQ(r.liveOutValues[0].second, 0x1234FEDC'AAAA5555ull);
+}
+
+TEST(Dfg, ControlOpsRejected) {
+  KernelBuilder b("ctl");
+  auto x = b.liveIn(1);
+  b.op(Opcode::JMP, x, x);
+  EXPECT_THROW(b.build(), SimError);
+}
+
+}  // namespace
+}  // namespace adres

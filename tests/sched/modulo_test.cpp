@@ -1,0 +1,193 @@
+// Modulo scheduler: mapped kernels must compute exactly what their DFG
+// means (reference interpreter), across II values, trip counts, and the
+// routing machinery.
+#include "sched/modulo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "testutil.hpp"
+
+namespace adres {
+namespace {
+
+using testutil::checkKernelAgainstReference;
+
+// Register conventions used in these tests.
+constexpr int R_I = 1;
+constexpr int R_IN = 2;
+constexpr int R_OUT = 3;
+constexpr int R_ACC = 4;
+constexpr int R_RES = 5;
+
+KernelDfg vecIncKernel() {
+  KernelBuilder b("vecinc");
+  auto i = b.carried(R_I);
+  auto inB = b.liveIn(R_IN);
+  auto outB = b.liveIn(R_OUT);
+  auto ai = b.op(Opcode::ADD, inB, i);
+  auto v = b.loadImm(Opcode::LD_I, ai, 0);
+  auto v2 = b.opImm(Opcode::ADD, v, 1);
+  auto ao = b.op(Opcode::ADD, outB, i);
+  b.storeImm(Opcode::ST_I, ao, 0, v2);
+  b.defineCarried(i, b.opImm(Opcode::ADD, i, 4));
+  b.liveOut(R_RES, i);
+  return b.build();
+}
+
+TEST(Modulo, MiiLowerBounds) {
+  const KernelDfg g = vecIncKernel();
+  EXPECT_GE(resourceMii(g), 1);
+  EXPECT_GE(recurrenceMii(g), 1);
+  // vecinc recurrence: i -> i+4 (1-cycle add) => RecMII >= 1.
+  EXPECT_EQ(recurrenceMii(g), 1);
+}
+
+TEST(Modulo, VecIncMatchesReference) {
+  std::vector<u8> in;
+  for (u32 k = 0; k < 16; ++k) {
+    const u32 v = 100 + k;
+    for (int byte = 0; byte < 4; ++byte) in.push_back(static_cast<u8>(v >> (8 * byte)));
+  }
+  const auto run = checkKernelAgainstReference(
+      vecIncKernel(), 16,
+      {{R_I, 0}, {R_IN, 0x100}, {R_OUT, 0x200}},
+      {{0x100, in}}, 0x300);
+  EXPECT_LE(run.sk.ii, 4) << "a 6-op kernel must map tightly";
+}
+
+TEST(Modulo, VecIncTripCountSweep) {
+  for (u32 trips : {1u, 2u, 3u, 7u, 32u}) {
+    std::vector<u8> in(4 * 32, 0);
+    for (u32 k = 0; k < 32; ++k) in[4 * k] = static_cast<u8>(k);
+    (void)checkKernelAgainstReference(
+        vecIncKernel(), trips,
+        {{R_I, 0}, {R_IN, 0x100}, {R_OUT, 0x400}},
+        {{0x100, in}}, 0x500);
+  }
+}
+
+TEST(Modulo, DotProductAccumulator) {
+  KernelBuilder b("dot");
+  auto i = b.carried(R_I);
+  auto acc = b.carried(R_ACC);
+  auto aB = b.liveIn(R_IN);
+  auto bB = b.liveIn(R_OUT);
+  auto aa = b.op(Opcode::ADD, aB, i);
+  auto ab = b.op(Opcode::ADD, bB, i);
+  auto va = b.loadImm(Opcode::LD_I, aa, 0);
+  auto vb = b.loadImm(Opcode::LD_I, ab, 0);
+  auto p = b.op(Opcode::MUL, va, vb);
+  auto accN = b.op(Opcode::ADD, acc, p);
+  b.defineCarried(acc, accN);
+  b.defineCarried(i, b.opImm(Opcode::ADD, i, 4));
+  b.liveOut(R_RES, acc);
+  const KernelDfg g = b.build();
+
+  std::vector<u8> a, bb;
+  for (u32 k = 0; k < 8; ++k) {
+    for (int byte = 0; byte < 4; ++byte) {
+      a.push_back(static_cast<u8>((k + 1) >> (8 * byte)));
+      bb.push_back(static_cast<u8>((2 * k + 1) >> (8 * byte)));
+    }
+  }
+  (void)checkKernelAgainstReference(
+      g, 8, {{R_I, 0}, {R_ACC, 0}, {R_IN, 0x100}, {R_OUT, 0x180}},
+      {{0x100, a}, {0x180, bb}}, 0x200);
+}
+
+TEST(Modulo, SimdComplexMultiplyKernel) {
+  // c[i] = a[i] * b[i] for packed cint16 pairs: the modem's hottest pattern
+  // (64-bit loads as LD_I/LD_IH pairs, D4PROD/C4PROD/C4PSUB/C4PADD/C4MIX,
+  // 64-bit stores as ST_I/ST_IH pairs).
+  KernelBuilder b("cmul");
+  auto i = b.carried(R_I);
+  auto aB = b.liveIn(R_IN);
+  auto bB = b.liveIn(R_OUT);
+  auto cB = b.liveIn(6);
+  auto aa = b.op(Opcode::ADD, aB, i);
+  auto ab = b.op(Opcode::ADD, bB, i);
+  auto ac = b.op(Opcode::ADD, cB, i);
+  auto aLo = b.loadImm(Opcode::LD_I, aa, 0);
+  auto aV = b.loadHighImm(aLo, aa, 1);
+  auto bLo = b.loadImm(Opcode::LD_I, ab, 0);
+  auto bV = b.loadHighImm(bLo, ab, 1);
+  auto d = b.op(Opcode::D4PROD, aV, bV);
+  auto c = b.op(Opcode::C4PROD, aV, bV);
+  auto re = b.op(Opcode::C4PSUB, d);
+  auto im = b.op(Opcode::C4PADD, c);
+  auto z = b.op(Opcode::C4MIX, re, im);
+  b.storeImm(Opcode::ST_I, ac, 0, z);
+  b.storeImm(Opcode::ST_IH, ac, 1, z);
+  b.defineCarried(i, b.opImm(Opcode::ADD, i, 8));
+  const KernelDfg g = b.build();
+
+  Rng rng(99);
+  std::vector<u8> a, bb;
+  for (u32 k = 0; k < 16 * 8; ++k) {
+    a.push_back(static_cast<u8>(rng.next()));
+    bb.push_back(static_cast<u8>(rng.next()));
+  }
+  const auto run = checkKernelAgainstReference(
+      g, 16, {{R_I, 0}, {R_IN, 0x100}, {R_OUT, 0x300}, {6, 0x500}},
+      {{0x100, a}, {0x300, bb}}, 0x600);
+  // 16 ops, 6 of them memory ops on 4 FUs: ResMII >= 2.
+  EXPECT_GE(run.sk.ii, 2);
+  EXPECT_LE(run.sk.ii, 6) << "dense mapping expected";
+}
+
+TEST(Modulo, DivKernelNeedsIiEight) {
+  KernelBuilder b("divk");
+  auto i = b.carried(R_I);
+  auto inB = b.liveIn(R_IN);
+  auto outB = b.liveIn(R_OUT);
+  auto ai = b.op(Opcode::ADD, inB, i);
+  auto v = b.loadImm(Opcode::LD_I, ai, 0);
+  auto q = b.opImm(Opcode::DIV, v, 7);
+  auto ao = b.op(Opcode::ADD, outB, i);
+  b.storeImm(Opcode::ST_I, ao, 0, q);
+  b.defineCarried(i, b.opImm(Opcode::ADD, i, 4));
+  const KernelDfg g = b.build();
+  EXPECT_GE(resourceMii(g), 8) << "non-pipelined divider dominates";
+
+  std::vector<u8> in;
+  for (u32 k = 0; k < 4; ++k) {
+    const u32 v = 1000 + 13 * k;
+    for (int byte = 0; byte < 4; ++byte) in.push_back(static_cast<u8>(v >> (8 * byte)));
+  }
+  const auto run = checkKernelAgainstReference(
+      g, 4, {{R_I, 0}, {R_IN, 0x100}, {R_OUT, 0x200}},
+      {{0x100, in}}, 0x300);
+  EXPECT_GE(run.sk.ii, 8);
+}
+
+TEST(Modulo, RecurrenceBoundsII) {
+  // acc = (acc * k) computed with MUL (latency 2): RecMII >= 2.
+  KernelBuilder b("geo");
+  auto acc = b.carried(R_ACC);
+  auto next = b.opImm(Opcode::MUL, acc, 3);
+  b.defineCarried(acc, next);
+  b.liveOut(R_RES, acc);
+  const KernelDfg g = b.build();
+  EXPECT_GE(recurrenceMii(g), 2);
+  const auto run = checkKernelAgainstReference(g, 5, {{R_ACC, 1}}, {}, 0x10);
+  EXPECT_GE(run.sk.ii, 2);
+}
+
+TEST(Modulo, ConfigRoundTripPreservesSchedule) {
+  const ScheduledKernel sk = scheduleKernel(vecIncKernel());
+  const KernelConfig back = decodeKernel(encodeKernel(sk.config));
+  EXPECT_EQ(back.ii, sk.config.ii);
+  EXPECT_EQ(back.preloads.size(), sk.config.preloads.size());
+  EXPECT_EQ(back.opCount(), sk.config.opCount());
+}
+
+TEST(Modulo, UtilizationReported) {
+  const ScheduledKernel sk = scheduleKernel(vecIncKernel());
+  EXPECT_GT(sk.slotUtilization(), 0.0);
+  EXPECT_LE(sk.slotUtilization(), 1.0);
+  EXPECT_EQ(sk.opNodes, 6);
+}
+
+}  // namespace
+}  // namespace adres

@@ -1,0 +1,116 @@
+// ProgramBuilder: constants, labels, data placement, pseudo-ops.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "core/processor.hpp"
+#include "sched/progbuilder.hpp"
+
+namespace adres {
+namespace {
+
+TEST(ProgBuilder, LiCoversWholeRange) {
+  ProgramBuilder b("li");
+  int reg = 1;
+  const i32 values[] = {0, 1, -1, 2047, -2048, 2048, -2049, 0x7FFFFF,
+                        -0x800000, 0xABCDE};
+  for (i32 v : values) b.li(reg++, v);
+  b.halt();
+  Processor p;
+  p.load(b.build());
+  p.run();
+  reg = 1;
+  for (i32 v : values) EXPECT_EQ(lo32(p.regs().peek(reg++)), v) << v;
+}
+
+TEST(ProgBuilder, LiRejectsOutOfRange) {
+  ProgramBuilder b("li2");
+  EXPECT_THROW(b.li(1, 1 << 24), SimError);
+}
+
+TEST(ProgBuilder, ForwardAndBackwardLabels) {
+  // Skip-over-forward then loop-backward.
+  ProgramBuilder b("labels");
+  b.li(1, 0);
+  auto skip = b.newLabel();
+  b.br(skip);
+  b.li(1, 99);  // skipped
+  b.bind(skip);
+  b.li(2, 0);
+  b.li(3, 5);  // loop limit
+  auto top = b.newLabel();
+  b.bind(top);
+  b.addi(2, 2, 1);
+  b.predLt(1, 2, 3);
+  b.brIf(1, top);
+  b.halt();
+  Processor p;
+  p.load(b.build());
+  EXPECT_EQ(p.run(), StopReason::kHalt);
+  EXPECT_EQ(p.regs().peek(1), 0u) << "forward branch skipped the li";
+  EXPECT_EQ(p.regs().peek(2), 5u) << "backward loop ran to the limit";
+}
+
+TEST(ProgBuilder, UnboundLabelRejected) {
+  ProgramBuilder b("unbound");
+  auto l = b.newLabel();
+  b.br(l);
+  b.halt();
+  EXPECT_THROW(b.build(), SimError);
+}
+
+TEST(ProgBuilder, DataPlacementIsAlignedAndDisjoint) {
+  ProgramBuilder b("data");
+  const u32 a = b.dataI16({1, 2, 3});
+  const u32 c = b.dataI32({7, 8});
+  const u32 d = b.reserve(10, 16);
+  EXPECT_EQ(a % 8, 0u);
+  EXPECT_EQ(c % 8, 0u);
+  EXPECT_EQ(d % 16, 0u);
+  EXPECT_GT(c, a);
+  EXPECT_GT(d, c);
+  b.halt();
+  Processor p;
+  p.load(b.build());
+  EXPECT_EQ(p.l1().read16(a + 2), 2u);
+  EXPECT_EQ(p.l1().read32(c + 4), 8u);
+}
+
+TEST(ProgBuilder, St64Ld64RoundTrip) {
+  ProgramBuilder b("w64");
+  const u32 buf = b.reserve(16);
+  b.li(1, static_cast<i32>(buf));
+  b.li(2, 0x1234);
+  b.li(3, -77);
+  b.st32(1, 0, 2);
+  b.st32(1, 1, 3);
+  b.ld64(4, 1, 0);
+  b.st64(1, 2, 4);
+  b.halt();
+  Processor p;
+  p.load(b.build());
+  p.run();
+  EXPECT_EQ(p.l1().read32(buf + 8), 0x1234u);
+  EXPECT_EQ(p.l1().read32(buf + 12), static_cast<u32>(-77));
+}
+
+TEST(ProgBuilder, MarkersProfileRegionsByName) {
+  ProgramBuilder b("marks");
+  b.marker("alpha");
+  b.li(1, 1);
+  b.marker("beta");
+  b.li(2, 2);
+  b.marker("alpha");  // reopen: same region id
+  b.li(3, 3);
+  b.markerEnd();
+  b.halt();
+  Processor p;
+  const Program prog = b.build();
+  EXPECT_EQ(prog.regionNames.size(), 2u);
+  p.load(prog);
+  p.run();
+  EXPECT_EQ(p.profiles().at(prog.regionId("alpha")).entries, 2u);
+  EXPECT_EQ(p.profiles().at(prog.regionId("beta")).entries, 1u);
+}
+
+}  // namespace
+}  // namespace adres

@@ -1,0 +1,156 @@
+// The VLIW glue routines must be bit-exact with their dsp/ golden
+// counterparts: atan2, sin/phasor, packed complex multiply, folds.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/processor.hpp"
+#include "dsp/lanes.hpp"
+#include "dsp/trig.hpp"
+#include "dsp/trig_tables.hpp"
+#include "sdr/glue.hpp"
+
+namespace adres::sdr {
+namespace {
+
+/// Builds a program that sets up tables/zero-reg, runs `body`, halts.
+Program glueProgram(const std::function<void(ProgramBuilder&)>& body,
+                    u32* sinTabOut = nullptr) {
+  ProgramBuilder pb("glue");
+  const auto sinT = dsp::sinQuarterTableDump();
+  const auto atanT = dsp::atanTableDump();
+  const u32 sinTab = pb.dataI16(sinT);
+  std::vector<i16> atanI(atanT.begin(), atanT.end());
+  const u32 atanTab = pb.dataI16(atanI);
+  const u32 scratch = pb.reserve(16);
+  pb.li(60, 0);
+  pb.li(greg::kSinTab, static_cast<i32>(sinTab));
+  pb.li(greg::kAtanTab, static_cast<i32>(atanTab));
+  pb.li(greg::kScratchAddr, static_cast<i32>(scratch));
+  if (sinTabOut) *sinTabOut = sinTab;
+  body(pb);
+  pb.halt();
+  return pb.build();
+}
+
+TEST(Glue, LiNegativeValues) {
+  Processor p;
+  p.load(glueProgram([](ProgramBuilder& pb) {
+    pb.li(1, -32768);
+    pb.li(2, -5000000);
+    pb.li(3, 7000000);
+    pb.li(4, -1);
+  }));
+  p.run();
+  EXPECT_EQ(lo32(p.regs().peek(1)), -32768);
+  EXPECT_EQ(lo32(p.regs().peek(2)), -5000000);
+  EXPECT_EQ(lo32(p.regs().peek(3)), 7000000);
+  EXPECT_EQ(lo32(p.regs().peek(4)), -1);
+}
+
+TEST(Glue, SinMatchesGolden) {
+  std::vector<u16> angles;
+  Rng rng(3);
+  for (u32 t = 0; t < 65536; t += 1237) angles.push_back(static_cast<u16>(t));
+  for (int i = 0; i < 30; ++i) angles.push_back(static_cast<u16>(rng.next()));
+
+  for (u16 a : angles) {
+    Processor p;
+    p.load(glueProgram([&](ProgramBuilder& pb) {
+      pb.li(1, static_cast<i32>(a));
+      emitSin(pb, 2, 1);
+    }));
+    p.run();
+    EXPECT_EQ(lo32(p.regs().peek(2)), dsp::sinQ15(a)) << "angle " << a;
+  }
+}
+
+TEST(Glue, PhasorMatchesGolden) {
+  for (u32 a : {0u, 100u, 16384u, 30000u, 40000u, 65000u}) {
+    Processor p;
+    p.load(glueProgram([&](ProgramBuilder& pb) {
+      pb.li(1, static_cast<i32>(a));
+      emitPhasor(pb, 2, 1);
+    }));
+    p.run();
+    const cint16 g = dsp::phasorQ15(static_cast<u16>(a));
+    const u32 packed = lo32u(p.regs().peek(2));
+    EXPECT_EQ(static_cast<i16>(packed & 0xFFFF), g.re) << a;
+    EXPECT_EQ(static_cast<i16>(packed >> 16), g.im) << a;
+  }
+}
+
+TEST(Glue, Atan2MatchesGolden) {
+  Rng rng(11);
+  std::vector<std::pair<i32, i32>> cases = {
+      {0, 1000},  {1000, 0},    {-500, 700},   {700, -500}, {-64, -3000},
+      {12345, 6}, {-1, -1},     {32767, 32767}, {0, 0},     {-40000, 100000},
+  };
+  for (int i = 0; i < 40; ++i)
+    cases.emplace_back(static_cast<i32>(rng.below(200000)) - 100000,
+                       static_cast<i32>(rng.below(200000)) - 100000);
+  for (const auto& [im, re] : cases) {
+    Processor p;
+    p.load(glueProgram([&, imv = im, rev = re](ProgramBuilder& pb) {
+      pb.li(1, imv);
+      pb.li(2, rev);
+      emitAtan2(pb, 3, 1, 2);
+    }));
+    p.run();
+    EXPECT_EQ(lo32u(p.regs().peek(3)), dsp::atan2Turns(im, re))
+        << "im=" << im << " re=" << re;
+  }
+}
+
+TEST(Glue, CmulPackedMatchesGolden) {
+  Rng rng(7);
+  for (int i = 0; i < 25; ++i) {
+    const cint16 a{static_cast<i16>(rng.next()), static_cast<i16>(rng.next())};
+    const cint16 b{static_cast<i16>(rng.next()), static_cast<i16>(rng.next())};
+    const u32 pa = static_cast<u16>(a.re) | (static_cast<u32>(static_cast<u16>(a.im)) << 16);
+    const u32 pb32 = static_cast<u16>(b.re) | (static_cast<u32>(static_cast<u16>(b.im)) << 16);
+    Processor p;
+    p.load(glueProgram([&](ProgramBuilder& pb) {
+      emitCmulPacked(pb, 3, 1, 2);  // operands poked below
+    }));
+    p.regs().poke(1, pa);
+    p.regs().poke(2, pb32);
+    p.run();
+    const cint16 g = a * b;
+    const u32 packed = lo32u(p.regs().peek(3));
+    EXPECT_EQ(static_cast<i16>(packed & 0xFFFF), g.re);
+    EXPECT_EQ(static_cast<i16>(packed >> 16), g.im);
+  }
+}
+
+TEST(Glue, FoldMatchesGolden) {
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    const Word acc = rng.next();
+    Processor p;
+    p.load(glueProgram([&](ProgramBuilder& pb) {
+      // Materialize the 64-bit accumulator via the scratch slot.
+      pb.li(1, static_cast<i32>(static_cast<u32>(acc) & 0x7FFFFF));
+      // Simpler: write both halves with li+stores.
+      pb.li(1, 0);
+      pb.st32(greg::kScratchAddr, 0, 1);
+      pb.st32(greg::kScratchAddr, 1, 1);
+    }));
+    // Direct poke path instead (folds only read the register).
+    ProgramBuilder pb2("fold");
+    const u32 sinTab = pb2.dataI16(dsp::sinQuarterTableDump());
+    (void)sinTab;
+    pb2.li(60, 0);
+    emitFold(pb2, 2, 3, 1);
+    pb2.halt();
+    Processor p2;
+    p2.load(pb2.build());
+    p2.regs().poke(1, acc);
+    p2.run();
+    const cint16 g = dsp::lanes::fold(acc);
+    EXPECT_EQ(lo32(p2.regs().peek(2)), g.re);
+    EXPECT_EQ(lo32(p2.regs().peek(3)), g.im);
+  }
+}
+
+}  // namespace
+}  // namespace adres::sdr

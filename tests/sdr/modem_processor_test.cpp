@@ -1,0 +1,104 @@
+// End-to-end: the full receiver program on the simulated processor decodes
+// a transmitted packet, and its region profiles have the Table 2 shape.
+#include <gtest/gtest.h>
+
+#include "dsp/channel.hpp"
+#include "sdr/modem_program.hpp"
+
+namespace adres::sdr {
+namespace {
+
+TEST(ModemOnProcessor, DecodesCleanPacket) {
+  dsp::ModemConfig cfg;
+  cfg.mod = dsp::Modulation::kQam64;
+  cfg.numSymbols = 4;
+  Rng rng(5);
+  const dsp::TxPacket pkt = dsp::transmit(cfg, rng);
+
+  dsp::ChannelConfig cc;
+  cc.flat = true;
+  cc.snrDb = 40;
+  cc.cfoPpm = 6;
+  dsp::MimoChannel ch(cc);
+  const auto rx = ch.run(pkt.waveform);
+
+  const ModemOnProcessor m = buildModemProgram(cfg.numSymbols);
+  Processor proc;
+  const ProcessorRxResult res = runModemOnProcessor(proc, m, rx);
+
+  EXPECT_TRUE(res.detected);
+  EXPECT_NEAR(static_cast<int>(res.ltfStart), 190, 3) << "fine timing";
+  ASSERT_EQ(res.bits.size(), pkt.bits.size());
+  EXPECT_EQ(dsp::bitErrors(res.bits, pkt.bits), 0)
+      << "clean channel must decode error-free";
+}
+
+TEST(ModemOnProcessor, DecodesMultipathPacket) {
+  dsp::ModemConfig cfg;
+  cfg.numSymbols = 4;
+  Rng rng(9);
+  const dsp::TxPacket pkt = dsp::transmit(cfg, rng);
+  dsp::ChannelConfig cc;
+  cc.taps = 2;
+  cc.snrDb = 38;
+  cc.cfoPpm = 5;
+  cc.seed = 4;
+  dsp::MimoChannel ch(cc);
+  const auto rx = ch.run(pkt.waveform);
+
+  const ModemOnProcessor m = buildModemProgram(cfg.numSymbols);
+  Processor proc;
+  const ProcessorRxResult res = runModemOnProcessor(proc, m, rx);
+  ASSERT_TRUE(res.detected);
+  const double ber = static_cast<double>(dsp::bitErrors(res.bits, pkt.bits)) /
+                     static_cast<double>(pkt.bits.size());
+  EXPECT_LT(ber, 0.01) << "multipath at 38 dB";
+}
+
+TEST(ModemOnProcessor, ProfileHasTable2Shape) {
+  dsp::ModemConfig cfg;
+  cfg.numSymbols = 4;
+  Rng rng(5);
+  const dsp::TxPacket pkt = dsp::transmit(cfg, rng);
+  dsp::ChannelConfig cc;
+  cc.flat = true;
+  cc.snrDb = 40;
+  cc.cfoPpm = 6;
+  dsp::MimoChannel ch(cc);
+  const auto rx = ch.run(pkt.waveform);
+
+  const ModemOnProcessor m = buildModemProgram(cfg.numSymbols);
+  Processor proc;
+  (void)runModemOnProcessor(proc, m, rx);
+
+  const auto& profs = proc.profiles();
+  const auto get = [&](const std::string& name) -> const RegionProfile& {
+    return profs.at(m.program.regionId(name));
+  };
+
+  // Every Table 2 kernel region exists and consumed cycles.
+  for (const char* name :
+       {"acorr", "fshift", "xcorr", "fft", "remove zero carriers",
+        "freq offset estimation", "freq offset compensation",
+        "sample ordering", "SDM processing", "sample reordering",
+        "equalize coeff. calc.", "data shuffle", "tracking", "comp",
+        "demod QAM64", "non-kernel code"}) {
+    ASSERT_GT(get(name).cycles, 0u) << name;
+  }
+
+  // Mode shape: the CGA-dominated kernels vs the VLIW ones (Table 2).
+  EXPECT_EQ(get("SDM processing").mode(), "CGA");
+  EXPECT_EQ(get("comp").mode(), "CGA");
+  EXPECT_EQ(get("non-kernel code").mode(), "VLIW");
+  EXPECT_EQ(get("tracking").mode(), "VLIW");
+  // CGA kernels reach much higher IPC than VLIW glue.
+  EXPECT_GT(get("comp").ipc(), 2.0);
+  EXPECT_LT(get("non-kernel code").ipc(), 3.0);
+  // The paper's headline: most time is spent in CGA mode.
+  const auto& act = proc.activity();
+  EXPECT_GT(act.cgaCycles, act.vliwCycles / 4)
+      << "substantial CGA-mode share";
+}
+
+}  // namespace
+}  // namespace adres::sdr
