@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gops.dir/bench_gops.cpp.o"
+  "CMakeFiles/bench_gops.dir/bench_gops.cpp.o.d"
+  "bench_gops"
+  "bench_gops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_isa.dir/bench_table1_isa.cpp.o"
+  "CMakeFiles/bench_table1_isa.dir/bench_table1_isa.cpp.o.d"
+  "bench_table1_isa"
+  "bench_table1_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_profiling.dir/bench_table2_profiling.cpp.o"
+  "CMakeFiles/bench_table2_profiling.dir/bench_table2_profiling.cpp.o.d"
+  "bench_table2_profiling"
+  "bench_table2_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_mapping.dir/kernel_mapping.cpp.o"
+  "CMakeFiles/kernel_mapping.dir/kernel_mapping.cpp.o.d"
+  "kernel_mapping"
+  "kernel_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimo_ofdm_rx.dir/mimo_ofdm_rx.cpp.o"
+  "CMakeFiles/mimo_ofdm_rx.dir/mimo_ofdm_rx.cpp.o.d"
+  "mimo_ofdm_rx"
+  "mimo_ofdm_rx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimo_ofdm_rx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mimo_ofdm_rx.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("isa")
+subdirs("regfile")
+subdirs("mem")
+subdirs("bus")
+subdirs("cga")
+subdirs("vliw")
+subdirs("core")
+subdirs("sched")
+subdirs("dsp")
+subdirs("sdr")
+subdirs("power")

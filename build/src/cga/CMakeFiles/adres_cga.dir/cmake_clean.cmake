@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adres_cga.dir/array.cpp.o"
+  "CMakeFiles/adres_cga.dir/array.cpp.o.d"
+  "CMakeFiles/adres_cga.dir/context.cpp.o"
+  "CMakeFiles/adres_cga.dir/context.cpp.o.d"
+  "libadres_cga.a"
+  "libadres_cga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adres_cga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

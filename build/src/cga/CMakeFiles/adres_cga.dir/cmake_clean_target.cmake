@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libadres_cga.a"
+)

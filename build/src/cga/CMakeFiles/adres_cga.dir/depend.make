@@ -1,0 +1,2 @@
+# Empty dependencies file for adres_cga.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/processor.cpp" "src/core/CMakeFiles/adres_core.dir/processor.cpp.o" "gcc" "src/core/CMakeFiles/adres_core.dir/processor.cpp.o.d"
+  "/root/repo/src/core/program.cpp" "src/core/CMakeFiles/adres_core.dir/program.cpp.o" "gcc" "src/core/CMakeFiles/adres_core.dir/program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/adres_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/cga/CMakeFiles/adres_cga.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adres_core.dir/processor.cpp.o"
+  "CMakeFiles/adres_core.dir/processor.cpp.o.d"
+  "CMakeFiles/adres_core.dir/program.cpp.o"
+  "CMakeFiles/adres_core.dir/program.cpp.o.d"
+  "libadres_core.a"
+  "libadres_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adres_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/channel.cpp" "src/dsp/CMakeFiles/adres_dsp.dir/channel.cpp.o" "gcc" "src/dsp/CMakeFiles/adres_dsp.dir/channel.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/dsp/CMakeFiles/adres_dsp.dir/fft.cpp.o" "gcc" "src/dsp/CMakeFiles/adres_dsp.dir/fft.cpp.o.d"
+  "/root/repo/src/dsp/mimo.cpp" "src/dsp/CMakeFiles/adres_dsp.dir/mimo.cpp.o" "gcc" "src/dsp/CMakeFiles/adres_dsp.dir/mimo.cpp.o.d"
+  "/root/repo/src/dsp/modem.cpp" "src/dsp/CMakeFiles/adres_dsp.dir/modem.cpp.o" "gcc" "src/dsp/CMakeFiles/adres_dsp.dir/modem.cpp.o.d"
+  "/root/repo/src/dsp/ofdm.cpp" "src/dsp/CMakeFiles/adres_dsp.dir/ofdm.cpp.o" "gcc" "src/dsp/CMakeFiles/adres_dsp.dir/ofdm.cpp.o.d"
+  "/root/repo/src/dsp/preamble.cpp" "src/dsp/CMakeFiles/adres_dsp.dir/preamble.cpp.o" "gcc" "src/dsp/CMakeFiles/adres_dsp.dir/preamble.cpp.o.d"
+  "/root/repo/src/dsp/qam.cpp" "src/dsp/CMakeFiles/adres_dsp.dir/qam.cpp.o" "gcc" "src/dsp/CMakeFiles/adres_dsp.dir/qam.cpp.o.d"
+  "/root/repo/src/dsp/sync.cpp" "src/dsp/CMakeFiles/adres_dsp.dir/sync.cpp.o" "gcc" "src/dsp/CMakeFiles/adres_dsp.dir/sync.cpp.o.d"
+  "/root/repo/src/dsp/trig.cpp" "src/dsp/CMakeFiles/adres_dsp.dir/trig.cpp.o" "gcc" "src/dsp/CMakeFiles/adres_dsp.dir/trig.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/adres_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adres_dsp.dir/channel.cpp.o"
+  "CMakeFiles/adres_dsp.dir/channel.cpp.o.d"
+  "CMakeFiles/adres_dsp.dir/fft.cpp.o"
+  "CMakeFiles/adres_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/adres_dsp.dir/mimo.cpp.o"
+  "CMakeFiles/adres_dsp.dir/mimo.cpp.o.d"
+  "CMakeFiles/adres_dsp.dir/modem.cpp.o"
+  "CMakeFiles/adres_dsp.dir/modem.cpp.o.d"
+  "CMakeFiles/adres_dsp.dir/ofdm.cpp.o"
+  "CMakeFiles/adres_dsp.dir/ofdm.cpp.o.d"
+  "CMakeFiles/adres_dsp.dir/preamble.cpp.o"
+  "CMakeFiles/adres_dsp.dir/preamble.cpp.o.d"
+  "CMakeFiles/adres_dsp.dir/qam.cpp.o"
+  "CMakeFiles/adres_dsp.dir/qam.cpp.o.d"
+  "CMakeFiles/adres_dsp.dir/sync.cpp.o"
+  "CMakeFiles/adres_dsp.dir/sync.cpp.o.d"
+  "CMakeFiles/adres_dsp.dir/trig.cpp.o"
+  "CMakeFiles/adres_dsp.dir/trig.cpp.o.d"
+  "libadres_dsp.a"
+  "libadres_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adres_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

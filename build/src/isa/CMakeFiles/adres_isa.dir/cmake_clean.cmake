@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adres_isa.dir/encoding.cpp.o"
+  "CMakeFiles/adres_isa.dir/encoding.cpp.o.d"
+  "CMakeFiles/adres_isa.dir/instruction.cpp.o"
+  "CMakeFiles/adres_isa.dir/instruction.cpp.o.d"
+  "CMakeFiles/adres_isa.dir/opcodes.cpp.o"
+  "CMakeFiles/adres_isa.dir/opcodes.cpp.o.d"
+  "CMakeFiles/adres_isa.dir/semantics.cpp.o"
+  "CMakeFiles/adres_isa.dir/semantics.cpp.o.d"
+  "libadres_isa.a"
+  "libadres_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adres_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adres_power.dir/area_model.cpp.o"
+  "CMakeFiles/adres_power.dir/area_model.cpp.o.d"
+  "CMakeFiles/adres_power.dir/energy_model.cpp.o"
+  "CMakeFiles/adres_power.dir/energy_model.cpp.o.d"
+  "libadres_power.a"
+  "libadres_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adres_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libadres_power.a"
+)

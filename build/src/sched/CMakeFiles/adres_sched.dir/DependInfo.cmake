@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/dfg.cpp" "src/sched/CMakeFiles/adres_sched.dir/dfg.cpp.o" "gcc" "src/sched/CMakeFiles/adres_sched.dir/dfg.cpp.o.d"
+  "/root/repo/src/sched/listsched.cpp" "src/sched/CMakeFiles/adres_sched.dir/listsched.cpp.o" "gcc" "src/sched/CMakeFiles/adres_sched.dir/listsched.cpp.o.d"
+  "/root/repo/src/sched/modulo.cpp" "src/sched/CMakeFiles/adres_sched.dir/modulo.cpp.o" "gcc" "src/sched/CMakeFiles/adres_sched.dir/modulo.cpp.o.d"
+  "/root/repo/src/sched/progbuilder.cpp" "src/sched/CMakeFiles/adres_sched.dir/progbuilder.cpp.o" "gcc" "src/sched/CMakeFiles/adres_sched.dir/progbuilder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/adres_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/cga/CMakeFiles/adres_cga.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/adres_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

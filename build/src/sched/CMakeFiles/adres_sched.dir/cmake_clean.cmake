@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adres_sched.dir/dfg.cpp.o"
+  "CMakeFiles/adres_sched.dir/dfg.cpp.o.d"
+  "CMakeFiles/adres_sched.dir/listsched.cpp.o"
+  "CMakeFiles/adres_sched.dir/listsched.cpp.o.d"
+  "CMakeFiles/adres_sched.dir/modulo.cpp.o"
+  "CMakeFiles/adres_sched.dir/modulo.cpp.o.d"
+  "CMakeFiles/adres_sched.dir/progbuilder.cpp.o"
+  "CMakeFiles/adres_sched.dir/progbuilder.cpp.o.d"
+  "libadres_sched.a"
+  "libadres_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adres_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

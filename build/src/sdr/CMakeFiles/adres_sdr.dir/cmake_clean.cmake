@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adres_sdr.dir/glue.cpp.o"
+  "CMakeFiles/adres_sdr.dir/glue.cpp.o.d"
+  "CMakeFiles/adres_sdr.dir/kernels.cpp.o"
+  "CMakeFiles/adres_sdr.dir/kernels.cpp.o.d"
+  "CMakeFiles/adres_sdr.dir/modem_program.cpp.o"
+  "CMakeFiles/adres_sdr.dir/modem_program.cpp.o.d"
+  "CMakeFiles/adres_sdr.dir/tables.cpp.o"
+  "CMakeFiles/adres_sdr.dir/tables.cpp.o.d"
+  "libadres_sdr.a"
+  "libadres_sdr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adres_sdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

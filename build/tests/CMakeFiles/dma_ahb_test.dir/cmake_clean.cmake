@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dma_ahb_test.dir/mem/dma_ahb_test.cpp.o"
+  "CMakeFiles/dma_ahb_test.dir/mem/dma_ahb_test.cpp.o.d"
+  "dma_ahb_test"
+  "dma_ahb_test.pdb"
+  "dma_ahb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dma_ahb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icache_test.dir/mem/icache_test.cpp.o"
+  "CMakeFiles/icache_test.dir/mem/icache_test.cpp.o.d"
+  "icache_test"
+  "icache_test.pdb"
+  "icache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

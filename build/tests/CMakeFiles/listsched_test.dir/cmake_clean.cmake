@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/listsched_test.dir/sched/listsched_test.cpp.o"
+  "CMakeFiles/listsched_test.dir/sched/listsched_test.cpp.o.d"
+  "listsched_test"
+  "listsched_test.pdb"
+  "listsched_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/listsched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimo_modem_test.dir/dsp/mimo_modem_test.cpp.o"
+  "CMakeFiles/mimo_modem_test.dir/dsp/mimo_modem_test.cpp.o.d"
+  "mimo_modem_test"
+  "mimo_modem_test.pdb"
+  "mimo_modem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimo_modem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

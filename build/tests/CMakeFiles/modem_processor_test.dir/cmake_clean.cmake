@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modem_processor_test.dir/sdr/modem_processor_test.cpp.o"
+  "CMakeFiles/modem_processor_test.dir/sdr/modem_processor_test.cpp.o.d"
+  "modem_processor_test"
+  "modem_processor_test.pdb"
+  "modem_processor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modem_processor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

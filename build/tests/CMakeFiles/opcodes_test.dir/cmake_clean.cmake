@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opcodes_test.dir/isa/opcodes_test.cpp.o"
+  "CMakeFiles/opcodes_test.dir/isa/opcodes_test.cpp.o.d"
+  "opcodes_test"
+  "opcodes_test.pdb"
+  "opcodes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opcodes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sched/progbuilder_test.cpp" "tests/CMakeFiles/progbuilder_test.dir/sched/progbuilder_test.cpp.o" "gcc" "tests/CMakeFiles/progbuilder_test.dir/sched/progbuilder_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/adres_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/cga/CMakeFiles/adres_cga.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/adres_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/adres_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/adres_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdr/CMakeFiles/adres_sdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/adres_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/progbuilder_test.dir/sched/progbuilder_test.cpp.o"
+  "CMakeFiles/progbuilder_test.dir/sched/progbuilder_test.cpp.o.d"
+  "progbuilder_test"
+  "progbuilder_test.pdb"
+  "progbuilder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/progbuilder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qam_ofdm_test.dir/dsp/qam_ofdm_test.cpp.o"
+  "CMakeFiles/qam_ofdm_test.dir/dsp/qam_ofdm_test.cpp.o.d"
+  "qam_ofdm_test"
+  "qam_ofdm_test.pdb"
+  "qam_ofdm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qam_ofdm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_dfg_test.dir/sched/random_dfg_test.cpp.o"
+  "CMakeFiles/random_dfg_test.dir/sched/random_dfg_test.cpp.o.d"
+  "random_dfg_test"
+  "random_dfg_test.pdb"
+  "random_dfg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_dfg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

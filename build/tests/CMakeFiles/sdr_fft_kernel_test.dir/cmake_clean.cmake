@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdr_fft_kernel_test.dir/sdr/fft_kernel_test.cpp.o"
+  "CMakeFiles/sdr_fft_kernel_test.dir/sdr/fft_kernel_test.cpp.o.d"
+  "sdr_fft_kernel_test"
+  "sdr_fft_kernel_test.pdb"
+  "sdr_fft_kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdr_fft_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdr_glue_test.dir/sdr/glue_test.cpp.o"
+  "CMakeFiles/sdr_glue_test.dir/sdr/glue_test.cpp.o.d"
+  "sdr_glue_test"
+  "sdr_glue_test.pdb"
+  "sdr_glue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdr_glue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdr_kernels1_test.dir/sdr/kernels1_test.cpp.o"
+  "CMakeFiles/sdr_kernels1_test.dir/sdr/kernels1_test.cpp.o.d"
+  "sdr_kernels1_test"
+  "sdr_kernels1_test.pdb"
+  "sdr_kernels1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdr_kernels1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdr_kernels3_test.dir/sdr/kernels3_test.cpp.o"
+  "CMakeFiles/sdr_kernels3_test.dir/sdr/kernels3_test.cpp.o.d"
+  "sdr_kernels3_test"
+  "sdr_kernels3_test.pdb"
+  "sdr_kernels3_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdr_kernels3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trig_fft_test.dir/dsp/trig_fft_test.cpp.o"
+  "CMakeFiles/trig_fft_test.dir/dsp/trig_fft_test.cpp.o.d"
+  "trig_fft_test"
+  "trig_fft_test.pdb"
+  "trig_fft_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trig_fft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
