@@ -2,12 +2,14 @@
 // MIMO-OFDM modem running on the simulated processor, plus the preamble /
 // data-phase totals and the real-time analysis of §4.
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "dsp/channel.hpp"
 #include "sdr/modem_program.hpp"
+#include "trace/telemetry.hpp"
 
 using namespace adres;
 using namespace adres::sdr;
@@ -131,5 +133,11 @@ int main() {
              static_cast<double>(act.cgaCycles + act.vliwCycles));
   printf("total run: %llu cycles (%.1f us)\n",
          static_cast<unsigned long long>(res.cycles), res.elapsedUs);
+
+  {
+    std::ofstream os("bench_table2.counters.json");
+    trace::writeCountersJson(proc, os);
+  }
+  printf("wrote bench_table2.counters.json (schema adres.counters.v1)\n");
   return 0;
 }

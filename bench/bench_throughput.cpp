@@ -3,10 +3,12 @@
 // decode correctness, processing time vs air time, and the average power
 // of the run (the paper's 220 mW @ 100 Mbps+ operating point).
 #include <cstdio>
+#include <fstream>
 
 #include "dsp/channel.hpp"
 #include "power/energy_model.hpp"
 #include "sdr/modem_program.hpp"
+#include "trace/telemetry.hpp"
 
 using namespace adres;
 
@@ -41,6 +43,10 @@ int main() {
     totalErrs += errs;
     totalUs += res.elapsedUs;
     avgMw += power::analyze(proc).averageActiveMw;
+    if (seed == 3) {
+      std::ofstream os("bench_throughput.counters.json");
+      trace::writeCountersJson(proc, os);
+    }
   }
   avgMw /= packets;
   const double airUs =
@@ -54,5 +60,7 @@ int main() {
          avgMw);
   printf("delivered goodput while processing: %.1f Mbps\n",
          static_cast<double>(totalBits - totalErrs) / totalUs);
+  printf("wrote bench_throughput.counters.json (schema adres.counters.v1, "
+         "last packet)\n");
   return 0;
 }

@@ -46,10 +46,15 @@ int main() {
   printf("lower bounds: ResMII=%d (memory ports / FU count), RecMII=%d "
          "(loop-carried chains)\n", resourceMii(g), recurrenceMii(g));
 
-  const ScheduledKernel sk = scheduleKernel(g);
+  ScheduleDiagnostics diag;
+  ScheduleOptions opts;
+  opts.diag = &diag;
+  const ScheduledKernel sk = scheduleKernel(g, opts);
   printf("\nmapping: II=%d, schedule length %d, %d routing moves, "
          "%.0f%% slot utilization\n", sk.ii, sk.schedLength, sk.routeMoves,
          100.0 * sk.slotUtilization());
+  printf("\nscheduler diagnostics (%d attempt(s)):\n%s", diag.totalAttempts(),
+         diag.summary().c_str());
   printf("live-in preloads: %zu, live-out writebacks: %zu\n",
          sk.config.preloads.size(), sk.config.writebacks.size());
 

@@ -13,6 +13,7 @@
 
 #include "common/check.hpp"
 #include "common/types.hpp"
+#include "trace/trace.hpp"
 
 namespace adres {
 
@@ -63,6 +64,10 @@ class AhbSlave {
   u32 read32(u32 addr) {
     const Region& r = decode(addr);
     ++stats_.reads;
+    // Traced on the bus's own timeline in core cycles (bus clock = core/2).
+    if (trace_)
+      trace_->event({stats_.busCycles * 2, 4, TraceEventKind::kAhbRead, 0,
+                     addr, 0});
     stats_.busCycles += 2;  // address + data phase
     return r.rd(addr - r.base);
   }
@@ -70,6 +75,9 @@ class AhbSlave {
   void write32(u32 addr, u32 value) {
     const Region& r = decode(addr);
     ++stats_.writes;
+    if (trace_)
+      trace_->event({stats_.busCycles * 2, 4, TraceEventKind::kAhbWrite, 0,
+                     addr, value});
     stats_.busCycles += 2;
     r.wr(addr - r.base, value);
   }
@@ -89,6 +97,7 @@ class AhbSlave {
   }
 
   const AhbStats& stats() const { return stats_; }
+  void setTrace(TraceSink* t) { trace_ = t; }
 
  private:
   struct Region {
@@ -109,6 +118,7 @@ class AhbSlave {
 
   std::vector<Region> regions_;
   AhbStats stats_;
+  TraceSink* trace_ = nullptr;
 };
 
 }  // namespace adres

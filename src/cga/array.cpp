@@ -58,9 +58,11 @@ Word CgaArray::readSrc(int fu, const SrcSel& s, i32 imm) {
   return 0;
 }
 
-CgaRunResult CgaArray::run(const KernelConfig& k, u32 trips) {
+CgaRunResult CgaArray::run(const KernelConfig& k, u32 trips, u64 traceBase,
+                           u32 kernelId) {
   k.validate();
   CgaRunResult res;
+  std::array<u32, kCgaFus> fuOps = {};  // per-FU trace occupancy
   // Each kernel launch runs on its own local timeline; clear the bank-port
   // bookings left by previous launches or VLIW-mode accesses.
   l1_.arbiter().reset();
@@ -110,6 +112,7 @@ CgaRunResult CgaArray::run(const KernelConfig& k, u32 trips) {
 
       ++res.ops;
       ++act_.cgaOps;
+      if (trace_) ++fuOps[static_cast<std::size_t>(fu)];
       if (f.op == Opcode::MOV) {
         ++res.routeMoves;
         ++act_.cgaRouteMoves;
@@ -128,7 +131,7 @@ CgaRunResult CgaArray::run(const KernelConfig& k, u32 trips) {
         const u32 addr = lo32u(base) + lo32u(off);
         ++act_.l1CgaAccesses;
         stallThisCycle = std::max(
-            stallThisCycle, l1_.arbiter().request(wall, addr, l1_.mutableStats()));
+            stallThisCycle, l1_.requestPort(traceBase + wall, addr));
         const u32 v = storeData(f.op, data);
         switch (memAccessBytes(f.op)) {
           case 1: l1_.write8(addr, v); break;
@@ -146,7 +149,7 @@ CgaRunResult CgaArray::run(const KernelConfig& k, u32 trips) {
         const u32 addr = lo32u(base) + lo32u(off);
         ++act_.l1CgaAccesses;
         stallThisCycle = std::max(
-            stallThisCycle, l1_.arbiter().request(wall, addr, l1_.mutableStats()));
+            stallThisCycle, l1_.requestPort(traceBase + wall, addr));
         u32 raw = 0;
         switch (memAccessBytes(f.op)) {
           case 1: raw = l1_.read8(addr); break;
@@ -180,6 +183,10 @@ CgaRunResult CgaArray::run(const KernelConfig& k, u32 trips) {
       pending.push_back(pw);
     }
 
+    if (stallThisCycle > 0 && trace_)
+      trace_->event({traceBase + wall, static_cast<u64>(stallThisCycle),
+                     TraceEventKind::kCgaStall, 0,
+                     static_cast<u32>(StallCause::kL1Contention), 0});
     wall += 1 + static_cast<u64>(stallThisCycle);
     res.stallCycles += static_cast<u64>(stallThisCycle);
   }
@@ -208,6 +215,16 @@ CgaRunResult CgaArray::run(const KernelConfig& k, u32 trips) {
   res.cycles = preCycles + wall + drainExtra + wbCycles;
   act_.cgaCycles += res.cycles;
   act_.cgaStallCycles += res.stallCycles;
+  if (trace_) {
+    // One occupancy span per active FU: the kernel renders as a per-FU
+    // heatmap on the cga.fuNN tracks.
+    for (int fu = 0; fu < kCgaFus; ++fu) {
+      if (fuOps[static_cast<std::size_t>(fu)] == 0) continue;
+      trace_->event({traceBase, res.cycles, TraceEventKind::kFuActive,
+                     static_cast<u8>(fu), kernelId,
+                     fuOps[static_cast<std::size_t>(fu)]});
+    }
+  }
   return res;
 }
 

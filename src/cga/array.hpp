@@ -20,6 +20,7 @@
 #include "mem/config_mem.hpp"
 #include "mem/scratchpad.hpp"
 #include "regfile/regfiles.hpp"
+#include "trace/trace.hpp"
 
 namespace adres {
 
@@ -45,7 +46,10 @@ class CgaArray {
 
   /// Executes `k` for `trips` iterations.  The caller (core) accounts the
   /// mode-switch overhead; this returns the in-mode cycle cost.
-  CgaRunResult run(const KernelConfig& k, u32 trips);
+  /// `traceBase` anchors the kernel-local timeline on the core's absolute
+  /// cycle counter and `kernelId` labels trace events; both are trace-only.
+  CgaRunResult run(const KernelConfig& k, u32 trips, u64 traceBase = 0,
+                   u32 kernelId = 0);
 
   /// Test access to the fabric state.
   Word outputReg(int fu) const { return outRegs_[static_cast<std::size_t>(fu)]; }
@@ -56,6 +60,8 @@ class CgaArray {
   RegFileStats localRfTotals() const;
 
   void clearState();
+
+  void setTrace(TraceSink* t) { trace_ = t; }
 
  private:
   struct PendingWrite {
@@ -80,6 +86,7 @@ class CgaArray {
 
   std::array<LocalRegFile, kCgaFus> localRfs_;
   std::array<Word, kCgaFus> outRegs_ = {};
+  TraceSink* trace_ = nullptr;
 };
 
 }  // namespace adres

@@ -59,10 +59,22 @@ void Processor::load(const Program& prog) {
   resetStats();
 }
 
+void Processor::setTrace(TraceSink* t) {
+  trace_ = t;
+  cga_.setTrace(t);
+  l1_.setTrace(t);
+  icache_.setTrace(t);
+  dma_.setTrace(t);
+}
+
 void Processor::resetStats() {
   act_.reset();
   l1_.resetStats();
   l1_.arbiter().reset();
+  icache_.resetStats();
+  // dma_ stats survive on purpose: they account the program-load transfers
+  // issued by load() *before* its trailing resetStats() (the power model
+  // charges configuration-load energy from them).
   cfgMem_.resetStats();
   crf_.resetStats();
   for (int f = 0; f < kCgaFus; ++f) cga_.localRf(f).resetStats();
@@ -98,6 +110,9 @@ void Processor::drainPipeline() {
   for (const PendingWrite& pw : pending_)
     latest = std::max(latest, pw.commitCycle);
   if (latest > cycle_) {
+    if (trace_)
+      trace_->event({cycle_, latest - cycle_, TraceEventKind::kVliwStall, 0,
+                     static_cast<u32>(StallCause::kDrain), 0});
     act_.vliwStallCycles += latest - cycle_;
     act_.vliwCycles += latest - cycle_;
     cycle_ = latest;
@@ -176,11 +191,24 @@ void Processor::switchRegion(int id) {
     p.vliwOps += act_.vliwOps - regionStartAct_.vliwOps;
     p.cgaOps += act_.cgaOps - regionStartAct_.cgaOps;
     p.ops = p.vliwOps + p.cgaOps;
+    if (trace_) {
+      const u64 ops = (act_.vliwOps - regionStartAct_.vliwOps) +
+                      (act_.cgaOps - regionStartAct_.cgaOps);
+      trace_->event({regionStartCycle_, cycle_ - regionStartCycle_,
+                     TraceEventKind::kRegionExit, 0,
+                     static_cast<u32>(currentRegion_),
+                     static_cast<u32>(ops)});
+    }
   }
   currentRegion_ = id;
   regionStartCycle_ = cycle_;
   regionStartAct_ = act_;
-  if (id >= 0) ++profiles_[id].entries;
+  if (id >= 0) {
+    ++profiles_[id].entries;
+    if (trace_)
+      trace_->event({cycle_, 0, TraceEventKind::kRegionEnter, 0,
+                     static_cast<u32>(id), 0});
+  }
 }
 
 StopReason Processor::run(u64 maxCycles) {
@@ -207,8 +235,12 @@ StopReason Processor::run(u64 maxCycles) {
     const u64 iterStart = cycle_;
 
     // Fetch through the I$.
-    const int missPenalty = icache_.fetch(pc_ * kBundleBytes);
+    const int missPenalty = icache_.fetch(pc_ * kBundleBytes, cycle_);
     if (missPenalty > 0) {
+      if (trace_)
+        trace_->event({cycle_, static_cast<u64>(missPenalty),
+                       TraceEventKind::kVliwStall, 0,
+                       static_cast<u32>(StallCause::kICacheMiss), 0});
       act_.vliwStallCycles += static_cast<u64>(missPenalty);
       cycle_ += static_cast<u64>(missPenalty);
     }
@@ -220,6 +252,9 @@ StopReason Processor::run(u64 maxCycles) {
       const Instr& in = b.slot[0];
       // Wait for the guard predicate and trip-count register, then decide.
       const u64 ready = std::max(operandReadyCycle(in), cycle_);
+      if (ready > cycle_ && trace_)
+        trace_->event({cycle_, ready - cycle_, TraceEventKind::kVliwStall, 0,
+                       static_cast<u32>(StallCause::kHazard), 0});
       act_.vliwStallCycles += ready - cycle_;
       cycle_ = ready;
       commitDue(cycle_);
@@ -234,9 +269,21 @@ StopReason Processor::run(u64 maxCycles) {
         const KernelConfig& k =
             prog_.kernels[static_cast<std::size_t>(in.imm)];
         act_.modeSwitches += 2;
-        const CgaRunResult r = cga_.run(k, trips);
+        const u64 launchCycle = cycle_;
+        if (trace_)
+          trace_->event({launchCycle, 0, TraceEventKind::kModeSwitch, 0, 0, 0});
+        const CgaRunResult r =
+            cga_.run(k, trips, launchCycle + kModeSwitchCycles,
+                     static_cast<u32>(in.imm));
         cycle_ += 2 * kModeSwitchCycles + r.cycles;
         act_.cgaCycles += 2 * kModeSwitchCycles;  // switches booked as kernel overhead
+        if (trace_) {
+          trace_->event({launchCycle, cycle_ - launchCycle,
+                         TraceEventKind::kKernel, 0,
+                         static_cast<u32>(in.imm),
+                         static_cast<u32>(r.ops)});
+          trace_->event({cycle_, 0, TraceEventKind::kModeSwitch, 0, 1, 0});
+        }
       } else {
         act_.vliwCycles += (cycle_ - iterStart) + 1;
         cycle_ += 1;
@@ -253,6 +300,7 @@ StopReason Processor::run(u64 maxCycles) {
       ++pc_;
       sleeping_ = true;
       switchRegion(-1);
+      if (trace_) trace_->event({cycle_, 0, TraceEventKind::kHalt, 0, 0, 0});
       return StopReason::kHalt;
     }
 
@@ -264,6 +312,9 @@ StopReason Processor::run(u64 maxCycles) {
         ready = std::max(ready, divBusyUntil_[static_cast<std::size_t>(s)]);
     }
     if (ready > cycle_) {
+      if (trace_)
+        trace_->event({cycle_, ready - cycle_, TraceEventKind::kVliwStall, 0,
+                       static_cast<u32>(StallCause::kHazard), 0});
       act_.vliwStallCycles += ready - cycle_;
       cycle_ = ready;
     }
@@ -279,6 +330,9 @@ StopReason Processor::run(u64 maxCycles) {
       if (in.guard != 0 && !crf_.readPred(in.guard)) continue;  // squashed
 
       ++act_.vliwOps;
+      if (trace_)
+        trace_->event({cycle_, 1, TraceEventKind::kVliwOp,
+                       static_cast<u8>(s), static_cast<u32>(in.op), 0});
       if (isSimd(in.op)) ++act_.simdOps;
       act_.ops16 += static_cast<u64>(ops16PerInstr(in.op));
       const int lat = opInfo(in.op).latency;
@@ -313,7 +367,7 @@ StopReason Processor::run(u64 maxCycles) {
                             ? static_cast<u32>(in.imm << memImmScale(in.op))
                             : lo32u(crf_.read(in.src2));
         const u32 addr = base + off;
-        l1_.arbiter().request(cycle_, addr, l1_.mutableStats());
+        l1_.requestPort(cycle_, addr);
         const u32 v = storeData(in.op, crf_.read(in.src3));
         switch (memAccessBytes(in.op)) {
           case 1: l1_.write8(addr, v); break;
@@ -329,7 +383,7 @@ StopReason Processor::run(u64 maxCycles) {
                             ? static_cast<u32>(in.imm << memImmScale(in.op))
                             : lo32u(crf_.read(in.src2));
         const u32 addr = base + off;
-        const int extra = l1_.arbiter().request(cycle_, addr, l1_.mutableStats());
+        const int extra = l1_.requestPort(cycle_, addr);
         u32 raw = 0;
         switch (memAccessBytes(in.op)) {
           case 1: raw = l1_.read8(addr); break;
@@ -374,6 +428,8 @@ StopReason Processor::run(u64 maxCycles) {
 }
 
 void Processor::resume() {
+  if (sleeping_ && trace_)
+    trace_->event({cycle_, 0, TraceEventKind::kResume, 0, 0, 0});
   sleeping_ = false;
 }
 

@@ -18,6 +18,7 @@
 #include "core/program.hpp"
 #include "mem/dma.hpp"
 #include "mem/icache.hpp"
+#include "trace/trace.hpp"
 
 namespace adres {
 
@@ -109,6 +110,12 @@ class Processor {
   /// register state (used between measured phases).
   void resetStats();
 
+  /// Attaches (or detaches, with nullptr) a trace sink to the core and every
+  /// sub-component (CGA array, L1, I$, DMA).  A null sink costs one untaken
+  /// branch per event site.
+  void setTrace(TraceSink* t);
+  TraceSink* trace() const { return trace_; }
+
  private:
   struct PendingWrite {
     u64 commitCycle = 0;
@@ -151,6 +158,7 @@ class Processor {
   int currentRegion_ = -1;
   u64 regionStartCycle_ = 0;
   ActivityCounters regionStartAct_;
+  TraceSink* trace_ = nullptr;
 };
 
 }  // namespace adres

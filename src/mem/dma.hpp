@@ -15,6 +15,7 @@
 #include "common/types.hpp"
 #include "mem/config_mem.hpp"
 #include "mem/scratchpad.hpp"
+#include "trace/trace.hpp"
 
 namespace adres {
 
@@ -35,7 +36,7 @@ class DmaEngine {
   u64 toL1(u32 l1Addr, const std::vector<u8>& bytes) {
     ADRES_CHECK(bytes.size() % 4 == 0, "DMA moves whole words");
     l1_.loadBytes(l1Addr, bytes);
-    return book(bytes.size() / 4);
+    return book(bytes.size() / 4, DmaDirection::kHostToL1);
   }
 
   /// L1 -> host/external memory.
@@ -46,22 +47,29 @@ class DmaEngine {
       const u32 w = l1_.read32(l1Addr + i);
       for (int b = 0; b < 4; ++b) out[i + static_cast<u32>(b)] = static_cast<u8>(w >> (8 * b));
     }
-    return book(nBytes / 4);
+    return book(nBytes / 4, DmaDirection::kL1ToHost);
   }
 
   /// Host/external memory -> configuration memory.
   u64 toConfig(u32 cfgAddr, const std::vector<u8>& bytes) {
     ADRES_CHECK(bytes.size() % 4 == 0, "DMA moves whole words");
     cfg_.loadBytes(cfgAddr, bytes);
-    return book(bytes.size() / 4);
+    return book(bytes.size() / 4, DmaDirection::kHostToConfig);
   }
 
   const DmaStats& stats() const { return stats_; }
+  void resetStats() { stats_ = {}; }
+  void setTrace(TraceSink* t) { trace_ = t; }
 
  private:
-  u64 book(std::size_t words) {
+  u64 book(std::size_t words, DmaDirection dir) {
     const u64 cost =
         kSetupCoreCycles + kCoreCyclesPerWord * static_cast<u64>(words);
+    // DMA runs on the bus clock with no core-cycle alignment; transfers are
+    // traced back to back on the engine's own cumulative timeline.
+    if (trace_)
+      trace_->event({stats_.coreCycles, cost, TraceEventKind::kDmaTransfer, 0,
+                     static_cast<u32>(words), static_cast<u32>(dir)});
     ++stats_.transfers;
     stats_.wordsMoved += words;
     stats_.coreCycles += cost;
@@ -71,6 +79,7 @@ class DmaEngine {
   Scratchpad& l1_;
   ConfigMemory& cfg_;
   DmaStats stats_;
+  TraceSink* trace_ = nullptr;
 };
 
 }  // namespace adres

@@ -10,6 +10,7 @@
 
 #include "common/check.hpp"
 #include "common/types.hpp"
+#include "trace/trace.hpp"
 
 namespace adres {
 
@@ -34,24 +35,33 @@ class ICache {
     stats_ = {};
   }
 
+  /// Clears the hit/miss counters without invalidating the tags (used
+  /// between measured phases — the cache stays warm).
+  void resetStats() { stats_ = {}; }
+
   /// Fetches the line holding byte address `addr`; returns the stall penalty
-  /// in cycles (0 on hit).
-  int fetch(u32 addr) {
+  /// in cycles (0 on hit).  `cycle` timestamps the miss event when tracing.
+  int fetch(u32 addr, u64 cycle = 0) {
     const u32 line = (addr / kICacheLineBytes) % kICacheLines;
     const u32 tag = addr / kICacheBytes;
     ++stats_.accesses;
     if (tags_[line] == tag) return 0;
     tags_[line] = tag;
     ++stats_.misses;
+    if (trace_)
+      trace_->event({cycle, kICacheMissPenalty, TraceEventKind::kICacheMiss,
+                     0, addr, 0});
     return kICacheMissPenalty;
   }
 
   const ICacheStats& stats() const { return stats_; }
+  void setTrace(TraceSink* t) { trace_ = t; }
 
  private:
   static constexpr u32 kInvalidTag = 0xFFFFFFFFu;
   std::vector<u32> tags_;
   ICacheStats stats_;
+  TraceSink* trace_ = nullptr;
 };
 
 }  // namespace adres

@@ -15,6 +15,7 @@
 
 #include "common/check.hpp"
 #include "common/types.hpp"
+#include "trace/trace.hpp"
 
 namespace adres {
 
@@ -120,6 +121,20 @@ class Scratchpad {
   BankArbiter& arbiter() { return arbiter_; }
   ScratchpadStats& mutableStats() { return stats_; }
 
+  /// Books a bank-port slot for a pipeline access at `cycle`, tracing the
+  /// queue wait as an L1 bank-conflict event.  Returns the extra latency.
+  int requestPort(u64 cycle, u32 addr) {
+    const int extra = arbiter_.request(cycle, addr, stats_);
+    if (extra > 0 && trace_)
+      trace_->event({cycle, static_cast<u64>(extra),
+                     TraceEventKind::kL1Conflict,
+                     static_cast<u8>(bankOf(addr)), addr,
+                     static_cast<u32>(extra)});
+    return extra;
+  }
+
+  void setTrace(TraceSink* t) { trace_ = t; }
+
  private:
   static void checkAddr(u32 addr, u32 n) {
     ADRES_CHECK(static_cast<u64>(addr) + n <= kL1Bytes,
@@ -131,6 +146,7 @@ class Scratchpad {
   std::vector<u8> mem_;
   ScratchpadStats stats_;
   BankArbiter arbiter_;
+  TraceSink* trace_ = nullptr;
 };
 
 }  // namespace adres

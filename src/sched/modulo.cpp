@@ -369,6 +369,7 @@ class Attempt {
   Attempt(const KernelDfg& g, int ii, const ScheduleOptions& opt,
           const std::vector<int>& boost, int perturb)
       : g_(g), opt_(opt), perturb_(perturb) {
+    g_lastReject = "";
     st_.ii = ii;
     st_.slotBusy.assign(static_cast<std::size_t>(ii), {});
     st_.commitCount.assign(static_cast<std::size_t>(ii), {});
@@ -400,6 +401,17 @@ class Attempt {
   std::optional<ScheduledKernel> run();
   int failedNode() const { return failedNode_; }
 
+  // Diagnostic observation of the (possibly partial) attempt state.
+  int placementRejects() const { return placementRejects_; }
+  int routeFailures() const { return routeFailures_; }
+  int routeMoves() const { return st_.moves; }
+  int placedCount() const {
+    int n = 0;
+    for (const Placement& p : st_.place) n += p.placed ? 1 : 0;
+    return n;
+  }
+  const char* lastReject() const { return g_lastReject; }
+
  private:
   void buildEdges();
   void computeHeights();
@@ -419,6 +431,8 @@ class Attempt {
   std::vector<int> order_;
   int failedNode_ = -1;
   int perturb_ = 0;
+  int placementRejects_ = 0;
+  int routeFailures_ = 0;
 };
 
 void Attempt::buildEdges() {
@@ -576,9 +590,6 @@ int Attempt::latestStart(int v) const {
     if (e.producer != v || e.consumer == v) continue;
     const Placement& cp = st_.place[static_cast<std::size_t>(e.consumer)];
     if (!cp.placed) continue;
-    if (opt_.diag)
-      *opt_.diag << "      latest edge: prod=" << v << " cons=" << e.consumer
-                 << " cp.t=" << cp.t << " dist=" << e.dist << "\n";
     latest = std::min(latest, cp.t + e.dist * st_.ii - lat);
   }
   for (const OrderEdge& oe : g_.orderEdges) {
@@ -705,14 +716,7 @@ bool Attempt::tryCandidate(SchedState& st, int v, int fu, int t,
         continue;  // routed when the producer lands
     }
     if (!routeEdgeInState(st, e)) {
-      if (opt_.diag && v == 94)
-        *opt_.diag << "      route fail " << e.producer << "->" << e.consumer
-                   << " dist=" << e.dist << " consFu="
-                   << st.place[static_cast<std::size_t>(e.consumer)].fu
-                   << " consT=" << st.place[static_cast<std::size_t>(e.consumer)].t
-                   << " prodFu=" << st.place[static_cast<std::size_t>(e.producer)].fu
-                   << " prodT=" << st.place[static_cast<std::size_t>(e.producer)].t
-                   << "\n";
+      ++routeFailures_;
       REJECT("route");
     }
   }
@@ -779,21 +783,9 @@ bool Attempt::placeNode(int v) {
           st_ = std::move(trial);
           return true;
         }
+        ++placementRejects_;
       }
     }
-  }
-  if (opt_.diag) {
-    *opt_.diag << "    node " << v << " est=" << est << " lst=" << lst
-               << " alap=" << alap_[static_cast<std::size_t>(v)]
-               << " earliest=" << earliestStart(v)
-               << " latest=" << latestStart(v)
-               << " last-reject=" << g_lastReject;
-    if (g_.node(v).kind == NodeKind::kOp && g_.node(v).op == Opcode::LD_IH) {
-      const Placement& lp = st_.place[static_cast<std::size_t>(g_.node(v).src[2])];
-      *opt_.diag << " [pair low placed=" << lp.placed << " t=" << lp.t
-                 << " fu=" << lp.fu << "]";
-    }
-    *opt_.diag << "\n";
   }
   return false;
 }
@@ -902,25 +894,85 @@ int recurrenceMii(const KernelDfg& g) {
   return rec;
 }
 
+std::string ScheduleDiagnostics::summary() const {
+  std::string out = "kernel '" + kernel + "': MII=max(Res " +
+                    std::to_string(miiResource) + ", Rec " +
+                    std::to_string(miiRecurrence) + "), " +
+                    std::to_string(attempts.size()) + " attempt(s), " +
+                    (succeeded ? "II=" + std::to_string(finalII) + ", " +
+                                     std::to_string(finalMoves) + " moves"
+                               : std::string("FAILED")) +
+                    "\n";
+  for (const ScheduleAttempt& a : attempts) {
+    out += "  II=" + std::to_string(a.ii) + " restart " +
+           std::to_string(a.restart) + ": ";
+    if (a.success) {
+      out += "mapped (" + std::to_string(a.placedNodes) + " ops, " +
+             std::to_string(a.routeMoves) + " moves, " +
+             std::to_string(a.placementRejects) + " rejects, " +
+             std::to_string(a.routeFailures) + " route fails)\n";
+    } else {
+      out += "blocked at node " + std::to_string(a.failedNode) + " (" +
+             (a.failedOp.empty() ? "?" : a.failedOp) + "), last reject '" +
+             a.lastReject + "', " + std::to_string(a.placedNodes) +
+             " placed, " + std::to_string(a.placementRejects) + " rejects, " +
+             std::to_string(a.routeFailures) + " route fails\n";
+    }
+  }
+  return out;
+}
+
+namespace {
+
+ScheduleAttempt makeAttemptRecord(const Attempt& a, const KernelDfg& g,
+                                  int ii, int restart, bool success) {
+  ScheduleAttempt rec;
+  rec.ii = ii;
+  rec.restart = restart;
+  rec.success = success;
+  rec.placedNodes = a.placedCount();
+  rec.failedNode = success ? -1 : a.failedNode();
+  if (!success && rec.failedNode >= 0 &&
+      g.node(rec.failedNode).kind == NodeKind::kOp)
+    rec.failedOp = opInfo(g.node(rec.failedNode).op).name;
+  rec.lastReject = success ? "" : a.lastReject();
+  rec.placementRejects = a.placementRejects();
+  rec.routeFailures = a.routeFailures();
+  rec.routeMoves = a.routeMoves();
+  return rec;
+}
+
+}  // namespace
+
 ScheduledKernel scheduleKernel(const KernelDfg& g,
                                const ScheduleOptions& options) {
   g.validate();
-  const int mii = std::max(resourceMii(g), recurrenceMii(g));
+  const int resMii = resourceMii(g);
+  const int recMii = recurrenceMii(g);
+  const int mii = std::max(resMii, recMii);
+  if (options.diag) {
+    *options.diag = {};
+    options.diag->kernel = g.name;
+    options.diag->miiResource = resMii;
+    options.diag->miiRecurrence = recMii;
+  }
   for (int ii = mii; ii <= options.maxII; ++ii) {
     std::vector<int> boost;
     for (int restart = 0; restart <= options.restartsPerII; ++restart) {
       Attempt a(g, ii, options, boost, restart);
-      if (auto r = a.run()) return *r;
-      const int blocked = a.failedNode();
-      if (options.diag) {
-        *options.diag << "kernel '" << g.name << "' II=" << ii << " restart "
-                      << restart << ": blocked at node " << blocked << " ("
-                      << (blocked >= 0 &&
-                                  g.node(blocked).kind == NodeKind::kOp
-                              ? opInfo(g.node(blocked).op).name
-                              : "?")
-                      << ")\n";
+      const auto r = a.run();
+      if (options.diag)
+        options.diag->attempts.push_back(
+            makeAttemptRecord(a, g, ii, restart, r.has_value()));
+      if (r) {
+        if (options.diag) {
+          options.diag->succeeded = true;
+          options.diag->finalII = r->ii;
+          options.diag->finalMoves = r->routeMoves;
+        }
+        return *r;
       }
+      const int blocked = a.failedNode();
       if (blocked < 0 ||
           std::find(boost.begin(), boost.end(), blocked) != boost.end())
         break;

@@ -18,13 +18,43 @@
 // MOVs) is exactly the regime the paper reports for its MIMO-OFDM kernels.
 #pragma once
 
-#include <ostream>
 #include <string>
+#include <vector>
 
 #include "cga/context.hpp"
 #include "sched/dfg.hpp"
 
 namespace adres {
+
+/// One mapping attempt at a given (II, restart) — the structured scheduler
+/// diagnostic record (queryable from tests, dumped by examples/kernel_mapping).
+struct ScheduleAttempt {
+  int ii = 0;
+  int restart = 0;
+  bool success = false;
+  int placedNodes = 0;        ///< op nodes placed before success/failure
+  int failedNode = -1;        ///< blocking DFG node id (-1: none / live-out stage)
+  std::string failedOp;       ///< opcode name of the blocking node, "" on success
+  std::string lastReject;     ///< most recent candidate-rejection reason
+  int placementRejects = 0;   ///< (fu, cycle) candidates rejected
+  int routeFailures = 0;      ///< dataflow-edge routing failures
+  int routeMoves = 0;         ///< routing MOVs in the (possibly partial) map
+};
+
+/// Full diagnostics of a scheduleKernel() call.
+struct ScheduleDiagnostics {
+  std::string kernel;
+  int miiResource = 0;
+  int miiRecurrence = 0;
+  std::vector<ScheduleAttempt> attempts;  ///< in execution order, incl. the final one
+  bool succeeded = false;
+  int finalII = 0;     ///< 0 when no mapping was found
+  int finalMoves = 0;  ///< routing MOVs in the accepted mapping
+
+  int totalAttempts() const { return static_cast<int>(attempts.size()); }
+  /// Human-readable multi-line dump.
+  std::string summary() const;
+};
 
 struct ScheduleOptions {
   int maxII = 32;
@@ -36,8 +66,9 @@ struct ScheduleOptions {
   int scratchCdrfLast = 63;
   /// Restarts per II with rotated placement order (cheap backtracking).
   int restartsPerII = 8;
-  /// When non-null, receives one line per failed mapping attempt.
-  std::ostream* diag = nullptr;
+  /// When non-null, filled with per-attempt records (also on failure, before
+  /// scheduleKernel throws).
+  ScheduleDiagnostics* diag = nullptr;
 };
 
 struct ScheduledKernel {

@@ -1,0 +1,66 @@
+#include "trace/counters.hpp"
+
+#include "common/check.hpp"
+
+namespace adres::trace {
+
+void CounterRegistry::add(const std::string& name, Getter g) {
+  ADRES_CHECK(!name.empty(), "counter name must be non-empty");
+  ADRES_CHECK(counters_.find(name) == counters_.end(),
+              "duplicate counter '" << name << '\'');
+  counters_[name] = std::move(g);
+}
+
+void CounterRegistry::addGroup(const std::string& prefix, GroupGetter g) {
+  ADRES_CHECK(!prefix.empty(), "group prefix must be non-empty");
+  ADRES_CHECK(groups_.find(prefix) == groups_.end(),
+              "duplicate group '" << prefix << '\'');
+  groups_[prefix] = std::move(g);
+}
+
+void CounterRegistry::reset() {
+  for (const auto& hook : resetHooks_) hook();
+}
+
+u64 CounterRegistry::value(const std::string& name) const {
+  const auto it = counters_.find(name);
+  ADRES_CHECK(it != counters_.end(), "unknown counter '" << name << '\'');
+  return it->second();
+}
+
+std::vector<std::string> CounterRegistry::keys() const {
+  std::vector<std::string> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, g] : counters_) out.push_back(name);
+  return out;  // std::map iterates sorted
+}
+
+std::map<std::string, u64> CounterRegistry::snapshot() const {
+  std::map<std::string, u64> out;
+  for (const auto& [name, g] : counters_) out[name] = g();
+  return out;
+}
+
+void CounterRegistry::writeJson(std::ostream& os) const {
+  os << "{\n  \"schema\": \"adres.counters.v1\",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, g] : counters_) {
+    os << (first ? "\n" : ",\n") << "    \"" << name << "\": " << g();
+    first = false;
+  }
+  os << "\n  },\n  \"groups\": {";
+  bool firstGroup = true;
+  for (const auto& [prefix, g] : groups_) {
+    os << (firstGroup ? "\n" : ",\n") << "    \"" << prefix << "\": {";
+    firstGroup = false;
+    bool firstKey = true;
+    for (const auto& [suffix, value] : g()) {
+      os << (firstKey ? "\n" : ",\n") << "      \"" << suffix << "\": " << value;
+      firstKey = false;
+    }
+    os << "\n    }";
+  }
+  os << "\n  }\n}\n";
+}
+
+}  // namespace adres::trace

@@ -1,0 +1,62 @@
+// Counter registry: federates the simulator's scattered statistics
+// (ActivityCounters, per-component stats, region profiles) behind named
+// counters with a single stable-schema JSON dump.
+//
+// Naming scheme (DESIGN.md "Observability"): dot-separated
+// `<component>.<metric>` keys, lower_snake metrics — e.g. `cga.cycles`,
+// `l1.bank_conflicts`, `cdrf.reads`.  Dynamic key families (per-region
+// profiles) register as groups under a prefix; the static key set is stable
+// for the lifetime of the registry, so JSON dumps from different runs diff
+// cleanly.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace adres::trace {
+
+class CounterRegistry {
+ public:
+  using Getter = std::function<u64()>;
+  /// A group expands to (suffix, value) pairs under its prefix at dump time
+  /// (keys may vary run to run — e.g. one block per profiled region).
+  using GroupGetter = std::function<std::vector<std::pair<std::string, u64>>()>;
+
+  /// Registers a named counter; the name must be unique.
+  void add(const std::string& name, Getter g);
+
+  /// Registers a dynamic key family dumped under `<prefix>.<suffix>`.
+  void addGroup(const std::string& prefix, GroupGetter g);
+
+  /// Registers a hook invoked by reset() (e.g. Processor::resetStats).
+  void onReset(std::function<void()> hook) { resetHooks_.push_back(std::move(hook)); }
+
+  /// Invokes every reset hook.
+  void reset();
+
+  bool has(const std::string& name) const { return counters_.count(name) != 0; }
+  u64 value(const std::string& name) const;
+
+  /// Static counter names, sorted (the stable schema).
+  std::vector<std::string> keys() const;
+
+  /// Point-in-time read of every static counter.
+  std::map<std::string, u64> snapshot() const;
+
+  /// Stable-schema JSON dump:
+  /// {"schema":"adres.counters.v1","counters":{...},"groups":{prefix:{...}}}
+  void writeJson(std::ostream& os) const;
+
+ private:
+  std::map<std::string, Getter> counters_;
+  std::map<std::string, GroupGetter> groups_;
+  std::vector<std::function<void()>> resetHooks_;
+};
+
+}  // namespace adres::trace

@@ -1,0 +1,128 @@
+// Cycle-level event tracing (DESIGN.md "Observability").
+//
+// Components hold a `TraceSink*` that is null by default; every emit site is
+// guarded by a single predictable branch (`if (trace_) ...`), so a build
+// without an attached sink pays one untaken branch per event site and
+// nothing else.  The sink owns all buffering policy; the simulator never
+// allocates on the emit path.
+//
+// Event taxonomy: each TraceEvent is a POD carrying the core-cycle
+// timestamp, an optional duration (span events), the event kind, a small
+// track id (VLIW slot, CGA FU, L1 bank) and two kind-specific words.  See
+// TraceEventKind for the per-kind meaning of `track`/`a`/`b`.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace adres {
+
+enum class TraceEventKind : u8 {
+  kModeSwitch = 0,   ///< a: 0 = VLIW->CGA, 1 = CGA->VLIW
+  kKernel,           ///< span: CGA kernel launch; a = kernel index, b = ops
+  kFuActive,         ///< span: CGA FU occupancy; track = fu, a = kernel index, b = ops on this FU
+  kVliwOp,           ///< span (1 cycle): issued VLIW op; track = slot, a = opcode
+  kVliwStall,        ///< span: VLIW-mode stall; a = StallCause
+  kCgaStall,         ///< span: CGA-mode stall; a = StallCause
+  kICacheMiss,       ///< span (miss penalty); a = fetch byte address
+  kL1Conflict,       ///< span (queue wait); track = bank, a = byte address
+  kDmaTransfer,      ///< span (transfer cost); a = words moved, b = DmaDirection
+  kAhbRead,          ///< a = bus byte address
+  kAhbWrite,         ///< a = bus byte address
+  kRegionEnter,      ///< a = region id
+  kRegionExit,       ///< span: whole region occupancy; a = region id, b = ops
+  kHalt,             ///< core entered the sleep state
+  kResume,           ///< resume input woke the core
+};
+
+/// Cause code carried in `a` of stall events.
+enum class StallCause : u8 {
+  kHazard = 0,       ///< operand/dest not ready (RAW/WAW wait)
+  kICacheMiss = 1,   ///< fetch stalled on the external instruction memory
+  kDrain = 2,        ///< pipeline drain before a mode switch / halt
+  kL1Contention = 3, ///< L1 bank-port queue wait
+};
+
+/// Direction code carried in `b` of kDmaTransfer events.
+enum class DmaDirection : u8 {
+  kHostToL1 = 0,
+  kL1ToHost = 1,
+  kHostToConfig = 2,
+};
+
+struct TraceEvent {
+  u64 cycle = 0;  ///< core-cycle timestamp (event start)
+  u64 dur = 0;    ///< span length in cycles; 0 = instant
+  TraceEventKind kind = TraceEventKind::kModeSwitch;
+  u8 track = 0;   ///< kind-specific lane (VLIW slot / CGA FU / L1 bank)
+  u32 a = 0;
+  u32 b = 0;
+};
+
+/// Event consumer.  Implementations must tolerate events arriving with
+/// non-monotonic timestamps (components book spans when they *end*).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void event(const TraceEvent& e) = 0;
+};
+
+/// Bounded flight-recorder sink: keeps the most recent `capacity` events,
+/// overwriting the oldest once full and accounting every overwritten event
+/// as dropped.
+class RingBufferSink final : public TraceSink {
+ public:
+  explicit RingBufferSink(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity ? capacity : 1) {
+    buf_.reserve(capacity_ < 4096 ? capacity_ : 4096);
+  }
+
+  void event(const TraceEvent& e) override {
+    ++accepted_;
+    if (buf_.size() < capacity_) {
+      buf_.push_back(e);
+      return;
+    }
+    ++dropped_;
+    buf_[head_] = e;
+    head_ = (head_ + 1) % capacity_;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return buf_.size(); }
+  u64 accepted() const { return accepted_; }   ///< total events offered
+  u64 dropped() const { return dropped_; }     ///< overwritten (oldest-first)
+
+  /// Retained events, oldest first.
+  std::vector<TraceEvent> events() const {
+    std::vector<TraceEvent> out;
+    out.reserve(buf_.size());
+    for (std::size_t i = 0; i < buf_.size(); ++i)
+      out.push_back(buf_[(head_ + i) % buf_.size()]);
+    return out;
+  }
+
+  void clear() {
+    buf_.clear();
+    head_ = 0;
+    accepted_ = 0;
+    dropped_ = 0;
+  }
+
+  static constexpr std::size_t kDefaultCapacity = 1u << 18;  // 8 MiB of events
+
+ private:
+  std::size_t capacity_;
+  std::size_t head_ = 0;  ///< oldest element once the ring is full
+  u64 accepted_ = 0;
+  u64 dropped_ = 0;
+  std::vector<TraceEvent> buf_;
+};
+
+/// Human-readable kind name (JSONL `kind` field, debugging).
+const char* traceEventKindName(TraceEventKind k);
+const char* stallCauseName(StallCause c);
+
+}  // namespace adres

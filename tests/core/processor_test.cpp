@@ -43,6 +43,29 @@ TEST(Processor, CgaInstructionRunsKernel) {
   EXPECT_GT(p.activity().vliwCycles, 0u);
 }
 
+TEST(Processor, ResetStatsClearsEverySubsystemIncludingICache) {
+  ProgramBuilder b("reset");
+  const int kid = b.addKernel(accumulatorKernel());
+  b.li(10, 0);
+  b.li(12, 5);
+  b.cga(kid, 12);
+  b.halt();
+  Processor p;
+  p.load(b.build());
+  p.run();
+  ASSERT_GT(p.icache().stats().accesses, 0u);
+  ASSERT_GT(p.activity().vliwCycles, 0u);
+  p.resetStats();
+  // Regression: resetStats() used to skip the I$, leaving stale
+  // access/miss counts behind a fresh activity profile.
+  EXPECT_EQ(p.icache().stats().accesses, 0u);
+  EXPECT_EQ(p.icache().stats().misses, 0u);
+  EXPECT_EQ(p.activity().vliwCycles, 0u);
+  EXPECT_EQ(p.l1().stats().reads, 0u);
+  // DMA stats deliberately survive: they account program-load transfers.
+  EXPECT_GT(p.dma().stats().transfers, 0u);
+}
+
 TEST(Processor, KernelSurvivesConfigMemoryRoundTrip) {
   // load() encodes kernels into configuration memory via DMA and decodes
   // them back; a second identical launch must still work.

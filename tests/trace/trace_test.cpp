@@ -1,0 +1,560 @@
+// Trace & telemetry layer: ring-buffer flight recorder, Chrome / JSONL
+// exporters (validated with a self-contained JSON parser — no external
+// parser dependency), counter registry, and the processor integration
+// (events emitted during a real program run, zero perturbation when the
+// sink is detached).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/processor.hpp"
+#include "sched/progbuilder.hpp"
+#include "trace/counters.hpp"
+#include "trace/export.hpp"
+#include "trace/telemetry.hpp"
+
+namespace adres {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser — enough to validate the exporters' output.
+
+struct JsonValue {
+  enum Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool hasKey(const std::string& k) const { return object.count(k) != 0; }
+  const JsonValue& at(const std::string& k) const {
+    auto it = object.find(k);
+    if (it == object.end()) throw std::runtime_error("missing key " + k);
+    return it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = parseValue();
+    skipWs();
+    if (pos_ != s_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    throw std::runtime_error("JSON error at offset " + std::to_string(pos_) +
+                             ": " + why);
+  }
+  void skipWs() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end");
+    return s_[pos_];
+  }
+  char get() {
+    char c = peek();
+    ++pos_;
+    return c;
+  }
+  void expect(char c) {
+    if (get() != c) fail(std::string("expected '") + c + "'");
+  }
+
+  JsonValue parseValue() {
+    skipWs();
+    switch (peek()) {
+      case '{': return parseObject();
+      case '[': return parseArray();
+      case '"': return parseString();
+      case 't': case 'f': return parseBool();
+      case 'n': return parseNull();
+      default: return parseNumber();
+    }
+  }
+  JsonValue parseObject() {
+    JsonValue v;
+    v.type = JsonValue::kObject;
+    expect('{');
+    skipWs();
+    if (peek() == '}') { ++pos_; return v; }
+    while (true) {
+      skipWs();
+      JsonValue key = parseString();
+      skipWs();
+      expect(':');
+      v.object[key.str] = parseValue();
+      skipWs();
+      char c = get();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+    return v;
+  }
+  JsonValue parseArray() {
+    JsonValue v;
+    v.type = JsonValue::kArray;
+    expect('[');
+    skipWs();
+    if (peek() == ']') { ++pos_; return v; }
+    while (true) {
+      v.array.push_back(parseValue());
+      skipWs();
+      char c = get();
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+    return v;
+  }
+  JsonValue parseString() {
+    JsonValue v;
+    v.type = JsonValue::kString;
+    expect('"');
+    while (true) {
+      char c = get();
+      if (c == '"') break;
+      if (c == '\\') {
+        char e = get();
+        switch (e) {
+          case '"': v.str += '"'; break;
+          case '\\': v.str += '\\'; break;
+          case '/': v.str += '/'; break;
+          case 'b': v.str += '\b'; break;
+          case 'f': v.str += '\f'; break;
+          case 'n': v.str += '\n'; break;
+          case 'r': v.str += '\r'; break;
+          case 't': v.str += '\t'; break;
+          case 'u': {
+            for (int i = 0; i < 4; ++i)
+              if (!std::isxdigit(static_cast<unsigned char>(get())))
+                fail("bad \\u escape");
+            v.str += '?';  // codepoint value irrelevant for these tests
+            break;
+          }
+          default: fail("bad escape");
+        }
+      } else {
+        v.str += c;
+      }
+    }
+    return v;
+  }
+  JsonValue parseBool() {
+    JsonValue v;
+    v.type = JsonValue::kBool;
+    if (s_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (s_.compare(pos_, 5, "false") == 0) {
+      v.boolean = false;
+      pos_ += 5;
+    } else {
+      fail("bad literal");
+    }
+    return v;
+  }
+  JsonValue parseNull() {
+    if (s_.compare(pos_, 4, "null") != 0) fail("bad literal");
+    pos_ += 4;
+    return {};
+  }
+  JsonValue parseNumber() {
+    std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("bad number");
+    JsonValue v;
+    v.type = JsonValue::kNumber;
+    v.number = std::stod(s_.substr(start, pos_ - start));
+    return v;
+  }
+
+  std::string s_;
+  std::size_t pos_ = 0;
+};
+
+TraceEvent ev(u64 cycle, TraceEventKind kind, u8 track = 0, u32 a = 0,
+              u32 b = 0, u64 dur = 0) {
+  return {cycle, dur, kind, track, a, b};
+}
+
+// ---------------------------------------------------------------------------
+// RingBufferSink
+
+TEST(RingBufferSink, RetainsEverythingBelowCapacity) {
+  RingBufferSink ring(8);
+  for (u64 i = 0; i < 5; ++i)
+    ring.event(ev(i, TraceEventKind::kVliwOp, static_cast<u8>(i)));
+  EXPECT_EQ(ring.accepted(), 5u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  const auto evs = ring.events();
+  ASSERT_EQ(evs.size(), 5u);
+  for (u64 i = 0; i < 5; ++i) EXPECT_EQ(evs[i].cycle, i);
+}
+
+TEST(RingBufferSink, OverwritesOldestAndCountsDrops) {
+  RingBufferSink ring(4);
+  for (u64 i = 0; i < 10; ++i) ring.event(ev(i, TraceEventKind::kVliwOp));
+  EXPECT_EQ(ring.accepted(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u) << "capacity 4, 10 emitted";
+  EXPECT_EQ(ring.size(), 4u);
+  const auto evs = ring.events();
+  ASSERT_EQ(evs.size(), 4u);
+  // Oldest-first: the survivors are the last four events, in order.
+  for (u64 i = 0; i < 4; ++i) EXPECT_EQ(evs[i].cycle, 6 + i);
+}
+
+TEST(RingBufferSink, ClearResetsEverything) {
+  RingBufferSink ring(2);
+  for (u64 i = 0; i < 5; ++i) ring.event(ev(i, TraceEventKind::kHalt));
+  ring.clear();
+  EXPECT_EQ(ring.accepted(), 0u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_TRUE(ring.events().empty());
+  ring.event(ev(42, TraceEventKind::kHalt));
+  ASSERT_EQ(ring.events().size(), 1u);
+  EXPECT_EQ(ring.events()[0].cycle, 42u);
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace exporter
+
+TEST(ChromeExport, EmitsValidJsonWithRequiredFields) {
+  std::vector<TraceEvent> events = {
+      ev(100, TraceEventKind::kKernel, 0, 0, 123, 40),          // span
+      ev(100, TraceEventKind::kModeSwitch, 0, 0),               // instant
+      ev(110, TraceEventKind::kVliwOp, 2, 0),                   // slot 2 track
+      ev(120, TraceEventKind::kFuActive, 7, 0, 9, 40),          // FU 7 track
+  };
+  trace::TraceNames names;
+  names.kernels.push_back("fft_stage");
+  std::ostringstream os;
+  trace::writeChromeTrace(events, os, names);
+
+  JsonValue root = JsonParser(os.str()).parse();
+  ASSERT_EQ(root.type, JsonValue::kObject);
+  ASSERT_TRUE(root.hasKey("traceEvents"));
+  const JsonValue& arr = root.at("traceEvents");
+  ASSERT_EQ(arr.type, JsonValue::kArray);
+
+  int metadata = 0, spans = 0, instants = 0;
+  for (const JsonValue& e : arr.array) {
+    ASSERT_EQ(e.type, JsonValue::kObject);
+    // Every record carries the Chrome trace-event required fields.
+    ASSERT_TRUE(e.hasKey("name"));
+    ASSERT_TRUE(e.hasKey("ph"));
+    ASSERT_TRUE(e.hasKey("pid"));
+    ASSERT_TRUE(e.hasKey("tid"));
+    const std::string ph = e.at("ph").str;
+    if (ph == "M") {
+      ++metadata;
+      continue;
+    }
+    ASSERT_TRUE(e.hasKey("ts"));
+    if (ph == "X") {
+      ++spans;
+      ASSERT_TRUE(e.hasKey("dur"));
+      EXPECT_GT(e.at("dur").number, 0.0);
+    } else {
+      ASSERT_EQ(ph, "i");
+      ++instants;
+    }
+  }
+  EXPECT_GE(metadata, 1 + 3 + 16) << "core + VLIW slots + CGA FUs named";
+  EXPECT_EQ(spans, 2) << "kernel + FU-activity spans";
+  EXPECT_EQ(instants, 2) << "mode switch + VLIW op";
+}
+
+TEST(ChromeExport, TimestampsScaleByClockPeriodAndNamesResolve) {
+  std::vector<TraceEvent> events = {
+      ev(400, TraceEventKind::kKernel, 0, 0, 5, 800),
+  };
+  trace::TraceNames names;
+  names.kernels.push_back("xcorr");
+  std::ostringstream os;
+  trace::writeChromeTrace(events, os, names);  // default: 400 MHz
+  JsonValue root = JsonParser(os.str()).parse();
+  const JsonValue* kernel = nullptr;
+  for (const JsonValue& e : root.at("traceEvents").array)
+    if (e.at("ph").str == "X") kernel = &e;
+  ASSERT_NE(kernel, nullptr);
+  EXPECT_EQ(kernel->at("name").str, "xcorr");
+  EXPECT_DOUBLE_EQ(kernel->at("ts").number, 1.0) << "400 cycles @ 400 MHz = 1 us";
+  EXPECT_DOUBLE_EQ(kernel->at("dur").number, 2.0);
+  EXPECT_EQ(kernel->at("args").at("cycle").number, 400.0);
+}
+
+TEST(ChromeExport, EscapesSpecialCharactersInNames) {
+  std::vector<TraceEvent> events = {ev(0, TraceEventKind::kRegionExit, 0, 0, 0, 7)};
+  trace::TraceNames names;
+  names.regions.push_back("equalize \"coeff\" calc.\n");
+  std::ostringstream os;
+  trace::writeChromeTrace(events, os, names);
+  JsonValue root = JsonParser(os.str()).parse();  // must not throw
+  bool found = false;
+  for (const JsonValue& e : root.at("traceEvents").array)
+    if (e.at("ph").str == "X" &&
+        e.at("name").str == "equalize \"coeff\" calc.\n")
+      found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(JsonlExport, OneValidObjectPerLine) {
+  std::vector<TraceEvent> events = {
+      ev(10, TraceEventKind::kICacheMiss, 0, 0x40, 0, 20),
+      ev(31, TraceEventKind::kL1Conflict, 2, 0x880, 4),
+      ev(50, TraceEventKind::kHalt),
+  };
+  std::ostringstream os;
+  trace::writeJsonl(events, os);
+  std::istringstream in(os.str());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    JsonValue v = JsonParser(line).parse();
+    ASSERT_EQ(v.type, JsonValue::kObject);
+    ASSERT_TRUE(v.hasKey("cycle"));
+    ASSERT_TRUE(v.hasKey("kind"));
+    ASSERT_TRUE(v.hasKey("track"));
+    ++lines;
+  }
+  EXPECT_EQ(lines, 3);
+}
+
+// ---------------------------------------------------------------------------
+// CounterRegistry
+
+TEST(CounterRegistry, RegisterQueryAndSnapshot) {
+  trace::CounterRegistry reg;
+  u64 x = 7;
+  reg.add("foo.count", [&] { return x; });
+  reg.add("bar.count", [] { return u64{3}; });
+  EXPECT_TRUE(reg.has("foo.count"));
+  EXPECT_FALSE(reg.has("nope"));
+  EXPECT_EQ(reg.value("foo.count"), 7u);
+  x = 9;
+  EXPECT_EQ(reg.value("foo.count"), 9u) << "getters read live state";
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.at("bar.count"), 3u);
+  EXPECT_EQ(snap.at("foo.count"), 9u);
+}
+
+TEST(CounterRegistry, KeysAreSortedAndStable) {
+  trace::CounterRegistry reg;
+  reg.add("z.metric", [] { return u64{0}; });
+  reg.add("a.metric", [] { return u64{0}; });
+  reg.add("m.metric", [] { return u64{0}; });
+  const auto keys = reg.keys();
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], "a.metric");
+  EXPECT_EQ(keys[1], "m.metric");
+  EXPECT_EQ(keys[2], "z.metric");
+  EXPECT_EQ(reg.keys(), keys) << "key set is stable across calls";
+}
+
+TEST(CounterRegistry, RejectsDuplicateAndEmptyNames) {
+  trace::CounterRegistry reg;
+  reg.add("dup", [] { return u64{0}; });
+  EXPECT_THROW(reg.add("dup", [] { return u64{1}; }), SimError);
+  EXPECT_THROW(reg.add("", [] { return u64{0}; }), SimError);
+  EXPECT_THROW(reg.value("missing"), SimError);
+}
+
+TEST(CounterRegistry, ResetInvokesHooks) {
+  trace::CounterRegistry reg;
+  u64 counter = 41;
+  reg.add("c", [&] { return counter; });
+  reg.onReset([&] { counter = 0; });
+  EXPECT_EQ(reg.value("c"), 41u);
+  reg.reset();
+  EXPECT_EQ(reg.value("c"), 0u);
+}
+
+TEST(CounterRegistry, JsonDumpHasStableSchema) {
+  trace::CounterRegistry reg;
+  reg.add("l1.reads", [] { return u64{12}; });
+  reg.add("cga.cycles", [] { return u64{900}; });
+  reg.addGroup("region", [] {
+    return std::vector<std::pair<std::string, u64>>{{"fft.cycles", 100}};
+  });
+  std::ostringstream os;
+  reg.writeJson(os);
+  JsonValue root = JsonParser(os.str()).parse();
+  EXPECT_EQ(root.at("schema").str, "adres.counters.v1");
+  EXPECT_EQ(root.at("counters").at("l1.reads").number, 12.0);
+  EXPECT_EQ(root.at("counters").at("cga.cycles").number, 900.0);
+  EXPECT_EQ(root.at("groups").at("region").at("fft.cycles").number, 100.0);
+}
+
+// ---------------------------------------------------------------------------
+// Processor integration
+
+KernelConfig accumulatorKernel() {
+  KernelConfig k;
+  k.name = "acc";
+  k.ii = 1;
+  k.schedLength = 1;
+  k.contexts.resize(1);
+  FuOp& f = k.contexts[0].fu[5];
+  f.op = Opcode::ADD;
+  f.src1 = SrcSel::localRf(0);
+  f.src2 = SrcSel::imm();
+  f.imm = 1;
+  f.dst.toLocalRf = true;
+  f.dst.localAddr = 0;
+  k.preloads.push_back({5, 0, 10});
+  k.writebacks.push_back({11, 5, 0});
+  return k;
+}
+
+Program tracedProgram() {
+  ProgramBuilder b("traced");
+  const int kid = b.addKernel(accumulatorKernel());
+  b.marker("warmup");
+  b.li(10, 0);
+  b.li(12, 20);
+  b.markerEnd();
+  b.marker("kernel region");
+  b.cga(kid, 12);
+  b.markerEnd();
+  b.halt();
+  return b.build();
+}
+
+int countKind(const std::vector<TraceEvent>& evs, TraceEventKind k) {
+  int n = 0;
+  for (const TraceEvent& e : evs)
+    if (e.kind == k) ++n;
+  return n;
+}
+
+TEST(ProcessorTracing, EmitsModeKernelRegionAndFetchEvents) {
+  Processor p;
+  RingBufferSink ring(1 << 14);
+  p.setTrace(&ring);
+  p.load(tracedProgram());
+  EXPECT_EQ(p.run(), StopReason::kHalt);
+  EXPECT_EQ(p.regs().peek(11), 20u) << "tracing must not change semantics";
+
+  const auto evs = ring.events();
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_EQ(countKind(evs, TraceEventKind::kModeSwitch), 2);
+  EXPECT_EQ(countKind(evs, TraceEventKind::kKernel), 1);
+  EXPECT_EQ(countKind(evs, TraceEventKind::kHalt), 1);
+  EXPECT_GT(countKind(evs, TraceEventKind::kVliwOp), 0);
+  EXPECT_GT(countKind(evs, TraceEventKind::kICacheMiss), 0) << "cold I$";
+  EXPECT_GT(countKind(evs, TraceEventKind::kFuActive), 0);
+  EXPECT_EQ(countKind(evs, TraceEventKind::kRegionEnter),
+            countKind(evs, TraceEventKind::kRegionExit))
+      << "every region enter has a matching exit span";
+  EXPECT_GE(countKind(evs, TraceEventKind::kRegionEnter), 2);
+
+  // The kernel span covers the launch and carries the op count.
+  for (const TraceEvent& e : evs)
+    if (e.kind == TraceEventKind::kKernel) {
+      EXPECT_GT(e.dur, 20u) << "20 trips + mode-switch overhead";
+      EXPECT_GT(e.b, 0u) << "ops executed inside the kernel";
+    }
+  // FU-activity spans land inside [0, final cycle] on FU tracks.
+  for (const TraceEvent& e : evs)
+    if (e.kind == TraceEventKind::kFuActive) {
+      EXPECT_LT(e.track, kCgaFus);
+      EXPECT_GT(e.dur, 0u);
+    }
+}
+
+TEST(ProcessorTracing, DetachedSinkDoesNotPerturbTiming) {
+  Processor traced;
+  RingBufferSink ring;
+  traced.setTrace(&ring);
+  traced.load(tracedProgram());
+  traced.run();
+
+  Processor plain;
+  plain.load(tracedProgram());
+  plain.run();
+
+  EXPECT_EQ(traced.cycles(), plain.cycles())
+      << "tracing is observation only — identical cycle-accurate behaviour";
+  EXPECT_EQ(traced.regs().peek(11), plain.regs().peek(11));
+  EXPECT_GT(ring.accepted(), 0u);
+}
+
+TEST(ProcessorTracing, RegionNamesResolveInChromeExport) {
+  Processor p;
+  RingBufferSink ring;
+  p.setTrace(&ring);
+  p.load(tracedProgram());
+  p.run();
+  trace::TraceNames names;
+  for (const KernelConfig& k : p.program().kernels)
+    names.kernels.push_back(k.name);
+  names.regions = p.program().regionNames;
+  std::ostringstream os;
+  trace::writeChromeTrace(ring.events(), os, names);
+  JsonValue root = JsonParser(os.str()).parse();
+  bool kernelRegion = false, accKernel = false;
+  for (const JsonValue& e : root.at("traceEvents").array) {
+    if (e.at("ph").str == "M") continue;
+    if (e.at("name").str == "kernel region") kernelRegion = true;
+    if (e.at("name").str == "acc") accKernel = true;
+  }
+  EXPECT_TRUE(kernelRegion) << "region marker name resolved";
+  EXPECT_TRUE(accKernel) << "kernel name resolved";
+}
+
+TEST(ProcessorCounters, RegistryCoversEverySubsystemAndResets) {
+  Processor p;
+  p.load(tracedProgram());
+  p.run();
+  trace::CounterRegistry reg;
+  trace::registerProcessorCounters(reg, p);
+
+  // The acceptance contract: core/VLIW/CGA/stall/sleep cycles, I$, L1
+  // banks, CDRF/PRF ports, DMA all present under stable names.
+  for (const char* key :
+       {"core.cycles", "vliw.cycles", "vliw.stall_cycles", "cga.cycles",
+        "cga.stall_cycles", "sleep.cycles", "mode.switches",
+        "icache.accesses", "icache.misses", "l1.reads", "l1.writes",
+        "l1.bank_conflicts", "l1.bank_conflict_cycles", "cdrf.reads",
+        "cdrf.writes", "cprf.reads", "cprf.writes", "lrf.reads",
+        "lrf.writes", "dma.transfers", "dma.words"})
+    EXPECT_TRUE(reg.has(key)) << key;
+
+  EXPECT_GT(reg.value("core.cycles"), 0u);
+  EXPECT_GT(reg.value("cga.cycles"), 0u);
+  EXPECT_GT(reg.value("icache.accesses"), 0u);
+  EXPECT_EQ(reg.value("mode.switches"), 2u);
+
+  std::ostringstream os;
+  reg.writeJson(os);
+  JsonValue root = JsonParser(os.str()).parse();
+  EXPECT_EQ(root.at("schema").str, "adres.counters.v1");
+  EXPECT_TRUE(root.at("groups").hasKey("region"));
+
+  const auto keysBefore = reg.keys();
+  reg.reset();
+  EXPECT_EQ(reg.value("core.cycles"), 0u);
+  EXPECT_EQ(reg.value("icache.accesses"), 0u) << "reset reaches the I$";
+  EXPECT_EQ(reg.keys(), keysBefore) << "schema survives reset";
+}
+
+}  // namespace
+}  // namespace adres
