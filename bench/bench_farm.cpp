@@ -1,0 +1,170 @@
+// Packet-farm throughput: N simulated ADRES processors decoding a stream
+// of MIMO-OFDM packets in parallel (src/platform).  Reports packets/sec,
+// aggregate decoded Mbps, scaling efficiency vs worker count and p50/p99
+// per-packet host latency, verifying every run is bit-exact with the
+// 1-worker baseline.  Emits a machine-readable BENCH_farm.json.
+//
+//   $ ./bench_farm [numPackets] [numSymbols] [maxWorkers] [jsonPath]
+//
+// jsonPath defaults to BENCH_farm.json; pass "-" to skip the dump.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dsp/channel.hpp"
+#include "platform/packet_farm.hpp"
+
+using namespace adres;
+
+namespace {
+
+struct Row {
+  int workers = 0;
+  double wallMs = 0, pps = 0, mbps = 0, speedup = 0, efficiency = 0;
+  double p50Us = 0, p99Us = 0, avgPowerMw = 0, ber = 0;
+  bool bitExact = true;  ///< per-packet results identical to the 1-worker run
+};
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const std::size_t i = static_cast<std::size_t>(p * (static_cast<double>(v.size()) - 1.0));
+  return v[i];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int numPackets = argc > 1 ? std::atoi(argv[1]) : 24;
+  int numSymbols = argc > 2 ? std::atoi(argv[2]) : 4;
+  if (numSymbols < 2) numSymbols = 2;
+  numSymbols &= ~1;
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const int maxWorkers =
+      argc > 3 ? std::atoi(argv[3]) : std::max(1, std::min(8, hw));
+  const std::string jsonPath = argc > 4 ? argv[4] : "BENCH_farm.json";
+
+  dsp::ModemConfig cfg;
+  cfg.mod = dsp::Modulation::kQam64;
+  cfg.numSymbols = numSymbols;
+
+  printf("=== packet farm: %d packets x %d symbols, up to %d workers "
+         "(%d hw threads) ===\n", numPackets, numSymbols, maxWorkers, hw);
+
+  // Traffic: packets through a 2-tap channel, varied seeds, golden bits kept.
+  std::vector<std::array<std::vector<cint16>, 2>> waves;
+  std::vector<std::vector<u8>> golden;
+  long totalBits = 0;
+  for (int i = 0; i < numPackets; ++i) {
+    Rng rng(1000 + static_cast<u64>(i));
+    const dsp::TxPacket pkt = dsp::transmit(cfg, rng);
+    dsp::ChannelConfig cc;
+    cc.taps = 2;
+    cc.snrDb = 38;
+    cc.cfoPpm = 5;
+    cc.seed = static_cast<u64>(i + 1);
+    dsp::MimoChannel ch(cc);
+    waves.push_back(ch.run(pkt.waveform));
+    golden.push_back(pkt.bits);
+    totalBits += static_cast<long>(pkt.bits.size());
+  }
+
+  // Pay the one-time program build before any timed run.
+  (void)platform::modemProgramFor(cfg);
+
+  std::vector<int> sweep;
+  for (int w = 1; w < maxWorkers; w *= 2) sweep.push_back(w);
+  sweep.push_back(maxWorkers);
+
+  std::vector<Row> rows;
+  std::vector<std::vector<u8>> baselineBits;
+  std::vector<u64> baselineCycles;
+  for (const int w : sweep) {
+    platform::FarmConfig fc;
+    fc.modem = cfg;
+    fc.numWorkers = w;
+    fc.queueCapacity = static_cast<std::size_t>(2 * w);
+    fc.ordered = true;
+    platform::PacketFarm farm(fc);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < numPackets; ++i) (void)farm.submit(waves[static_cast<std::size_t>(i)]);
+    const std::vector<platform::RxOutcome> outs = farm.finish();
+    const double wallUs =
+        std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    Row r;
+    r.workers = w;
+    r.wallMs = wallUs / 1000.0;
+    r.pps = static_cast<double>(numPackets) / (wallUs / 1e6);
+    r.mbps = static_cast<double>(totalBits) / wallUs;  // bits/us == Mbps
+    std::vector<double> lat;
+    long errBits = 0;
+    for (const auto& o : outs) {
+      lat.push_back(o.hostUs);
+      r.avgPowerMw += o.avgPowerMw;
+      const auto& exp = golden[static_cast<std::size_t>(o.id)];
+      errBits += o.result.bits.size() == exp.size()
+                     ? dsp::bitErrors(o.result.bits, exp)
+                     : static_cast<int>(exp.size());
+    }
+    r.ber = static_cast<double>(errBits) / static_cast<double>(totalBits);
+    r.avgPowerMw /= static_cast<double>(outs.size() ? outs.size() : 1);
+    r.p50Us = percentile(lat, 0.5);
+    r.p99Us = percentile(lat, 0.99);
+    if (w == 1) {
+      for (const auto& o : outs) {
+        baselineBits.push_back(o.result.bits);
+        baselineCycles.push_back(o.result.cycles);
+      }
+      r.speedup = 1.0;
+    } else {
+      r.speedup = rows.front().wallMs / r.wallMs;
+      for (const auto& o : outs) {
+        if (o.result.bits != baselineBits[static_cast<std::size_t>(o.id)] ||
+            o.result.cycles != baselineCycles[static_cast<std::size_t>(o.id)])
+          r.bitExact = false;
+      }
+    }
+    r.efficiency = r.speedup / static_cast<double>(w);
+    rows.push_back(r);
+
+    printf("%2d worker%s: %8.1f ms  %7.2f pkt/s  %7.2f Mbps  speedup %5.2fx "
+           "(eff %3.0f%%)  p50 %.0f us  p99 %.0f us  BER %.1e  %s\n",
+           w, w == 1 ? " " : "s", r.wallMs, r.pps, r.mbps, r.speedup,
+           100.0 * r.efficiency, r.p50Us, r.p99Us, r.ber,
+           r.bitExact ? "bit-exact" : "MISMATCH vs 1-worker baseline");
+  }
+
+  if (jsonPath != "-") {
+    std::ofstream os(jsonPath);
+    os << "{\n  \"schema\": \"adres.bench_farm.v1\",\n"
+       << "  \"packets\": " << numPackets << ",\n"
+       << "  \"num_symbols\": " << numSymbols << ",\n"
+       << "  \"total_bits\": " << totalBits << ",\n"
+       << "  \"hardware_threads\": " << hw << ",\n  \"rows\": [";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      os << (i ? ",\n" : "\n")
+         << "    {\"workers\": " << r.workers << ", \"wall_ms\": " << r.wallMs
+         << ", \"packets_per_sec\": " << r.pps << ", \"mbps\": " << r.mbps
+         << ", \"speedup\": " << r.speedup
+         << ", \"efficiency\": " << r.efficiency
+         << ", \"p50_us\": " << r.p50Us << ", \"p99_us\": " << r.p99Us
+         << ", \"avg_power_mw\": " << r.avgPowerMw << ", \"ber\": " << r.ber
+         << ", \"bit_exact\": " << (r.bitExact ? "true" : "false") << "}";
+    }
+    os << "\n  ]\n}\n";
+    printf("wrote %s\n", jsonPath.c_str());
+  }
+
+  for (const Row& r : rows)
+    if (!r.bitExact) return 1;
+  return 0;
+}

@@ -20,7 +20,7 @@ int main() {
   cc.cfoPpm = 6;
   dsp::MimoChannel ch(cc);
   const auto rx = ch.run(pkt.waveform);
-  const sdr::ModemOnProcessor m = sdr::buildModemProgram(cfg.numSymbols);
+  const sdr::ModemOnProcessor m = sdr::buildModemProgram(cfg);
   Processor proc;
   (void)sdr::runModemOnProcessor(proc, m, rx);
   const power::PowerReport r = power::analyze(proc);

@@ -1,15 +1,17 @@
 // Reproduces Table 2: per-kernel mode / IPC / cycles of the 20 MHz 2x2
 // MIMO-OFDM modem running on the simulated processor, plus the preamble /
 // data-phase totals and the real-time analysis of §4.
+//
+//   $ ./bench_table2_profiling [countersJsonPath]
+//
+// When a path is given, the run's adres.counters.v1 dump is written there.
 #include <cstdio>
-#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "dsp/channel.hpp"
 #include "sdr/modem_program.hpp"
-#include "trace/telemetry.hpp"
 
 using namespace adres;
 using namespace adres::sdr;
@@ -49,7 +51,8 @@ const std::vector<PaperRow> kPaper = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* countersPath = argc > 1 ? argv[1] : nullptr;
   const int numSymbols = 16;  // amortizes cold I$ over the pair loop
   dsp::ModemConfig cfg;
   cfg.mod = dsp::Modulation::kQam64;
@@ -63,9 +66,11 @@ int main() {
   dsp::MimoChannel ch(cc);
   const auto rx = ch.run(pkt.waveform);
 
-  const ModemOnProcessor m = buildModemProgram(numSymbols);
+  const ModemOnProcessor m = buildModemProgram(cfg);
   Processor proc;
-  const ProcessorRxResult res = runModemOnProcessor(proc, m, rx);
+  RxRunOptions opts;
+  if (countersPath) opts.countersJsonPath = countersPath;
+  const ProcessorRxResult res = runModemOnProcessor(proc, m, rx, opts);
   const int errs = dsp::bitErrors(res.bits, pkt.bits);
 
   printf("=== Table 2: profiling of the SDM-OFDM code ===\n");
@@ -134,10 +139,7 @@ int main() {
   printf("total run: %llu cycles (%.1f us)\n",
          static_cast<unsigned long long>(res.cycles), res.elapsedUs);
 
-  {
-    std::ofstream os("bench_table2.counters.json");
-    trace::writeCountersJson(proc, os);
-  }
-  printf("wrote bench_table2.counters.json (schema adres.counters.v1)\n");
+  if (countersPath)
+    printf("wrote %s (schema adres.counters.v1)\n", countersPath);
   return 0;
 }

@@ -21,7 +21,7 @@ int main() {
   dsp::MimoChannel ch(cc);
   const auto rx = ch.run(pkt.waveform);
 
-  const sdr::ModemOnProcessor m = sdr::buildModemProgram(cfg.numSymbols);
+  const sdr::ModemOnProcessor m = sdr::buildModemProgram(cfg);
   Processor proc;
   (void)sdr::runModemOnProcessor(proc, m, rx);
   const power::PowerReport r = power::analyze(proc);

@@ -2,17 +2,21 @@
 // the channel and the processor-mapped receiver, reporting raw rate,
 // decode correctness, processing time vs air time, and the average power
 // of the run (the paper's 220 mW @ 100 Mbps+ operating point).
+//
+//   $ ./bench_throughput [countersJsonPath]
+//
+// When a path is given, the last packet's adres.counters.v1 dump is
+// written there (no file is written otherwise).
 #include <cstdio>
-#include <fstream>
 
 #include "dsp/channel.hpp"
 #include "power/energy_model.hpp"
 #include "sdr/modem_program.hpp"
-#include "trace/telemetry.hpp"
 
 using namespace adres;
 
-int main() {
+int main(int argc, char** argv) {
+  const char* countersPath = argc > 1 ? argv[1] : nullptr;
   printf("=== 100 Mbps+ operating point (QAM-64, 2x2 SDM, 20 MHz) ===\n");
   dsp::ModemConfig cfg;
   cfg.mod = dsp::Modulation::kQam64;
@@ -20,7 +24,7 @@ int main() {
   printf("raw rate: %.0f Mbps (%d bits / 4 us OFDM symbol)\n",
          dsp::rawRateMbps(cfg), dsp::bitsPerOfdmSymbol(cfg));
 
-  const sdr::ModemOnProcessor m = sdr::buildModemProgram(cfg.numSymbols);
+  const sdr::ModemOnProcessor m = sdr::buildModemProgram(cfg);
   int packets = 0, packetsOk = 0;
   long totalBits = 0, totalErrs = 0;
   double totalUs = 0, avgMw = 0;
@@ -35,7 +39,9 @@ int main() {
     dsp::MimoChannel ch(cc);
     const auto rx = ch.run(pkt.waveform);
     Processor proc;
-    const sdr::ProcessorRxResult res = sdr::runModemOnProcessor(proc, m, rx);
+    sdr::RxRunOptions opts;
+    if (seed == 3 && countersPath) opts.countersJsonPath = countersPath;
+    const sdr::ProcessorRxResult res = sdr::runModemOnProcessor(proc, m, rx, opts);
     const int errs = dsp::bitErrors(res.bits, pkt.bits);
     ++packets;
     if (res.detected && errs == 0) ++packetsOk;
@@ -43,10 +49,6 @@ int main() {
     totalErrs += errs;
     totalUs += res.elapsedUs;
     avgMw += power::analyze(proc).averageActiveMw;
-    if (seed == 3) {
-      std::ofstream os("bench_throughput.counters.json");
-      trace::writeCountersJson(proc, os);
-    }
   }
   avgMw /= packets;
   const double airUs =
@@ -60,7 +62,7 @@ int main() {
          avgMw);
   printf("delivered goodput while processing: %.1f Mbps\n",
          static_cast<double>(totalBits - totalErrs) / totalUs);
-  printf("wrote bench_throughput.counters.json (schema adres.counters.v1, "
-         "last packet)\n");
+  if (countersPath)
+    printf("wrote %s (schema adres.counters.v1, last packet)\n", countersPath);
   return 0;
 }

@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
   printf("channel: 2-tap Rayleigh, %.0f dB SNR, %.0f ppm CFO "
          "(%.1f kHz at 2.4 GHz)\n", snr, ppm, ppm * 2.4e3 / 1000.0);
 
-  const sdr::ModemOnProcessor m = sdr::buildModemProgram(numSymbols);
+  const sdr::ModemOnProcessor m = sdr::buildModemProgram(cfg);
   printf("receiver program: %zu bundles, %zu mapped kernels\n",
          m.program.bundles.size(), m.program.kernels.size());
 

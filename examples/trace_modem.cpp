@@ -39,12 +39,13 @@ int main(int argc, char** argv) {
   dsp::MimoChannel ch(cc);
   const auto rx = ch.run(pkt.waveform);
 
-  const sdr::ModemOnProcessor m = sdr::buildModemProgram(numSymbols);
+  const sdr::ModemOnProcessor m = sdr::buildModemProgram(cfg);
   Processor proc;
   RingBufferSink ring(capacity);
-  proc.setTrace(&ring);
 
-  const sdr::ProcessorRxResult res = sdr::runModemOnProcessor(proc, m, rx);
+  sdr::RxRunOptions opts;
+  opts.trace = &ring;
+  const sdr::ProcessorRxResult res = sdr::runModemOnProcessor(proc, m, rx, opts);
   const int errs = dsp::bitErrors(res.bits, pkt.bits);
   printf("decoded %d OFDM symbols in %llu cycles (%.1f us), %d bit errors\n",
          numSymbols, static_cast<unsigned long long>(res.cycles),

@@ -1,0 +1,91 @@
+#include "platform/packet_farm.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "power/energy_model.hpp"
+#include "trace/counters.hpp"
+
+namespace adres::platform {
+
+void FarmStats::writeJson(std::ostream& os) const {
+  trace::writeCountersJson(os, counters, groups, workers);
+}
+
+PacketFarm::PacketFarm(FarmConfig cfg)
+    : cfg_(std::move(cfg)), queue_(cfg_.queueCapacity) {
+  ADRES_CHECK(cfg_.numWorkers >= 1, "farm needs at least one worker");
+  // Per-worker sinks would interleave into one file; aggregates come from
+  // stats() instead.
+  cfg_.run.trace = nullptr;
+  cfg_.run.countersJsonPath.clear();
+  workerStats_.resize(static_cast<std::size_t>(cfg_.numWorkers));
+  // Build (or fetch) the shared program before spawning so workers never
+  // race on the expensive first build and startup cost is paid once.
+  (void)modemProgramFor(cfg_.modem);
+  threads_.reserve(static_cast<std::size_t>(cfg_.numWorkers));
+  for (int i = 0; i < cfg_.numWorkers; ++i)
+    threads_.emplace_back([this, i] { workerMain(i); });
+}
+
+PacketFarm::~PacketFarm() { (void)finish(); }
+
+void PacketFarm::submit(RxJob job) {
+  ADRES_CHECK(!finished_, "submit after finish()");
+  nextId_ = std::max(nextId_, job.id + 1);
+  const bool accepted = queue_.push(std::move(job));
+  ADRES_CHECK(accepted, "queue closed while submitting");
+}
+
+u64 PacketFarm::submit(std::array<std::vector<cint16>, 2> rx) {
+  RxJob job;
+  job.id = nextId_;
+  job.rx = std::move(rx);
+  const u64 id = job.id;
+  submit(std::move(job));
+  return id;
+}
+
+std::vector<RxOutcome> PacketFarm::finish() {
+  if (finished_) return {};
+  finished_ = true;
+  queue_.close();
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
+
+  stats_ = FarmStats{};
+  stats_.workers = cfg_.numWorkers;
+  SessionStats merged;
+  for (const SessionStats& s : workerStats_) merged.merge(s);
+  stats_.packets = merged.packets;
+  stats_.counters = std::move(merged.counters);
+  stats_.groups = std::move(merged.groups);
+
+  if (cfg_.ordered) {
+    std::sort(outcomes_.begin(), outcomes_.end(),
+              [](const RxOutcome& a, const RxOutcome& b) { return a.id < b.id; });
+  }
+  return std::move(outcomes_);
+}
+
+void PacketFarm::workerMain(int idx) {
+  using Clock = std::chrono::steady_clock;
+  RxSession session(cfg_.modem, cfg_.run);
+  while (std::optional<RxJob> job = queue_.pop()) {
+    RxOutcome out;
+    out.id = job->id;
+    out.worker = idx;
+    const auto t0 = Clock::now();
+    out.result = session.decode(job->rx);
+    out.hostUs = std::chrono::duration<double, std::micro>(Clock::now() - t0)
+                     .count();
+    out.avgPowerMw = power::analyze(session.processor()).averageActiveMw;
+    std::lock_guard<std::mutex> lk(mu_);
+    outcomes_.push_back(std::move(out));
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  workerStats_[static_cast<std::size_t>(idx)] = session.stats();
+}
+
+}  // namespace adres::platform

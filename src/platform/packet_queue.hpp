@@ -1,0 +1,86 @@
+// Bounded MPMC queue — the packet-farm's job and backpressure primitive.
+//
+// Producers block in push() while the queue is full (backpressure toward
+// the traffic source); consumers block in pop() while it is empty.  Shutdown
+// is close-then-drain: after close() every push is rejected, but pop keeps
+// returning queued items until the queue is empty and only then reports
+// end-of-stream — so no accepted job is ever lost.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace adres::platform {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : cap_(capacity) {
+    ADRES_CHECK(capacity > 0, "queue capacity must be positive");
+  }
+
+  /// Blocks while full; returns false (dropping `item`) once closed.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lk(mu_);
+    notFull_.wait(lk, [&] { return closed_ || q_.size() < cap_; });
+    if (closed_) return false;
+    q_.push_back(std::move(item));
+    notEmpty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; returns false when full or closed.
+  bool tryPush(T item) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (closed_ || q_.size() >= cap_) return false;
+    q_.push_back(std::move(item));
+    notEmpty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty; returns nullopt once closed AND drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    notEmpty_.wait(lk, [&] { return closed_ || !q_.empty(); });
+    if (q_.empty()) return std::nullopt;
+    std::optional<T> out(std::move(q_.front()));
+    q_.pop_front();
+    notFull_.notify_one();
+    return out;
+  }
+
+  /// Rejects further pushes; wakes every waiter.  pop() drains the backlog.
+  void close() {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+    notFull_.notify_all();
+    notEmpty_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return q_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return closed_;
+  }
+
+  std::size_t capacity() const { return cap_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable notFull_, notEmpty_;
+  std::deque<T> q_;
+  std::size_t cap_;
+  bool closed_ = false;
+};
+
+}  // namespace adres::platform

@@ -1,0 +1,78 @@
+#include "platform/rx_session.hpp"
+
+#include <mutex>
+#include <utility>
+
+#include "trace/telemetry.hpp"
+
+namespace adres::platform {
+namespace {
+
+struct ProgramCache {
+  std::mutex mu;
+  // Key: (modulation, numSymbols) — the full build input.
+  std::map<std::pair<int, int>, std::shared_ptr<const sdr::ModemOnProcessor>>
+      byConfig;
+};
+
+ProgramCache& cache() {
+  static ProgramCache c;
+  return c;
+}
+
+}  // namespace
+
+std::shared_ptr<const sdr::ModemOnProcessor> modemProgramFor(
+    const dsp::ModemConfig& cfg) {
+  const auto key = std::make_pair(static_cast<int>(cfg.mod), cfg.numSymbols);
+  ProgramCache& c = cache();
+  std::lock_guard<std::mutex> lk(c.mu);
+  auto it = c.byConfig.find(key);
+  if (it == c.byConfig.end()) {
+    it = c.byConfig
+             .emplace(key, std::make_shared<const sdr::ModemOnProcessor>(
+                               sdr::buildModemProgram(cfg)))
+             .first;
+  }
+  return it->second;
+}
+
+void clearModemProgramCache() {
+  ProgramCache& c = cache();
+  std::lock_guard<std::mutex> lk(c.mu);
+  c.byConfig.clear();
+}
+
+void SessionStats::merge(const SessionStats& other) {
+  packets += other.packets;
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [prefix, block] : other.groups) {
+    auto& mine = groups[prefix];
+    for (const auto& [suffix, value] : block) mine[suffix] += value;
+  }
+}
+
+RxSession::RxSession(const dsp::ModemConfig& cfg, sdr::RxRunOptions opts)
+    : modem_(modemProgramFor(cfg)), opts_(std::move(opts)) {
+  trace::registerProcessorCounters(reg_, proc_);
+}
+
+sdr::ProcessorRxResult RxSession::decode(
+    const std::array<std::vector<cint16>, 2>& rx) {
+  // DMA stats deliberately survive Processor::resetStats() (they account
+  // the program-load transfers); clear them here so every decode's stats —
+  // and the power model reading them — cover exactly one packet, as on a
+  // freshly constructed processor.
+  proc_.dma().resetStats();
+  sdr::ProcessorRxResult res = sdr::runModemOnProcessor(proc_, *modem_, rx, opts_);
+  // Stats reset on the next load; fold this packet's into the session total.
+  ++stats_.packets;
+  for (const auto& [name, value] : reg_.snapshot()) stats_.counters[name] += value;
+  for (const auto& [prefix, block] : reg_.groupSnapshot()) {
+    auto& mine = stats_.groups[prefix];
+    for (const auto& [suffix, value] : block) mine[suffix] += value;
+  }
+  return res;
+}
+
+}  // namespace adres::platform

@@ -1,0 +1,62 @@
+// RxSession: a reusable receive context — one Processor plus the modem
+// program for its ModemConfig, built and mapped ONCE (the DRESC-style
+// kernel scheduling in buildModemProgram dominates setup cost) and shared
+// through a process-wide cache keyed by the configuration.  decode() then
+// only pays waveform DMA + execution + result decode per packet, which is
+// what a deployed platform re-running the resident program would do.
+#pragma once
+
+#include <array>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sdr/modem_program.hpp"
+#include "trace/counters.hpp"
+
+namespace adres::platform {
+
+/// Returns the shared mapped modem program for `cfg`, building it on the
+/// first request for that configuration.  Thread-safe; identical configs
+/// always yield the same object.
+std::shared_ptr<const sdr::ModemOnProcessor> modemProgramFor(
+    const dsp::ModemConfig& cfg);
+
+/// Drops every cached program (test hook; outstanding shared_ptrs stay
+/// valid).
+void clearModemProgramCache();
+
+/// Counter totals accumulated across the packets a session decoded.
+/// Processor stats reset on every program load, so the session sums each
+/// packet's snapshot; FarmStats merges these across workers.
+struct SessionStats {
+  u64 packets = 0;
+  std::map<std::string, u64> counters;
+  std::map<std::string, std::map<std::string, u64>> groups;
+
+  void merge(const SessionStats& other);
+};
+
+class RxSession {
+ public:
+  explicit RxSession(const dsp::ModemConfig& cfg, sdr::RxRunOptions opts = {});
+
+  /// Decodes one packet with the resident program.
+  sdr::ProcessorRxResult decode(const std::array<std::vector<cint16>, 2>& rx);
+
+  const dsp::ModemConfig& config() const { return modem_->config; }
+  const sdr::ModemOnProcessor& modem() const { return *modem_; }
+  Processor& processor() { return proc_; }
+  const Processor& processor() const { return proc_; }
+  const SessionStats& stats() const { return stats_; }
+
+ private:
+  std::shared_ptr<const sdr::ModemOnProcessor> modem_;
+  sdr::RxRunOptions opts_;
+  Processor proc_;
+  trace::CounterRegistry reg_;
+  SessionStats stats_;
+};
+
+}  // namespace adres::platform

@@ -1,5 +1,7 @@
 #include "sdr/modem_program.hpp"
 
+#include <fstream>
+
 #include "common/check.hpp"
 #include "dsp/lanes.hpp"
 #include "dsp/ofdm.hpp"
@@ -9,6 +11,7 @@
 #include "sdr/glue.hpp"
 #include "sdr/kernels.hpp"
 #include "sdr/tables.hpp"
+#include "trace/telemetry.hpp"
 
 namespace adres::sdr {
 namespace {
@@ -631,7 +634,10 @@ void Emitter::emitDataLoop() {
 
 }  // namespace
 
-ModemOnProcessor buildModemProgram(int numSymbols) {
+ModemOnProcessor buildModemProgram(const dsp::ModemConfig& cfg) {
+  ADRES_CHECK(cfg.mod == dsp::Modulation::kQam64,
+              "the mapped demod kernel implements QAM-64 only");
+  const int numSymbols = cfg.numSymbols;
   ADRES_CHECK(numSymbols >= 2 && numSymbols % 2 == 0,
               "data symbols come in pairs");
   Emitter e;
@@ -653,13 +659,22 @@ ModemOnProcessor buildModemProgram(int numSymbols) {
   ModemOnProcessor out;
   out.program = e.pb.build();
   out.layout = e.L;
+  out.config = cfg;
   out.numSymbols = numSymbols;
   return out;
 }
 
+ModemOnProcessor buildModemProgram(int numSymbols) {
+  dsp::ModemConfig cfg;
+  cfg.mod = dsp::Modulation::kQam64;
+  cfg.numSymbols = numSymbols;
+  return buildModemProgram(cfg);
+}
+
 ProcessorRxResult runModemOnProcessor(
     Processor& proc, const ModemOnProcessor& m,
-    const std::array<std::vector<cint16>, 2>& rx) {
+    const std::array<std::vector<cint16>, 2>& rx, const RxRunOptions& opts) {
+  if (opts.trace) proc.setTrace(opts.trace);
   proc.load(m.program);
   // DMA the antenna waveforms into L1.
   for (int a = 0; a < 2; ++a) {
@@ -673,12 +688,18 @@ ProcessorRxResult runModemOnProcessor(
     }
     proc.dma().toL1(a == 0 ? m.layout.rx0 : m.layout.rx1, bytes);
   }
-  const StopReason r = proc.run(200'000'000ull);
-  ADRES_CHECK(r == StopReason::kHalt, "modem program did not halt");
 
   ProcessorRxResult out;
+  out.stop = proc.run(opts.maxCycles);
   out.cycles = proc.cycles();
   out.elapsedUs = proc.elapsedUs();
+  if (!out.halted()) {
+    if (!opts.countersJsonPath.empty()) {
+      std::ofstream os(opts.countersJsonPath);
+      trace::writeCountersJson(proc, os);
+    }
+    return out;
+  }
   out.detected = proc.l1().read32(m.layout.status) != 0;
   out.ltfStart = proc.l1().read32(m.layout.status + 4);
 
@@ -702,6 +723,10 @@ ProcessorRxResult runModemOnProcessor(
         }
       }
     }
+  }
+  if (!opts.countersJsonPath.empty()) {
+    std::ofstream os(opts.countersJsonPath);
+    trace::writeCountersJson(proc, os);
   }
   return out;
 }

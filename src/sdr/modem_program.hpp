@@ -37,11 +37,28 @@ struct ModemLayout {
 struct ModemOnProcessor {
   Program program;
   ModemLayout layout;
-  int numSymbols = 0;  ///< must be even (symbol pairs)
+  dsp::ModemConfig config;  ///< the configuration the program was built for
+  int numSymbols = 0;       ///< == config.numSymbols; must be even (pairs)
 };
 
-/// Builds the receiver program for `numSymbols` data symbols.
+/// Builds the receiver program for a modem configuration (QAM-64 only —
+/// the mapped demod kernel implements the paper's 100 Mbps+ operating
+/// point).  `cfg.numSymbols` must be even: the receiver merges symbol
+/// pairs.
+ModemOnProcessor buildModemProgram(const dsp::ModemConfig& cfg);
+
+/// Transitional shim for the pre-ModemConfig signature (assumes QAM-64).
+[[deprecated("pass a dsp::ModemConfig instead of a raw symbol count")]]
 ModemOnProcessor buildModemProgram(int numSymbols);
+
+/// Per-run knobs for runModemOnProcessor, replacing its former hard-coded
+/// defaults.  The options are read once at call time; the referenced trace
+/// sink must outlive the run.
+struct RxRunOptions {
+  u64 maxCycles = 200'000'000ull;  ///< simulated-cycle budget
+  TraceSink* trace = nullptr;      ///< attached to the processor when set
+  std::string countersJsonPath;    ///< adres.counters.v1 dump ("" = off)
+};
 
 struct ProcessorRxResult {
   bool detected = false;
@@ -49,12 +66,20 @@ struct ProcessorRxResult {
   std::vector<u8> bits;             ///< decoded payload (from gray words)
   u64 cycles = 0;
   double elapsedUs = 0.0;
+  StopReason stop = StopReason::kHalt;  ///< why the run ended
+
+  /// True when the program ran to its halt; payload fields are only
+  /// meaningful in that case.
+  bool halted() const { return stop == StopReason::kHalt; }
 };
 
 /// Loads the rx waveforms into L1 (DMA), runs the program, decodes the
-/// gray output words into payload bits.
+/// gray output words into payload bits.  On a non-halt stop (budget
+/// exhausted, external stall) the result carries the stop reason and
+/// cycle counts with `detected == false` and empty bits.
 ProcessorRxResult runModemOnProcessor(
     Processor& proc, const ModemOnProcessor& m,
-    const std::array<std::vector<cint16>, 2>& rx);
+    const std::array<std::vector<cint16>, 2>& rx,
+    const RxRunOptions& opts = {});
 
 }  // namespace adres::sdr

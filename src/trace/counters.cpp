@@ -41,20 +41,39 @@ std::map<std::string, u64> CounterRegistry::snapshot() const {
   return out;
 }
 
+std::map<std::string, std::map<std::string, u64>>
+CounterRegistry::groupSnapshot() const {
+  std::map<std::string, std::map<std::string, u64>> out;
+  for (const auto& [prefix, g] : groups_) {
+    auto& block = out[prefix];
+    for (const auto& [suffix, value] : g()) block[suffix] += value;
+  }
+  return out;
+}
+
 void CounterRegistry::writeJson(std::ostream& os) const {
-  os << "{\n  \"schema\": \"adres.counters.v1\",\n  \"counters\": {";
+  writeCountersJson(os, snapshot(), groupSnapshot());
+}
+
+void writeCountersJson(
+    std::ostream& os, const std::map<std::string, u64>& counters,
+    const std::map<std::string, std::map<std::string, u64>>& groups,
+    int workers) {
+  os << "{\n  \"schema\": \"adres.counters.v1\",";
+  if (workers > 0) os << "\n  \"workers\": " << workers << ',';
+  os << "\n  \"counters\": {";
   bool first = true;
-  for (const auto& [name, g] : counters_) {
-    os << (first ? "\n" : ",\n") << "    \"" << name << "\": " << g();
+  for (const auto& [name, value] : counters) {
+    os << (first ? "\n" : ",\n") << "    \"" << name << "\": " << value;
     first = false;
   }
   os << "\n  },\n  \"groups\": {";
   bool firstGroup = true;
-  for (const auto& [prefix, g] : groups_) {
+  for (const auto& [prefix, block] : groups) {
     os << (firstGroup ? "\n" : ",\n") << "    \"" << prefix << "\": {";
     firstGroup = false;
     bool firstKey = true;
-    for (const auto& [suffix, value] : g()) {
+    for (const auto& [suffix, value] : block) {
       os << (firstKey ? "\n" : ",\n") << "      \"" << suffix << "\": " << value;
       firstKey = false;
     }

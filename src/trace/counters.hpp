@@ -49,6 +49,9 @@ class CounterRegistry {
   /// Point-in-time read of every static counter.
   std::map<std::string, u64> snapshot() const;
 
+  /// Point-in-time read of every group: prefix -> (suffix -> value).
+  std::map<std::string, std::map<std::string, u64>> groupSnapshot() const;
+
   /// Stable-schema JSON dump:
   /// {"schema":"adres.counters.v1","counters":{...},"groups":{prefix:{...}}}
   void writeJson(std::ostream& os) const;
@@ -58,5 +61,14 @@ class CounterRegistry {
   std::map<std::string, GroupGetter> groups_;
   std::vector<std::function<void()>> resetHooks_;
 };
+
+/// Writes the adres.counters.v1 JSON for already-materialized values.  When
+/// `workers` > 0 the dump is an aggregate merged across that many parallel
+/// workers and carries the schema's `workers` extension field (the counter
+/// values are then sums over every worker's registry).
+void writeCountersJson(
+    std::ostream& os, const std::map<std::string, u64>& counters,
+    const std::map<std::string, std::map<std::string, u64>>& groups,
+    int workers = 0);
 
 }  // namespace adres::trace

@@ -1,0 +1,104 @@
+// BoundedQueue: FIFO semantics, backpressure blocking, close-then-drain
+// shutdown and multi-producer/multi-consumer accounting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "platform/packet_queue.hpp"
+
+namespace adres::platform {
+namespace {
+
+TEST(BoundedQueue, FifoSingleThread) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_TRUE(q.push(3));
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_EQ(q.pop().value(), 3);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueue, TryPushRespectsCapacity) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.tryPush(1));
+  EXPECT_TRUE(q.tryPush(2));
+  EXPECT_FALSE(q.tryPush(3)) << "full queue must reject tryPush";
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_TRUE(q.tryPush(3));
+}
+
+TEST(BoundedQueue, PushBlocksUntilSpaceFrees) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::atomic<bool> pushed{false};
+  std::thread t([&] {
+    ASSERT_TRUE(q.push(2));  // blocks: capacity 1, queue holds {1}
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed) << "push must block while the queue is full";
+  EXPECT_EQ(q.pop().value(), 1);
+  t.join();
+  EXPECT_TRUE(pushed);
+  EXPECT_EQ(q.pop().value(), 2);
+}
+
+TEST(BoundedQueue, CloseDrainsWithoutLosingItems) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.push(i));
+  q.close();
+  EXPECT_FALSE(q.push(99)) << "closed queue rejects pushes";
+  for (int i = 0; i < 5; ++i) {
+    const auto v = q.pop();
+    ASSERT_TRUE(v.has_value()) << "accepted items survive close()";
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.pop().has_value()) << "drained + closed -> end of stream";
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumers) {
+  BoundedQueue<int> q(2);
+  std::thread t([&] { EXPECT_FALSE(q.pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  t.join();
+}
+
+TEST(BoundedQueue, MultiProducerMultiConsumerAccountsEveryItem) {
+  constexpr int kProducers = 4, kConsumers = 4, kPerProducer = 250;
+  BoundedQueue<int> q(8);  // small capacity: forces backpressure
+  std::mutex mu;
+  std::multiset<int> seen;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = q.pop()) {
+        std::lock_guard<std::mutex> lk(mu);
+        seen.insert(*v);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        ASSERT_TRUE(q.push(p * kPerProducer + i));
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : threads) t.join();
+
+  ASSERT_EQ(seen.size(), static_cast<std::size_t>(kProducers * kPerProducer));
+  for (int i = 0; i < kProducers * kPerProducer; ++i)
+    EXPECT_EQ(seen.count(i), 1u) << "item " << i << " duplicated or lost";
+}
+
+}  // namespace
+}  // namespace adres::platform

@@ -22,7 +22,7 @@ TEST(ModemOnProcessor, DecodesCleanPacket) {
   dsp::MimoChannel ch(cc);
   const auto rx = ch.run(pkt.waveform);
 
-  const ModemOnProcessor m = buildModemProgram(cfg.numSymbols);
+  const ModemOnProcessor m = buildModemProgram(cfg);
   Processor proc;
   const ProcessorRxResult res = runModemOnProcessor(proc, m, rx);
 
@@ -46,13 +46,43 @@ TEST(ModemOnProcessor, DecodesMultipathPacket) {
   dsp::MimoChannel ch(cc);
   const auto rx = ch.run(pkt.waveform);
 
-  const ModemOnProcessor m = buildModemProgram(cfg.numSymbols);
+  const ModemOnProcessor m = buildModemProgram(cfg);
   Processor proc;
   const ProcessorRxResult res = runModemOnProcessor(proc, m, rx);
   ASSERT_TRUE(res.detected);
   const double ber = static_cast<double>(dsp::bitErrors(res.bits, pkt.bits)) /
                      static_cast<double>(pkt.bits.size());
   EXPECT_LT(ber, 0.01) << "multipath at 38 dB";
+}
+
+TEST(ModemOnProcessor, RunOptionsCycleBudgetReportsStopReason) {
+  dsp::ModemConfig cfg;
+  cfg.numSymbols = 2;
+  Rng rng(5);
+  const dsp::TxPacket pkt = dsp::transmit(cfg, rng);
+  dsp::ChannelConfig cc;
+  cc.flat = true;
+  cc.snrDb = 40;
+  dsp::MimoChannel ch(cc);
+  const auto rx = ch.run(pkt.waveform);
+
+  const ModemOnProcessor m = buildModemProgram(cfg);
+  Processor proc;
+  RxRunOptions opts;
+  opts.maxCycles = 1000;  // far below a full decode
+  const ProcessorRxResult res = runModemOnProcessor(proc, m, rx, opts);
+  EXPECT_EQ(res.stop, StopReason::kMaxCycles);
+  EXPECT_FALSE(res.halted());
+  EXPECT_FALSE(res.detected);
+  EXPECT_TRUE(res.bits.empty());
+  EXPECT_LE(res.cycles, 1000u + 64u) << "stops near the budget";
+
+  // The same processor finishes the packet with the default budget.
+  Processor fresh;
+  const ProcessorRxResult full = runModemOnProcessor(fresh, m, rx);
+  EXPECT_EQ(full.stop, StopReason::kHalt);
+  EXPECT_TRUE(full.detected);
+  EXPECT_EQ(dsp::bitErrors(full.bits, pkt.bits), 0);
 }
 
 TEST(ModemOnProcessor, ProfileHasTable2Shape) {
@@ -67,7 +97,7 @@ TEST(ModemOnProcessor, ProfileHasTable2Shape) {
   dsp::MimoChannel ch(cc);
   const auto rx = ch.run(pkt.waveform);
 
-  const ModemOnProcessor m = buildModemProgram(cfg.numSymbols);
+  const ModemOnProcessor m = buildModemProgram(cfg);
   Processor proc;
   (void)runModemOnProcessor(proc, m, rx);
 
