@@ -1,0 +1,181 @@
+// Host wall-clock simulation speed of the cycle-accurate model: simulated
+// Mcycles/s per Table 2 kernel (standalone CgaArray launches), for the full
+// 2x2 modem program, and decoded packets/s through the packet farm.  The
+// committed BENCH_simspeed.json at the repo root tracks these numbers
+// across PRs (a baseline/after pair per optimization).
+//
+//   $ ./bench_simspeed [jsonPath] [minMsPerCase]
+//
+// jsonPath defaults to BENCH_simspeed.json; pass "-" to skip the dump.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dsp/channel.hpp"
+#include "platform/packet_farm.hpp"
+#include "support/kernel_fixture.hpp"
+
+using namespace adres;
+using namespace adres::testsupport;
+
+namespace {
+
+double msSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct Measure {
+  std::string name;
+  u64 simCycles = 0;  ///< simulated cycles covered by the timed loop
+  u64 runs = 0;
+  double hostMs = 0;
+  double mcyclesPerSec() const {
+    return hostMs > 0 ? static_cast<double>(simCycles) / (hostMs * 1e3) : 0;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string jsonPath = argc > 1 ? argv[1] : "BENCH_simspeed.json";
+  const double minMs = argc > 2 ? std::atof(argv[2]) : 150.0;
+
+  // -- Per-kernel: standalone launches on a private fabric ------------------
+  std::vector<Measure> kernels;
+  for (const KernelCase& c : tableTwoKernelCases()) {
+    Fabric f;
+    prepareFabric(f);
+    c.setup(f);
+    (void)f.array.run(c.config, c.trips);  // warm-up (and plan build, if any)
+    Measure m;
+    m.name = c.name;
+    const auto t0 = std::chrono::steady_clock::now();
+    do {
+      // Re-seed the live-ins every launch so pointers/indices the kernel
+      // writes back never walk out of the fixture's address plan.
+      c.setup(f);
+      const CgaRunResult r = f.array.run(c.config, c.trips);
+      m.simCycles += r.cycles;
+      ++m.runs;
+      m.hostMs = msSince(t0);
+    } while (m.hostMs < minMs);
+    kernels.push_back(m);
+    printf("kernel %-12s %8.2f Mcycles/s  (%llu runs, %llu sim cycles, %.0f ms)\n",
+           m.name.c_str(), m.mcyclesPerSec(),
+           static_cast<unsigned long long>(m.runs),
+           static_cast<unsigned long long>(m.simCycles), m.hostMs);
+  }
+
+  // -- Full modem: the Table 2 scenario -------------------------------------
+  dsp::ModemConfig cfg;
+  cfg.mod = dsp::Modulation::kQam64;
+  cfg.numSymbols = 16;
+  Rng rng(5);
+  const dsp::TxPacket pkt = dsp::transmit(cfg, rng);
+  dsp::ChannelConfig cc;
+  cc.flat = true;
+  cc.snrDb = 40;
+  cc.cfoPpm = 6;
+  dsp::MimoChannel ch(cc);
+  const auto rx = ch.run(pkt.waveform);
+  const sdr::ModemOnProcessor modem = sdr::buildModemProgram(cfg);
+
+  Measure mm;
+  mm.name = "modem";
+  {
+    Processor proc;
+    const sdr::ProcessorRxResult warm = sdr::runModemOnProcessor(proc, modem, rx);
+    if (!warm.detected || dsp::bitErrors(warm.bits, pkt.bits) != 0) {
+      fprintf(stderr, "modem warm-up run did not decode cleanly\n");
+      return 1;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    do {
+      const sdr::ProcessorRxResult r = sdr::runModemOnProcessor(proc, modem, rx);
+      mm.simCycles += r.cycles;
+      ++mm.runs;
+      mm.hostMs = msSince(t0);
+    } while (mm.hostMs < 2 * minMs);
+  }
+  printf("modem (16 sym)      %8.2f Mcycles/s  (%llu runs, %.2f ms/run)\n",
+         mm.mcyclesPerSec(), static_cast<unsigned long long>(mm.runs),
+         mm.hostMs / static_cast<double>(mm.runs));
+
+  // -- Packet farm: decoded packets per host second -------------------------
+  const int farmPackets = 32;
+  dsp::ModemConfig fcfg;
+  fcfg.mod = dsp::Modulation::kQam64;
+  fcfg.numSymbols = 4;
+  std::vector<std::array<std::vector<cint16>, 2>> waves;
+  for (int i = 0; i < farmPackets; ++i) {
+    Rng prng(1000 + static_cast<u64>(i));
+    const dsp::TxPacket p = dsp::transmit(fcfg, prng);
+    dsp::ChannelConfig pcc;
+    pcc.taps = 2;
+    pcc.snrDb = 38;
+    pcc.cfoPpm = 5;
+    pcc.seed = static_cast<u64>(i + 1);
+    dsp::MimoChannel pch(pcc);
+    waves.push_back(pch.run(p.waveform));
+  }
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const int workers = std::max(1, std::min(4, hw));
+  (void)platform::modemProgramFor(fcfg);  // pay the program build up front
+  platform::FarmConfig fc;
+  fc.modem = fcfg;
+  fc.numWorkers = workers;
+  double farmMs = 0;
+  {
+    platform::PacketFarm farm(fc);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const auto& w : waves) farm.submit(w);
+    const auto outcomes = farm.finish();
+    farmMs = msSince(t0);
+    if (static_cast<int>(outcomes.size()) != farmPackets) {
+      fprintf(stderr, "farm dropped packets\n");
+      return 1;
+    }
+  }
+  const double pps = static_cast<double>(farmPackets) / (farmMs * 1e-3);
+  printf("farm                %8.1f packets/s  (%d packets x %d sym, %d workers)\n",
+         pps, farmPackets, fcfg.numSymbols, workers);
+
+  if (jsonPath != "-") {
+    std::ofstream os(jsonPath);
+    os << "{\n  \"schema\": \"adres.bench_simspeed.v1\",\n  \"kernels\": [\n";
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+      const Measure& m = kernels[i];
+      char buf[256];
+      snprintf(buf, sizeof buf,
+               "    {\"name\": \"%s\", \"simCycles\": %llu, \"runs\": %llu, "
+               "\"hostMs\": %.1f, \"mcyclesPerSec\": %.3f}%s\n",
+               m.name.c_str(), static_cast<unsigned long long>(m.simCycles),
+               static_cast<unsigned long long>(m.runs), m.hostMs,
+               m.mcyclesPerSec(), i + 1 < kernels.size() ? "," : "");
+      os << buf;
+    }
+    os << "  ],\n";
+    char buf[512];
+    snprintf(buf, sizeof buf,
+             "  \"modem\": {\"numSymbols\": %d, \"simCycles\": %llu, "
+             "\"runs\": %llu, \"hostMs\": %.1f, \"mcyclesPerSec\": %.3f, "
+             "\"msPerPacket\": %.3f},\n",
+             cfg.numSymbols, static_cast<unsigned long long>(mm.simCycles),
+             static_cast<unsigned long long>(mm.runs), mm.hostMs,
+             mm.mcyclesPerSec(), mm.hostMs / static_cast<double>(mm.runs));
+    os << buf;
+    snprintf(buf, sizeof buf,
+             "  \"farm\": {\"packets\": %d, \"numSymbols\": %d, "
+             "\"workers\": %d, \"wallMs\": %.1f, \"packetsPerSec\": %.1f}\n}\n",
+             farmPackets, fcfg.numSymbols, workers, farmMs, pps);
+    os << buf;
+    printf("wrote %s\n", jsonPath.c_str());
+  }
+  return 0;
+}

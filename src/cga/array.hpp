@@ -17,6 +17,7 @@
 #include "common/activity.hpp"
 #include "common/types.hpp"
 #include "cga/context.hpp"
+#include "cga/plan.hpp"
 #include "mem/config_mem.hpp"
 #include "mem/scratchpad.hpp"
 #include "regfile/regfiles.hpp"
@@ -48,8 +49,23 @@ class CgaArray {
   /// mode-switch overhead; this returns the in-mode cycle cost.
   /// `traceBase` anchors the kernel-local timeline on the core's absolute
   /// cycle counter and `kernelId` labels trace events; both are trace-only.
+  /// Pre-decodes the kernel and delegates to the plan overload.
   CgaRunResult run(const KernelConfig& k, u32 trips, u64 traceBase = 0,
                    u32 kernelId = 0);
+
+  /// Fast path: executes a pre-decoded plan.  Prologue and epilogue cycles
+  /// run with per-op squash checks; the steady-state window runs with none,
+  /// with per-context batched activity accounting and commits through a
+  /// latency-bounded wheel instead of a sorted queue.  Cycle- and bit-exact
+  /// with runReference on the plan's source KernelConfig.
+  CgaRunResult run(const KernelPlan& plan, u32 trips, u64 traceBase = 0,
+                   u32 kernelId = 0);
+
+  /// The pre-fast-path execution loop (per-cycle re-classification, sorted
+  /// pending queue), kept verbatim as the equivalence oracle for the A/B
+  /// tests.
+  CgaRunResult runReference(const KernelConfig& k, u32 trips,
+                            u64 traceBase = 0, u32 kernelId = 0);
 
   /// Test access to the fabric state.
   Word outputReg(int fu) const { return outRegs_[static_cast<std::size_t>(fu)]; }
@@ -78,6 +94,12 @@ class CgaArray {
   void commitWrite(const PendingWrite& pw);
 
   Word readSrc(int fu, const SrcSel& s, i32 imm);
+
+  /// Commit wheel: slot g & kCgaWheelMask holds the writes due at logical
+  /// cycle g, in issue order (the deterministic commit order of the sorted
+  /// reference queue).  Member state so slot capacity persists across
+  /// launches; every run leaves all slots empty.
+  std::array<std::vector<PendingWrite>, kCgaWheelSlots> wheel_;
 
   CentralRegFile& crf_;
   Scratchpad& l1_;

@@ -1,0 +1,104 @@
+// Decoded kernel plans: the per-KernelConfig pre-decode behind the
+// simulator's steady-state fast path.
+//
+// The cycle-accurate array loop used to re-classify every FU op on every
+// logical cycle (isNop / opInfo / memImmScale / ops16PerInstr switch chains
+// across translation units) and re-test the software-pipeline squash
+// predicates per op.  A KernelPlan resolves all of that once per kernel:
+// per-context dense lists of the active ops with pre-decoded dispatch kind,
+// latency, memory width, load extension mode and immediate operands, plus
+// pre-summed per-context activity increments for the steady-state window
+// in which no op can be squashed.  Executing a plan is cycle-exact and
+// bit-exact with executing its KernelConfig (tests/cga/fastpath_ab_test).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cga/context.hpp"
+
+namespace adres {
+
+/// Dispatch class of an active FU op, resolved at plan-build time.
+enum class PlanOpKind : u8 { kCompute, kLoad, kStore };
+
+/// How a load's raw memory word becomes the committed register value
+/// (pre-decoded applyLoadResult).
+enum class LoadMode : u8 {
+  kZext,   ///< LD_UC / LD_UC2 / LD_I: width-masked raw, high half cleared
+  kSext8,  ///< LD_C
+  kSext16, ///< LD_C2
+  kHigh,   ///< LD_IH: raw << 32, low half merged at commit
+};
+
+/// One active (non-nop) FU op with every per-cycle classification resolved.
+struct PlanOp {
+  Opcode op = Opcode::NOP;
+  u8 fu = 0;
+  PlanOpKind kind = PlanOpKind::kCompute;
+  u8 lat = 1;             ///< opInfo(op).latency
+  u8 memBytes = 0;        ///< 1/2/4 for loads and stores
+  LoadMode loadMode = LoadMode::kZext;
+  bool storeHigh = false; ///< ST_IH: store src3's high half
+  bool isMov = false;
+  bool isSimdOp = false;
+  u8 ops16 = 0;           ///< ops16PerInstr(op)
+  u16 schedTime = 0;
+  SrcSel src1, src2, src3;
+  DstSel dst;
+  i32 imm = 0;
+  /// Pre-resolved src2 immediate operand: fromScalar(imm) for compute ops,
+  /// fromScalar(imm << memImmScale(op)) for memory ops.
+  Word immOperand = 0;
+};
+
+/// The active ops of one context slot plus the batched activity increments
+/// the steady-state loop applies per cycle instead of per op.
+struct ContextPlan {
+  std::vector<PlanOp> ops;  ///< FU-ascending (the reference execution order)
+  u32 opCount = 0;
+  u32 movCount = 0;
+  u32 simdCount = 0;
+  u64 ops16Sum = 0;
+};
+
+/// Commit-wheel geometry of the array fast path.  Correctness needs
+/// 2 * maxLatency <= kCgaWheelSlots (a slot is always drained before any
+/// push can wrap onto it); buildKernelPlan checks every op against it.
+inline constexpr u64 kCgaWheelSlots = 16;
+inline constexpr u64 kCgaWheelMask = kCgaWheelSlots - 1;
+
+/// A fully pre-decoded kernel: everything CgaArray::run needs, in dense
+/// per-context form.
+struct KernelPlan {
+  std::string name;
+  int ii = 1;
+  int schedLength = 1;
+  /// Steady-state window: logical cycle g has no squashed op iff
+  /// g >= maxSchedTime and g < minSchedTime + trips * ii.
+  u32 maxSchedTime = 0;
+  u32 minSchedTime = 0;
+  std::vector<ContextPlan> contexts;  ///< size == ii
+  std::vector<Preload> preloads;
+  std::vector<Writeback> writebacks;
+};
+
+/// Pre-decodes `k` (validating it, as the reference path does).
+KernelPlan buildKernelPlan(const KernelConfig& k);
+
+/// Decoded plans of a whole program's kernel table, shared read-only
+/// between processors (the packet farm's workers share one instance the
+/// same way they share the mapped program).
+struct ProgramPlans {
+  std::vector<KernelPlan> kernels;
+};
+
+/// Builds plans for a kernel table.  Each kernel is first round-tripped
+/// through encodeKernel/decodeKernel so the plan describes exactly what the
+/// sequencer reads back out of configuration memory after Processor::load
+/// (idempotent for kernels that already went through the binary path).
+std::shared_ptr<const ProgramPlans> buildProgramPlans(
+    const std::vector<KernelConfig>& kernels);
+
+}  // namespace adres

@@ -18,7 +18,8 @@ std::string RegionProfile::mode() const {
 
 Processor::Processor() : cga_(crf_, l1_, cfgMem_, act_), dma_(l1_, cfgMem_) {}
 
-void Processor::load(const Program& prog) {
+void Processor::load(const Program& prog,
+                     std::shared_ptr<const ProgramPlans> plans) {
   prog.validate();
   prog_ = prog;
 
@@ -44,11 +45,18 @@ void Processor::load(const Program& prog) {
         decodeKernel(cfgMem_.readBytes(spans[i].first, spans[i].second));
   }
 
+  // Decoded kernel plans: adopt the shared set when the caller provides one
+  // (buildProgramPlans round-trips through the binary path, so shared plans
+  // describe exactly the kernels decoded above), else build our own.
+  ADRES_CHECK(!plans || plans->kernels.size() == prog_.kernels.size(),
+              "kernel plans do not match the program's kernel table");
+  plans_ = plans ? std::move(plans) : buildProgramPlans(prog_.kernels);
+
   // Reset architectural and pipeline state.
   crf_.clear();
   cga_.clearState();
   icache_.reset();
-  pending_.clear();
+  wheelClear();
   regReady_.fill(0);
   predReady_.fill(0);
   divBusyUntil_.fill(0);
@@ -84,31 +92,62 @@ void Processor::resetStats() {
   regionStartAct_ = act_;
 }
 
+void Processor::wheelClear() {
+  for (auto& slot : wheel_) slot.clear();
+  wheelBase_ = 0;
+  wheelCount_ = 0;
+}
+
+void Processor::wheelGrow(u64 needSlots) {
+  u64 size = wheel_.size();
+  while (size < needSlots) size *= 2;
+  std::vector<std::vector<PendingWrite>> grown(size);
+  for (auto& slot : wheel_)
+    for (const PendingWrite& pw : slot)
+      grown[pw.commitCycle & (size - 1)].push_back(pw);
+  // Re-bucketing keeps per-slot issue order: old slots are scanned in index
+  // order, and two writes for the same cycle always share an old slot.
+  wheel_ = std::move(grown);
+}
+
+void Processor::wheelPush(const PendingWrite& pw) {
+  // Pushes happen at cycle_ with commitDue(cycle_) already run, so
+  // commitCycle > cycle_ >= wheelBase_ - 1 and the slot is vacant up to
+  // one wheel turn ahead; bank-conflict tails can exceed that, so grow.
+  if (pw.commitCycle - wheelBase_ >= wheel_.size())
+    wheelGrow(pw.commitCycle - wheelBase_ + 1);
+  wheel_[pw.commitCycle & (wheel_.size() - 1)].push_back(pw);
+  ++wheelCount_;
+}
+
 void Processor::commitDue(u64 upTo) {
-  std::sort(pending_.begin(), pending_.end(),
-            [](const PendingWrite& a, const PendingWrite& b) {
-              return a.commitCycle < b.commitCycle;
-            });
-  for (auto it = pending_.begin(); it != pending_.end();) {
-    if (it->commitCycle <= upTo) {
-      if (it->toPred) {
-        crf_.writePred(it->reg, it->value != 0);
-      } else {
-        Word v = it->value;
-        if (it->mergeHigh) v |= crf_.peek(it->reg) & 0xFFFFFFFFull;
-        crf_.write(it->reg, v);
-      }
-      it = pending_.erase(it);
-    } else {
-      ++it;
+  while (wheelBase_ <= upTo) {
+    if (wheelCount_ == 0) {
+      wheelBase_ = upTo + 1;
+      return;
     }
+    auto& slot = wheel_[wheelBase_ & (wheel_.size() - 1)];
+    for (const PendingWrite& pw : slot) {
+      if (pw.toPred) {
+        crf_.writePred(pw.reg, pw.value != 0);
+      } else {
+        Word v = pw.value;
+        if (pw.mergeHigh) v |= crf_.peek(pw.reg) & 0xFFFFFFFFull;
+        crf_.write(pw.reg, v);
+      }
+    }
+    wheelCount_ -= slot.size();
+    slot.clear();
+    ++wheelBase_;
   }
 }
 
 void Processor::drainPipeline() {
   u64 latest = cycle_;
-  for (const PendingWrite& pw : pending_)
-    latest = std::max(latest, pw.commitCycle);
+  if (wheelCount_ > 0) {
+    for (u64 c = wheelBase_; c < wheelBase_ + wheel_.size(); ++c)
+      if (!wheel_[c & (wheel_.size() - 1)].empty()) latest = std::max(latest, c);
+  }
   if (latest > cycle_) {
     if (trace_)
       trace_->event({cycle_, latest - cycle_, TraceEventKind::kVliwStall, 0,
@@ -171,7 +210,6 @@ u64 Processor::operandReadyCycle(const Instr& in) const {
   if (usesSrc1(in)) ready = std::max(ready, regReady_[in.src1]);
   if (usesSrc2(in)) ready = std::max(ready, regReady_[in.src2]);
   if (isStore(in.op)) ready = std::max(ready, regReady_[in.src3]);
-  if (in.op == Opcode::CGA) ready = std::max(ready, regReady_[in.src1]);
   if (isPredDef(in.op)) {
     ready = std::max(ready, predReady_[in.dst]);
   } else if (writesDataReg(in.op)) {
@@ -266,14 +304,14 @@ StopReason Processor::run(u64 maxCycles) {
         ++act_.vliwOps;
 
         const u32 trips = lo32u(crf_.read(in.src1));
-        const KernelConfig& k =
-            prog_.kernels[static_cast<std::size_t>(in.imm)];
+        const KernelPlan& plan =
+            plans_->kernels[static_cast<std::size_t>(in.imm)];
         act_.modeSwitches += 2;
         const u64 launchCycle = cycle_;
         if (trace_)
           trace_->event({launchCycle, 0, TraceEventKind::kModeSwitch, 0, 0, 0});
         const CgaRunResult r =
-            cga_.run(k, trips, launchCycle + kModeSwitchCycles,
+            cga_.run(plan, trips, launchCycle + kModeSwitchCycles,
                      static_cast<u32>(in.imm));
         cycle_ += 2 * kModeSwitchCycles + r.cycles;
         act_.cgaCycles += 2 * kModeSwitchCycles;  // switches booked as kernel overhead
@@ -346,7 +384,7 @@ StopReason Processor::run(u64 maxCycles) {
             break;
           case Opcode::JMPL:
             nextPc = lo32u(crf_.read(in.src2));
-            pending_.push_back({cycle_ + 1, false, kLinkReg, pc_ + 1, false});
+            wheelPush({cycle_ + 1, false, kLinkReg, pc_ + 1, false});
             regReady_[kLinkReg] = cycle_ + 1;
             break;
           case Opcode::BR:
@@ -354,7 +392,7 @@ StopReason Processor::run(u64 maxCycles) {
             break;
           default:  // BRL
             nextPc = static_cast<u32>(static_cast<i64>(pc_) + in.imm);
-            pending_.push_back({cycle_ + 1, false, kLinkReg, pc_ + 1, false});
+            wheelPush({cycle_ + 1, false, kLinkReg, pc_ + 1, false});
             regReady_[kLinkReg] = cycle_ + 1;
             break;
         }
@@ -398,7 +436,7 @@ StopReason Processor::run(u64 maxCycles) {
         } else {
           pw.value = applyLoadResult(in.op, 0, raw);
         }
-        pending_.push_back(pw);
+        wheelPush(pw);
         regReady_[in.dst] = commit;
         continue;
       }
@@ -413,10 +451,10 @@ StopReason Processor::run(u64 maxCycles) {
         divBusyUntil_[static_cast<std::size_t>(s)] = cycle_ + static_cast<u64>(lat);
       const u64 commit = cycle_ + static_cast<u64>(lat);
       if (isPredDef(in.op)) {
-        pending_.push_back({commit, true, in.dst, v, false});
+        wheelPush({commit, true, in.dst, v, false});
         predReady_[in.dst] = commit;
       } else {
-        pending_.push_back({commit, false, in.dst, v, false});
+        wheelPush({commit, false, in.dst, v, false});
         regReady_[in.dst] = commit;
       }
     }

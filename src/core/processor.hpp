@@ -9,6 +9,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -62,8 +63,11 @@ class Processor {
 
   /// Loads a program: validates it, encodes+decodes the text (exercising the
   /// binary path), places data segments in L1 via DMA, encodes kernels into
-  /// configuration memory via DMA, resets the pipeline.
-  void load(const Program& prog);
+  /// configuration memory via DMA, resets the pipeline.  `plans` optionally
+  /// supplies pre-decoded kernel plans shared across processors (the packet
+  /// farm path); when null, plans are built here from the loaded kernels.
+  void load(const Program& prog,
+            std::shared_ptr<const ProgramPlans> plans = nullptr);
 
   // -- Execution -------------------------------------------------------------
 
@@ -101,6 +105,10 @@ class Processor {
 
   const std::map<int, RegionProfile>& profiles() const { return profiles_; }
   const Program& program() const { return prog_; }
+  /// The decoded kernel plans the sequencer launches from.
+  const std::shared_ptr<const ProgramPlans>& kernelPlans() const {
+    return plans_;
+  }
 
   /// Wires the slave memory map (L1, config memory, special registers)
   /// onto an AHB bus instance.
@@ -130,7 +138,12 @@ class Processor {
   u64 operandReadyCycle(const Instr& in) const;
   void switchRegion(int id);
 
+  void wheelPush(const PendingWrite& pw);
+  void wheelClear();
+  void wheelGrow(u64 needSlots);
+
   Program prog_;
+  std::shared_ptr<const ProgramPlans> plans_;
   std::vector<u8> textImage_;
 
   CentralRegFile crf_;
@@ -149,7 +162,15 @@ class Processor {
   bool ahbPriority_ = false;
   u32 debugAddr_ = 0;
 
-  std::vector<PendingWrite> pending_;
+  /// VLIW commit wheel: slot (cycle & mask) holds the register writes due
+  /// at that cycle, in issue order (the deterministic order of the former
+  /// sorted pending queue).  `wheelBase_` is the first uncommitted cycle;
+  /// commitDue advances it.  Load bank-conflict penalties stretch commit
+  /// distances, so the wheel grows (rarely) instead of capping them.
+  std::vector<std::vector<PendingWrite>> wheel_ =
+      std::vector<std::vector<PendingWrite>>(64);
+  u64 wheelBase_ = 0;
+  u64 wheelCount_ = 0;
   std::array<u64, kCdrfRegs> regReady_ = {};
   std::array<u64, kCprfRegs> predReady_ = {};
   std::array<u64, kVliwSlots> divBusyUntil_ = {};

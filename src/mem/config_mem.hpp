@@ -62,6 +62,8 @@ class ConfigMemory {
   /// Books one ultra-wide context fetch (called by the CGA sequencer each
   /// array cycle; drives the configuration-memory share of Fig 6b).
   void noteContextFetch() { ++stats_.contextFetches; }
+  /// Batched form for the array fast path (one fetch per logical cycle).
+  void noteContextFetches(u64 n) { stats_.contextFetches += n; }
 
   const ConfigMemStats& stats() const { return stats_; }
   void resetStats() { stats_ = {}; }

@@ -10,7 +10,10 @@ namespace {
 
 struct ProgramCache {
   std::mutex mu;
-  // Key: (modulation, numSymbols) — the full build input.
+  // Key: (modulation, numSymbols) — the full build input.  The cached
+  // ModemOnProcessor carries the pre-decoded kernel plans, so every
+  // session sharing a program also shares its plans (Processor::load
+  // adopts them instead of re-decoding per worker).
   std::map<std::pair<int, int>, std::shared_ptr<const sdr::ModemOnProcessor>>
       byConfig;
 };

@@ -661,21 +661,17 @@ ModemOnProcessor buildModemProgram(const dsp::ModemConfig& cfg) {
   out.layout = e.L;
   out.config = cfg;
   out.numSymbols = numSymbols;
+  // Pre-decode the kernel plans once per built program; every processor
+  // that loads it (all packet-farm workers) shares this read-only set.
+  out.plans = buildProgramPlans(out.program.kernels);
   return out;
-}
-
-ModemOnProcessor buildModemProgram(int numSymbols) {
-  dsp::ModemConfig cfg;
-  cfg.mod = dsp::Modulation::kQam64;
-  cfg.numSymbols = numSymbols;
-  return buildModemProgram(cfg);
 }
 
 ProcessorRxResult runModemOnProcessor(
     Processor& proc, const ModemOnProcessor& m,
     const std::array<std::vector<cint16>, 2>& rx, const RxRunOptions& opts) {
   if (opts.trace) proc.setTrace(opts.trace);
-  proc.load(m.program);
+  proc.load(m.program, m.plans);
   // DMA the antenna waveforms into L1.
   for (int a = 0; a < 2; ++a) {
     std::vector<u8> bytes;

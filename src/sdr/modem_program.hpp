@@ -39,6 +39,9 @@ struct ModemOnProcessor {
   ModemLayout layout;
   dsp::ModemConfig config;  ///< the configuration the program was built for
   int numSymbols = 0;       ///< == config.numSymbols; must be even (pairs)
+  /// Pre-decoded kernel plans, shared read-only by every processor that
+  /// loads this program (Processor::load skips its own plan build).
+  std::shared_ptr<const ProgramPlans> plans;
 };
 
 /// Builds the receiver program for a modem configuration (QAM-64 only —
@@ -46,10 +49,6 @@ struct ModemOnProcessor {
 /// point).  `cfg.numSymbols` must be even: the receiver merges symbol
 /// pairs.
 ModemOnProcessor buildModemProgram(const dsp::ModemConfig& cfg);
-
-/// Transitional shim for the pre-ModemConfig signature (assumes QAM-64).
-[[deprecated("pass a dsp::ModemConfig instead of a raw symbol count")]]
-ModemOnProcessor buildModemProgram(int numSymbols);
 
 /// Per-run knobs for runModemOnProcessor, replacing its former hard-coded
 /// defaults.  The options are read once at call time; the referenced trace

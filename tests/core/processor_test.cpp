@@ -198,6 +198,62 @@ TEST(Processor, DataSegmentsLoadedThroughDma) {
   EXPECT_GT(p.dma().stats().wordsMoved, 0u);
 }
 
+TEST(Processor, CgaLaunchWaitsForTripCountProducer) {
+  // The trip count is the cga instruction's src1 operand, covered by the
+  // generic src1 hazard path in operandReadyCycle (the former special-cased
+  // CGA re-read of the same register was dead code).  A launch issued right
+  // behind the load producing its trip count must stall until the load
+  // commits and then read the fresh value.
+  // Two programs with identical blocks (so I$-miss stalls cancel), differing
+  // only in whether the trip-count load sits right before the launch or
+  // behind four filler bundles that cover its latency.  The body loops
+  // twice: the first pass warms the I$ (its 20-cycle miss per bundle dwarfs
+  // and hides the 5-cycle load latency), the second pass exposes the
+  // launch-site data hazard.  Explicit bind() calls split blocks so the
+  // list scheduler cannot hoist the load over the fillers.
+  auto build = [](bool hazard) {
+    ProgramBuilder b(hazard ? "cga_hazard" : "cga_no_hazard");
+    const int kid = b.addKernel(accumulatorKernel());
+    const u32 tab = b.dataI32({50});
+    b.li(10, 1000);  // accumulator seed
+    b.li(1, static_cast<i32>(tab));
+    b.li(5, 0);   // iteration counter
+    b.li(6, 2);   // iteration limit
+    const auto top = b.newLabel();
+    b.bind(top);
+    auto fillers = [&b] {
+      b.li(7, 1);  // WAW chain: one bundle each
+      b.li(7, 2);
+      b.li(7, 3);
+      b.li(7, 4);
+    };
+    if (hazard) {
+      fillers();
+      b.bind(b.newLabel());  // block boundary: load stays next to the launch
+      b.ld32(12, 1, 0);
+    } else {
+      b.ld32(12, 1, 0);
+      b.bind(b.newLabel());  // block boundary: fillers cover the load latency
+      fillers();
+    }
+    b.cga(kid, 12);
+    b.addi(5, 5, 1);
+    b.predNe(2, 5, 6);
+    b.brIf(2, top);
+    b.halt();
+    return b.build();
+  };
+  Processor p, p2;
+  p.load(build(/*hazard=*/true));
+  p2.load(build(/*hazard=*/false));
+  EXPECT_EQ(p.run(), StopReason::kHalt);
+  EXPECT_EQ(p2.run(), StopReason::kHalt);
+  EXPECT_EQ(p.regs().peek(11), 1050u) << "launch read the loaded trip count";
+  EXPECT_EQ(p2.regs().peek(11), 1050u);
+  EXPECT_GT(p.activity().vliwStallCycles, p2.activity().vliwStallCycles)
+      << "warm-I$ pass: back-to-back load->cga stalls at the launch site";
+}
+
 TEST(Processor, GuardedCgaSkipsKernel) {
   ProgramBuilder b("guarded_cga");
   const int kid = b.addKernel(accumulatorKernel());

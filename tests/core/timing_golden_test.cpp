@@ -1,0 +1,59 @@
+// Golden timing regression: the cycle-accurate model's observable timing —
+// per-kernel CgaRunResult rows (cycles/ops/stalls plus a state checksum)
+// and the Table 2 modem run (region profiles, total cycles, decoded bits,
+// counter hash) — is locked into tests/core/timing_golden.inc.  Hot-loop
+// refactors (pre-decode, commit wheel, ...) must reproduce every value
+// bit-for-bit; an intentional timing-model change must regenerate the
+// fixture with timing_golden_dump and justify the diff.
+#include <gtest/gtest.h>
+
+#include "support/timing_golden_common.hpp"
+
+namespace adres::testsupport {
+namespace {
+
+#include "timing_golden.inc"
+
+TEST(TimingGolden, KernelRowsMatchFixture) {
+  const std::vector<KernelGoldenRow> rows = collectKernelGolden();
+  const std::size_t n = sizeof(kKernelGolden) / sizeof(kKernelGolden[0]);
+  ASSERT_EQ(rows.size(), n) << "kernel set changed; regenerate the fixture";
+  for (std::size_t i = 0; i < n; ++i) {
+    const KernelGoldenRow& got = rows[i];
+    const KernelGoldenRow& want = kKernelGolden[i];
+    SCOPED_TRACE("kernel: " + want.name);
+    EXPECT_EQ(got.name, want.name);
+    EXPECT_EQ(got.cycles, want.cycles);
+    EXPECT_EQ(got.arrayCycles, want.arrayCycles);
+    EXPECT_EQ(got.stallCycles, want.stallCycles);
+    EXPECT_EQ(got.ops, want.ops);
+    EXPECT_EQ(got.routeMoves, want.routeMoves);
+    EXPECT_EQ(got.checksum, want.checksum);
+  }
+}
+
+TEST(TimingGolden, ModemRunMatchesFixture) {
+  const ModemGolden m = collectModemGolden();
+  EXPECT_EQ(m.detected, kModemDetected);
+  EXPECT_EQ(m.ltfStart, kModemLtfStart);
+  EXPECT_EQ(m.cycles, kModemCycles);
+  EXPECT_EQ(m.bitsHash, kModemBitsHash);
+  EXPECT_EQ(m.countersHash, kModemCountersHash);
+
+  const std::size_t n = sizeof(kRegionGolden) / sizeof(kRegionGolden[0]);
+  ASSERT_EQ(m.regions.size(), n) << "region set changed; regenerate fixture";
+  for (std::size_t i = 0; i < n; ++i) {
+    const RegionGoldenRow& got = m.regions[i];
+    const RegionGoldenRow& want = kRegionGolden[i];
+    SCOPED_TRACE("region: " + want.name);
+    EXPECT_EQ(got.name, want.name);
+    EXPECT_EQ(got.cycles, want.cycles);
+    EXPECT_EQ(got.vliwCycles, want.vliwCycles);
+    EXPECT_EQ(got.cgaCycles, want.cgaCycles);
+    EXPECT_EQ(got.ops, want.ops);
+    EXPECT_EQ(got.entries, want.entries);
+  }
+}
+
+}  // namespace
+}  // namespace adres::testsupport
