@@ -1,0 +1,184 @@
+// Shared bench CLI handling: one tiny declarative parser so every bench
+// agrees on flag syntax (`--flag value` / `--flag=value`), keeps its legacy
+// positional arguments, and gets a generated `--help`.  Header-only, used
+// by bench_farm / bench_simspeed / bench_throughput.
+//
+//   adres::bench::Args args("bench_farm", "packet-farm throughput sweep");
+//   int packets = 24;
+//   args.positional("numPackets", "packets to decode", &packets);
+//   int port = -1;
+//   args.flag("live-metrics", "PORT", "serve /metrics on PORT (0=ephemeral)",
+//             &port);
+//   if (!args.parse(argc, argv)) return args.parseError() ? 1 : 0;
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace adres::bench {
+
+/// Host milliseconds elapsed since `t0` (the latency-summary helper the
+/// benches previously each carried a private copy of).
+inline double msSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+class Args {
+ public:
+  Args(std::string prog, std::string description)
+      : prog_(std::move(prog)), description_(std::move(description)) {}
+
+  /// Declares the next positional argument (optional, keeps `*out` when
+  /// absent).  Declaration order is binding order.
+  void positional(const std::string& name, const std::string& help,
+                  int* out) {
+    positionals_.push_back({name, help, out, nullptr, nullptr});
+  }
+  void positional(const std::string& name, const std::string& help,
+                  double* out) {
+    positionals_.push_back({name, help, nullptr, out, nullptr});
+  }
+  void positional(const std::string& name, const std::string& help,
+                  std::string* out) {
+    positionals_.push_back({name, help, nullptr, nullptr, out});
+  }
+
+  /// Declares a value-taking flag `--name VALUE` (or `--name=VALUE`).
+  void flag(const std::string& name, const std::string& valueName,
+            const std::string& help, int* out) {
+    flags_.push_back({name, valueName, help, out, nullptr, nullptr, nullptr});
+  }
+  void flag(const std::string& name, const std::string& valueName,
+            const std::string& help, double* out) {
+    flags_.push_back({name, valueName, help, nullptr, out, nullptr, nullptr});
+  }
+  void flag(const std::string& name, const std::string& valueName,
+            const std::string& help, std::string* out) {
+    flags_.push_back({name, valueName, help, nullptr, nullptr, out, nullptr});
+  }
+  /// Declares a boolean flag `--name` (sets `*out` to true).
+  void flag(const std::string& name, const std::string& help, bool* out) {
+    flags_.push_back({name, "", help, nullptr, nullptr, nullptr, out});
+  }
+
+  /// Returns false when the program should exit: after printing --help
+  /// (parseError() == false) or on a bad argument (parseError() == true,
+  /// usage printed to stderr).
+  bool parse(int argc, char** argv) {
+    std::size_t nextPositional = 0;
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        usage(stdout);
+        return false;
+      }
+      if (arg.rfind("--", 0) == 0) {
+        std::string name = arg.substr(2);
+        std::string value;
+        bool hasValue = false;
+        const std::size_t eq = name.find('=');
+        if (eq != std::string::npos) {
+          value = name.substr(eq + 1);
+          name = name.substr(0, eq);
+          hasValue = true;
+        }
+        Flag* f = findFlag(name);
+        if (f == nullptr) {
+          std::fprintf(stderr, "%s: unknown flag --%s\n", prog_.c_str(),
+                       name.c_str());
+          usage(stderr);
+          error_ = true;
+          return false;
+        }
+        if (f->outBool != nullptr) {
+          *f->outBool = hasValue ? (value != "0" && value != "false") : true;
+          continue;
+        }
+        if (!hasValue) {
+          if (i + 1 >= argc) {
+            std::fprintf(stderr, "%s: --%s needs a value\n", prog_.c_str(),
+                         name.c_str());
+            usage(stderr);
+            error_ = true;
+            return false;
+          }
+          value = argv[++i];
+        }
+        bind(*f, value);
+        continue;
+      }
+      if (nextPositional >= positionals_.size()) {
+        std::fprintf(stderr, "%s: unexpected argument '%s'\n", prog_.c_str(),
+                     arg.c_str());
+        usage(stderr);
+        error_ = true;
+        return false;
+      }
+      bind(positionals_[nextPositional++], arg);
+    }
+    return true;
+  }
+
+  bool parseError() const { return error_; }
+
+  void usage(std::FILE* out) const {
+    std::fprintf(out, "%s — %s\n\nusage: %s", prog_.c_str(),
+                 description_.c_str(), prog_.c_str());
+    for (const Binding& p : positionals_)
+      std::fprintf(out, " [%s]", p.name.c_str());
+    std::fprintf(out, " [flags]\n");
+    if (!positionals_.empty()) {
+      std::fprintf(out, "\npositional arguments (all optional):\n");
+      for (const Binding& p : positionals_)
+        std::fprintf(out, "  %-22s %s\n", p.name.c_str(), p.help.c_str());
+    }
+    std::fprintf(out, "\nflags:\n");
+    for (const Flag& f : flags_) {
+      const std::string head =
+          "--" + f.name + (f.valueName.empty() ? "" : " " + f.valueName);
+      std::fprintf(out, "  %-22s %s\n", head.c_str(), f.help.c_str());
+    }
+    std::fprintf(out, "  %-22s %s\n", "--help", "show this message");
+  }
+
+ private:
+  struct Binding {
+    std::string name, help;
+    int* outInt = nullptr;
+    double* outDouble = nullptr;
+    std::string* outString = nullptr;
+  };
+  struct Flag : Binding {
+    Flag(std::string n, std::string v, std::string h, int* i, double* d,
+         std::string* s, bool* b)
+        : Binding{std::move(n), std::move(h), i, d, s},
+          valueName(std::move(v)),
+          outBool(b) {}
+    std::string valueName;
+    bool* outBool = nullptr;
+  };
+
+  Flag* findFlag(const std::string& name) {
+    for (Flag& f : flags_)
+      if (f.name == name) return &f;
+    return nullptr;
+  }
+
+  static void bind(const Binding& b, const std::string& value) {
+    if (b.outInt != nullptr) *b.outInt = std::atoi(value.c_str());
+    if (b.outDouble != nullptr) *b.outDouble = std::atof(value.c_str());
+    if (b.outString != nullptr) *b.outString = value;
+  }
+
+  std::string prog_, description_;
+  std::vector<Binding> positionals_;
+  std::vector<Flag> flags_;
+  bool error_ = false;
+};
+
+}  // namespace adres::bench

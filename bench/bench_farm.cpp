@@ -1,22 +1,30 @@
 // Packet-farm throughput: N simulated ADRES processors decoding a stream
 // of MIMO-OFDM packets in parallel (src/platform).  Reports packets/sec,
 // aggregate decoded Mbps, scaling efficiency vs worker count and p50/p99
-// per-packet host latency, verifying every run is bit-exact with the
-// 1-worker baseline.  Emits a machine-readable BENCH_farm.json.
+// per-packet host latency (histogram-derived — no samples are stored),
+// verifying every run is bit-exact with the 1-worker baseline.  Emits a
+// machine-readable BENCH_farm.json.
 //
-//   $ ./bench_farm [numPackets] [numSymbols] [maxWorkers] [jsonPath]
+//   $ ./bench_farm [numPackets] [numSymbols] [maxWorkers] [jsonPath] \
+//         [--live-metrics PORT] [--linger-ms N] [--metrics-json PATH]
 //
-// jsonPath defaults to BENCH_farm.json; pass "-" to skip the dump.
-#include <algorithm>
+// jsonPath defaults to BENCH_farm.json; pass "-" to skip the dump.  With
+// --live-metrics the bench embeds a MetricsServer: while the sweep runs,
+// `curl localhost:PORT/metrics` returns the live Prometheus exposition of
+// the active farm (PORT 0 picks an ephemeral port, printed at startup);
+// --linger-ms keeps serving the final farm's metrics after the sweep so
+// scrapers and the farm_dashboard example can attach.
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_args.hpp"
 #include "dsp/channel.hpp"
+#include "obs/metrics_server.hpp"
 #include "platform/packet_farm.hpp"
 
 using namespace adres;
@@ -30,24 +38,36 @@ struct Row {
   bool bitExact = true;  ///< per-packet results identical to the 1-worker run
 };
 
-double percentile(std::vector<double> v, double p) {
-  if (v.empty()) return 0;
-  std::sort(v.begin(), v.end());
-  const std::size_t i = static_cast<std::size_t>(p * (static_cast<double>(v.size()) - 1.0));
-  return v[i];
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int numPackets = argc > 1 ? std::atoi(argv[1]) : 24;
-  int numSymbols = argc > 2 ? std::atoi(argv[2]) : 4;
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  int numPackets = 24;
+  int numSymbols = 4;
+  int maxWorkers = std::max(1, std::min(8, hw));
+  std::string jsonPath = "BENCH_farm.json";
+  int metricsPort = -1;
+  int lingerMs = 0;
+  std::string metricsJsonPath;
+
+  bench::Args args("bench_farm", "packet-farm throughput sweep");
+  args.positional("numPackets", "packets to decode per row", &numPackets);
+  args.positional("numSymbols", "OFDM symbols per packet (even)", &numSymbols);
+  args.positional("maxWorkers", "largest worker count in the sweep",
+                  &maxWorkers);
+  args.positional("jsonPath", "BENCH_farm.json path ('-' = skip)", &jsonPath);
+  args.flag("live-metrics", "PORT",
+            "serve Prometheus /metrics + /metrics.json on PORT (0=ephemeral)",
+            &metricsPort);
+  args.flag("linger-ms", "MS", "keep serving metrics MS ms after the sweep",
+            &lingerMs);
+  args.flag("metrics-json", "PATH", "write the final adres.metrics.v1 snapshot",
+            &metricsJsonPath);
+  if (!args.parse(argc, argv)) return args.parseError() ? 1 : 0;
+
   if (numSymbols < 2) numSymbols = 2;
   numSymbols &= ~1;
-  const int hw = static_cast<int>(std::thread::hardware_concurrency());
-  const int maxWorkers =
-      argc > 3 ? std::atoi(argv[3]) : std::max(1, std::min(8, hw));
-  const std::string jsonPath = argc > 4 ? argv[4] : "BENCH_farm.json";
+  if (maxWorkers < 1) maxWorkers = 1;
 
   dsp::ModemConfig cfg;
   cfg.mod = dsp::Modulation::kQam64;
@@ -55,6 +75,14 @@ int main(int argc, char** argv) {
 
   printf("=== packet farm: %d packets x %d symbols, up to %d workers "
          "(%d hw threads) ===\n", numPackets, numSymbols, maxWorkers, hw);
+
+  obs::MetricsRegistry metrics;
+  std::unique_ptr<obs::MetricsServer> server;
+  if (metricsPort >= 0) {
+    server = std::make_unique<obs::MetricsServer>(metrics, metricsPort);
+    printf("live metrics: http://127.0.0.1:%d/metrics (and /metrics.json)\n",
+           server->port());
+  }
 
   // Traffic: packets through a 2-tap channel, varied seeds, golden bits kept.
   std::vector<std::array<std::vector<cint16>, 2>> waves;
@@ -84,30 +112,32 @@ int main(int argc, char** argv) {
   std::vector<Row> rows;
   std::vector<std::vector<u8>> baselineBits;
   std::vector<u64> baselineCycles;
+  std::unique_ptr<platform::PacketFarm> farm;  // survives the loop for linger
   for (const int w : sweep) {
     platform::FarmConfig fc;
     fc.modem = cfg;
     fc.numWorkers = w;
     fc.queueCapacity = static_cast<std::size_t>(2 * w);
     fc.ordered = true;
-    platform::PacketFarm farm(fc);
+    // Swap the scrape target: clear() is the teardown barrier for the
+    // getters capturing the previous farm.
+    metrics.clear();
+    farm = std::make_unique<platform::PacketFarm>(fc);
+    farm->registerMetrics(metrics);
 
     const auto t0 = std::chrono::steady_clock::now();
-    for (int i = 0; i < numPackets; ++i) (void)farm.submit(waves[static_cast<std::size_t>(i)]);
-    const std::vector<platform::RxOutcome> outs = farm.finish();
-    const double wallUs =
-        std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0)
-            .count();
+    for (int i = 0; i < numPackets; ++i)
+      (void)farm->submit(waves[static_cast<std::size_t>(i)]);
+    const std::vector<platform::RxOutcome> outs = farm->finish();
+    const double wallUs = bench::msSince(t0) * 1000.0;
 
     Row r;
     r.workers = w;
     r.wallMs = wallUs / 1000.0;
     r.pps = static_cast<double>(numPackets) / (wallUs / 1e6);
     r.mbps = static_cast<double>(totalBits) / wallUs;  // bits/us == Mbps
-    std::vector<double> lat;
     long errBits = 0;
     for (const auto& o : outs) {
-      lat.push_back(o.hostUs);
       r.avgPowerMw += o.avgPowerMw;
       const auto& exp = golden[static_cast<std::size_t>(o.id)];
       errBits += o.result.bits.size() == exp.size()
@@ -116,8 +146,12 @@ int main(int argc, char** argv) {
     }
     r.ber = static_cast<double>(errBits) / static_cast<double>(totalBits);
     r.avgPowerMw /= static_cast<double>(outs.size() ? outs.size() : 1);
-    r.p50Us = percentile(lat, 0.5);
-    r.p99Us = percentile(lat, 0.99);
+    // Histogram-derived quantiles from the farm's merged per-worker
+    // latency histograms — no per-sample storage, same values the live
+    // /metrics endpoint exposes.
+    const obs::HistogramSnapshot lat = farm->stats().latencyNs;
+    r.p50Us = lat.quantile(0.5) / 1000.0;
+    r.p99Us = lat.quantile(0.99) / 1000.0;
     if (w == 1) {
       for (const auto& o : outs) {
         baselineBits.push_back(o.result.bits);
@@ -140,6 +174,15 @@ int main(int argc, char** argv) {
            w, w == 1 ? " " : "s", r.wallMs, r.pps, r.mbps, r.speedup,
            100.0 * r.efficiency, r.p50Us, r.p99Us, r.ber,
            r.bitExact ? "bit-exact" : "MISMATCH vs 1-worker baseline");
+    for (const obs::HealthEvent& ev : farm->healthEvents())
+      printf("   health[%s]: %s\n", obs::healthEventKindName(ev.kind),
+             ev.detail.c_str());
+  }
+
+  if (!metricsJsonPath.empty()) {
+    std::ofstream os(metricsJsonPath);
+    metrics.writeJson(os);
+    printf("wrote %s\n", metricsJsonPath.c_str());
   }
 
   if (jsonPath != "-") {
@@ -163,6 +206,17 @@ int main(int argc, char** argv) {
     os << "\n  ]\n}\n";
     printf("wrote %s\n", jsonPath.c_str());
   }
+
+  if (server && lingerMs > 0) {
+    printf("serving metrics for another %d ms ...\n", lingerMs);
+    std::this_thread::sleep_for(std::chrono::milliseconds(lingerMs));
+  }
+  if (server) {
+    server->stop();
+    printf("metrics server: %llu scrapes\n",
+           static_cast<unsigned long long>(server->requests()));
+  }
+  metrics.clear();
 
   for (const Row& r : rows)
     if (!r.bitExact) return 1;

@@ -9,26 +9,21 @@
 // jsonPath defaults to BENCH_simspeed.json; pass "-" to skip the dump.
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_args.hpp"
 #include "dsp/channel.hpp"
 #include "platform/packet_farm.hpp"
 #include "support/kernel_fixture.hpp"
 
 using namespace adres;
 using namespace adres::testsupport;
+using adres::bench::msSince;
 
 namespace {
-
-double msSince(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - t0)
-      .count();
-}
 
 struct Measure {
   std::string name;
@@ -43,8 +38,13 @@ struct Measure {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string jsonPath = argc > 1 ? argv[1] : "BENCH_simspeed.json";
-  const double minMs = argc > 2 ? std::atof(argv[2]) : 150.0;
+  std::string jsonPath = "BENCH_simspeed.json";
+  double minMs = 150.0;
+  bench::Args args("bench_simspeed", "host simulation-speed benchmark");
+  args.positional("jsonPath", "BENCH_simspeed.json path ('-' = skip)",
+                  &jsonPath);
+  args.positional("minMsPerCase", "minimum timed ms per kernel case", &minMs);
+  if (!args.parse(argc, argv)) return args.parseError() ? 1 : 0;
 
   // -- Per-kernel: standalone launches on a private fabric ------------------
   std::vector<Measure> kernels;

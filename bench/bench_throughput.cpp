@@ -8,7 +8,9 @@
 // When a path is given, the last packet's adres.counters.v1 dump is
 // written there (no file is written otherwise).
 #include <cstdio>
+#include <string>
 
+#include "bench_args.hpp"
 #include "dsp/channel.hpp"
 #include "power/energy_model.hpp"
 #include "sdr/modem_program.hpp"
@@ -16,7 +18,14 @@
 using namespace adres;
 
 int main(int argc, char** argv) {
-  const char* countersPath = argc > 1 ? argv[1] : nullptr;
+  std::string countersJson;
+  bench::Args args("bench_throughput", "100 Mbps+ operating-point check");
+  args.positional("countersJsonPath",
+                  "write the last packet's adres.counters.v1 dump here",
+                  &countersJson);
+  if (!args.parse(argc, argv)) return args.parseError() ? 1 : 0;
+  const char* countersPath = countersJson.empty() ? nullptr
+                                                  : countersJson.c_str();
   printf("=== 100 Mbps+ operating point (QAM-64, 2x2 SDM, 20 MHz) ===\n");
   dsp::ModemConfig cfg;
   cfg.mod = dsp::Modulation::kQam64;

@@ -1,0 +1,233 @@
+// farm_dashboard: a terminal dashboard for a live packet farm.
+//
+// Scrapes the Prometheus text endpoint a running `bench_farm --live-metrics`
+// (or any MetricsServer) exposes and redraws an ANSI view of it: queue
+// depth, per-worker state / throughput / utilization / IPC, decode-latency
+// quantiles and watchdog health counters.  Everything shown comes off the
+// wire — the dashboard is also an end-to-end exerciser of the scrape path.
+//
+//   $ ./farm_dashboard --port 9464            # attach to a live bench_farm
+//   $ ./farm_dashboard --demo                 # self-hosted: own farm+server
+//   $ ./farm_dashboard --demo --frames 3      # finite frames (CI-friendly)
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dsp/channel.hpp"
+#include "obs/metrics_server.hpp"
+#include "platform/packet_farm.hpp"
+
+using namespace adres;
+
+namespace {
+
+/// One parsed sample line: metric name, label map, value.
+struct Sample {
+  std::string name;
+  std::map<std::string, std::string> labels;
+  double value = 0;
+};
+
+/// Minimal Prometheus text-exposition parser: enough for our own exporter's
+/// output (`name{k="v",...} value`), comments skipped.
+std::vector<Sample> parsePrometheus(const std::string& text) {
+  std::vector<Sample> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    Sample s;
+    std::size_t i = line.find_first_of("{ ");
+    if (i == std::string::npos) continue;
+    s.name = line.substr(0, i);
+    if (line[i] == '{') {
+      const std::size_t close = line.find('}', i);
+      if (close == std::string::npos) continue;
+      std::size_t p = i + 1;
+      while (p < close) {
+        const std::size_t eq = line.find('=', p);
+        if (eq == std::string::npos || eq > close) break;
+        const std::string key = line.substr(p, eq - p);
+        std::size_t vStart = eq + 2;  // skip ="
+        std::size_t vEnd = line.find('"', vStart);
+        if (vEnd == std::string::npos) break;
+        s.labels[key] = line.substr(vStart, vEnd - vStart);
+        p = vEnd + 1;
+        if (p < close && line[p] == ',') ++p;
+      }
+      i = close + 1;
+    }
+    s.value = std::atof(line.c_str() + i);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+double value(const std::vector<Sample>& samples, const std::string& name,
+             const std::string& labelKey = "", const std::string& labelVal = "") {
+  for (const Sample& s : samples) {
+    if (s.name != name) continue;
+    if (!labelKey.empty()) {
+      const auto it = s.labels.find(labelKey);
+      if (it == s.labels.end() || it->second != labelVal) continue;
+    }
+    return s.value;
+  }
+  return 0;
+}
+
+std::string bar(double frac, int width) {
+  if (frac < 0) frac = 0;
+  if (frac > 1) frac = 1;
+  const int fill = static_cast<int>(frac * width + 0.5);
+  std::string out;
+  for (int i = 0; i < width; ++i) out += i < fill ? '#' : '.';
+  return out;
+}
+
+void drawFrame(const std::vector<Sample>& samples, int frame, bool ansi) {
+  if (ansi) printf("\x1b[H\x1b[2J");
+  const double workers = value(samples, "adres_farm_workers");
+  const double depth = value(samples, "adres_farm_queue_depth");
+  const double cap = value(samples, "adres_farm_queue_capacity");
+  const double submitted = value(samples, "adres_farm_packets_submitted_total");
+  const double done = value(samples, "adres_farm_packets_done_total");
+  const double health = value(samples, "adres_farm_health_events_total");
+  const double up = value(samples, "adres_farm_uptime_seconds");
+
+  printf("ADRES packet-farm dashboard  (frame %d, uptime %.1f s)\n", frame, up);
+  printf("packets  %5.0f done / %5.0f submitted    queue %2.0f/%2.0f [%s]    "
+         "health events %.0f\n\n",
+         done, submitted, depth, cap, bar(cap > 0 ? depth / cap : 0, 16).c_str(),
+         health);
+  printf("worker  state  packets   sim Mcycles   util                ipc   "
+         "heartbeat\n");
+  for (int w = 0; w < static_cast<int>(workers); ++w) {
+    const std::string ws = std::to_string(w);
+    const double st = value(samples, "adres_farm_worker_state", "worker", ws);
+    const double pk =
+        value(samples, "adres_farm_worker_packets_total", "worker", ws);
+    const double cy =
+        value(samples, "adres_farm_worker_sim_cycles_total", "worker", ws);
+    const double ut =
+        value(samples, "adres_farm_worker_utilization", "worker", ws);
+    const double ipc = value(samples, "adres_farm_worker_ipc", "worker", ws);
+    const double hb =
+        value(samples, "adres_farm_worker_heartbeat_cycles", "worker", ws);
+    const char* stName = st == 0 ? "idle" : st == 1 ? "BUSY" : "done";
+    printf("  %3d   %-5s  %7.0f   %11.2f   [%s] %3.0f%%  %5.2f  %9.0f\n", w,
+           stName, pk, cy / 1e6, bar(ut, 12).c_str(), 100 * ut, ipc, hb);
+  }
+  printf("\ndecode latency (host us):  p50 %.0f   p90 %.0f   p99 %.0f   "
+         "p999 %.0f   (n=%0.f)\n",
+         value(samples, "adres_farm_latency_host_us", "quantile", "0.5"),
+         value(samples, "adres_farm_latency_host_us", "quantile", "0.9"),
+         value(samples, "adres_farm_latency_host_us", "quantile", "0.99"),
+         value(samples, "adres_farm_latency_host_us", "quantile", "0.999"),
+         value(samples, "adres_farm_latency_host_us_count"));
+  printf("packet cycles (sim):       p50 %.0f   p99 %.0f\n",
+         value(samples, "adres_farm_packet_cycles", "quantile", "0.5"),
+         value(samples, "adres_farm_packet_cycles", "quantile", "0.99"));
+  fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 9464;
+  int intervalMs = 500;
+  int frames = 0;  // 0 = until the endpoint goes away
+  bool demo = false;
+  bool noAnsi = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--host" && i + 1 < argc) host = argv[++i];
+    else if (a == "--port" && i + 1 < argc) port = std::atoi(argv[++i]);
+    else if (a == "--interval-ms" && i + 1 < argc) intervalMs = std::atoi(argv[++i]);
+    else if (a == "--frames" && i + 1 < argc) frames = std::atoi(argv[++i]);
+    else if (a == "--demo") demo = true;
+    else if (a == "--no-ansi") noAnsi = true;
+    else {
+      printf("usage: farm_dashboard [--host H] [--port P] [--interval-ms N]\n"
+             "                      [--frames N] [--demo] [--no-ansi]\n"
+             "--demo runs its own farm + metrics server and watches it;\n"
+             "--frames N exits after N redraws (0 = run until scrape fails).\n");
+      return a == "--help" || a == "-h" ? 0 : 1;
+    }
+  }
+
+  // Demo mode: a self-hosted farm decodes a packet stream while the
+  // dashboard scrapes it over real HTTP.
+  std::unique_ptr<obs::MetricsRegistry> reg;
+  std::unique_ptr<obs::MetricsServer> server;
+  std::unique_ptr<platform::PacketFarm> farm;
+  std::thread feeder;
+  std::atomic<bool> feederDone{false};
+  if (demo) {
+    dsp::ModemConfig cfg;
+    cfg.mod = dsp::Modulation::kQam64;
+    cfg.numSymbols = 4;
+    platform::FarmConfig fc;
+    fc.modem = cfg;
+    fc.numWorkers = std::max(
+        1, std::min(4, static_cast<int>(std::thread::hardware_concurrency())));
+    reg = std::make_unique<obs::MetricsRegistry>();
+    farm = std::make_unique<platform::PacketFarm>(fc);
+    farm->registerMetrics(*reg);
+    server = std::make_unique<obs::MetricsServer>(*reg, 0);
+    port = server->port();
+    host = "127.0.0.1";
+    if (frames == 0) frames = 6;
+    // cfg dies with this block — the thread must copy it, not reference it.
+    feeder = std::thread([&farm, &feederDone, cfg] {
+      for (int i = 0; i < 48 && !feederDone.load(); ++i) {
+        Rng rng(1000 + static_cast<u64>(i));
+        const dsp::TxPacket pkt = dsp::transmit(cfg, rng);
+        dsp::ChannelConfig cc;
+        cc.taps = 2;
+        cc.snrDb = 38;
+        cc.seed = static_cast<u64>(i + 1);
+        dsp::MimoChannel ch(cc);
+        farm->submit(ch.run(pkt.waveform));
+      }
+      feederDone.store(true);
+    });
+    printf("demo farm up: %d workers, metrics on http://127.0.0.1:%d/metrics\n",
+           fc.numWorkers, port);
+  }
+
+  int misses = 0;
+  for (int frame = 1; frames == 0 || frame <= frames; ++frame) {
+    const std::string body = obs::httpGet(host, port, "/metrics");
+    if (body.empty()) {
+      if (++misses >= 3) {
+        fprintf(stderr, "farm_dashboard: no metrics at %s:%d — giving up\n",
+                host.c_str(), port);
+        break;
+      }
+    } else {
+      misses = 0;
+      drawFrame(parsePrometheus(body), frame, !noAnsi);
+    }
+    if (frames == 0 || frame < frames)
+      std::this_thread::sleep_for(std::chrono::milliseconds(intervalMs));
+  }
+
+  if (demo) {
+    feederDone.store(true);
+    feeder.join();
+    (void)farm->finish();
+    server->stop();
+    reg->clear();
+  }
+  return misses >= 3 ? 1 : 0;
+}

@@ -8,6 +8,17 @@
 
 namespace adres {
 
+const char* stopReasonName(StopReason r) {
+  switch (r) {
+    case StopReason::kHalt: return "halt";
+    case StopReason::kMaxCycles: return "max_cycles";
+    case StopReason::kExternalStall: return "external_stall";
+    case StopReason::kOffEnd: return "off_end";
+    case StopReason::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
 std::string RegionProfile::mode() const {
   if (cycles == 0) return "-";
   const double cgaShare = static_cast<double>(cgaCycles) / static_cast<double>(cycles);

@@ -1,0 +1,109 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/check.hpp"
+
+namespace adres::obs {
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  if (buckets.size() < other.buckets.size()) buckets.resize(other.buckets.size());
+  for (std::size_t i = 0; i < other.buckets.size(); ++i)
+    buckets[i] += other.buckets[i];
+  min = count == 0 ? other.min : std::min(min, other.min);
+  max = count == 0 ? other.max : std::max(max, other.max);
+  count += other.count;
+  sum += other.sum;
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const u64 rank =
+      static_cast<u64>(q * (static_cast<double>(count) - 1.0));  // 0-based
+  // The extreme ranks are known exactly — match the sorted-sample answer.
+  if (rank == 0) return static_cast<double>(min);
+  if (rank >= count - 1) return static_cast<double>(max);
+  u64 cum = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cum += buckets[i];
+    if (cum > rank) {
+      const u64 lo = LogLinearHistogram::bucketLo(i);
+      const u64 hi = LogLinearHistogram::bucketHi(i);
+      const double mid =
+          static_cast<double>(lo) + (static_cast<double>(hi - lo) - 1.0) / 2.0;
+      return std::clamp(mid, static_cast<double>(min), static_cast<double>(max));
+    }
+  }
+  return static_cast<double>(max);
+}
+
+std::size_t LogLinearHistogram::bucketIndex(u64 v) {
+  if (v < kSubBuckets) return static_cast<std::size_t>(v);
+  const int e = 63 - std::countl_zero(v);
+  const int shift = e - kSubBits;
+  const u64 sub = (v >> shift) - kSubBuckets;
+  return static_cast<std::size_t>(e - kSubBits + 1) * kSubBuckets +
+         static_cast<std::size_t>(sub);
+}
+
+u64 LogLinearHistogram::bucketLo(std::size_t index) {
+  if (index < kSubBuckets) return index;
+  const std::size_t block = index >> kSubBits;
+  const u64 sub = index & (kSubBuckets - 1);
+  const int shift = static_cast<int>(block) - 1;
+  return (static_cast<u64>(kSubBuckets) + sub) << shift;
+}
+
+u64 LogLinearHistogram::bucketHi(std::size_t index) {
+  if (index < kSubBuckets) return index + 1;
+  const std::size_t block = index >> kSubBits;
+  const int shift = static_cast<int>(block) - 1;
+  const u64 lo = bucketLo(index);
+  const u64 width = u64{1} << shift;
+  return lo + width < lo ? ~0ull : lo + width;  // saturate the top bucket
+}
+
+LogLinearHistogram::LogLinearHistogram() : buckets_(kNumBuckets) {}
+
+void LogLinearHistogram::record(u64 v) {
+  buckets_[bucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  u64 seen = min_.load(std::memory_order_relaxed);
+  while (v < seen &&
+         !min_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (v > seen &&
+         !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot LogLinearHistogram::snapshot() const {
+  HistogramSnapshot s;
+  s.buckets.resize(kNumBuckets);
+  u64 n = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    n += s.buckets[i];
+  }
+  s.count = n;  // derived from the buckets so the snapshot is self-consistent
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  const u64 mn = min_.load(std::memory_order_relaxed);
+  s.min = n == 0 ? 0 : mn;
+  return s;
+}
+
+void LogLinearHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~0ull, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace adres::obs

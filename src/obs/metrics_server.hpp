@@ -1,0 +1,64 @@
+// MetricsServer: a deliberately tiny embedded scrape endpoint so a running
+// PacketFarm (or any process holding a MetricsRegistry) can be observed
+// mid-flight.  One blocking accept loop on its own thread, one request per
+// connection (HTTP/1.0, Connection: close):
+//
+//   GET /metrics       -> Prometheus text exposition (format 0.0.4)
+//   GET /metrics.json  -> adres.metrics.v1 JSON snapshot
+//   GET /healthz       -> "ok" liveness probe
+//   GET /              -> tiny HTML index
+//
+// Not a general web server: no keep-alive, no TLS, no request body — a
+// scrape endpoint with the smallest possible surface.  Binds 127.0.0.1 by
+// default; port 0 picks an ephemeral port (read back via port()).  The
+// registry must outlive the server, or be clear()ed first (clear() is the
+// teardown barrier).
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace adres::obs {
+
+class MetricsServer {
+ public:
+  /// Binds and starts serving immediately; throws SimError on bind failure.
+  explicit MetricsServer(const MetricsRegistry& reg, int port = 0,
+                         const std::string& bindAddr = "127.0.0.1");
+  ~MetricsServer();
+
+  MetricsServer(const MetricsServer&) = delete;
+  MetricsServer& operator=(const MetricsServer&) = delete;
+
+  /// The actually-bound TCP port (resolves port 0 requests).
+  int port() const { return port_; }
+
+  /// Stops accepting and joins the serve thread.  Idempotent.
+  void stop();
+
+  /// Scrapes served since start.
+  u64 requests() const { return requests_.load(std::memory_order_relaxed); }
+
+ private:
+  void serveLoop();
+  void handleConnection(int fd);
+
+  const MetricsRegistry& reg_;
+  int listenFd_ = -1;
+  int port_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::atomic<u64> requests_{0};
+  std::thread thread_;
+};
+
+/// Minimal blocking HTTP/1.0 GET against a numeric IPv4 host ("localhost"
+/// is accepted as 127.0.0.1).  Returns the response body ("" on connect /
+/// protocol error); `statusOut`, when set, receives the status line.  Used
+/// by examples/farm_dashboard and the tests — not a general client.
+std::string httpGet(const std::string& host, int port, const std::string& path,
+                    std::string* statusOut = nullptr, int timeoutMs = 5000);
+
+}  // namespace adres::obs

@@ -20,10 +20,19 @@ PacketFarm::PacketFarm(FarmConfig cfg)
   // stats() instead.
   cfg_.run.trace = nullptr;
   cfg_.run.countersJsonPath.clear();
+  cfg_.run.progressCycles = nullptr;
+  cfg_.run.cancel = nullptr;
   workerStats_.resize(static_cast<std::size_t>(cfg_.numWorkers));
+  watchdog_ = std::make_unique<obs::WorkerWatchdog>(cfg_.numWorkers,
+                                                    cfg_.watchdog);
+  telemetry_.reserve(static_cast<std::size_t>(cfg_.numWorkers));
+  for (int i = 0; i < cfg_.numWorkers; ++i)
+    telemetry_.push_back(std::make_unique<WorkerTelemetry>());
+  startTime_ = std::chrono::steady_clock::now();
   // Build (or fetch) the shared program before spawning so workers never
   // race on the expensive first build and startup cost is paid once.
   (void)modemProgramFor(cfg_.modem);
+  watchdog_->start();
   threads_.reserve(static_cast<std::size_t>(cfg_.numWorkers));
   for (int i = 0; i < cfg_.numWorkers; ++i)
     threads_.emplace_back([this, i] { workerMain(i); });
@@ -36,6 +45,7 @@ void PacketFarm::submit(RxJob job) {
   nextId_ = std::max(nextId_, job.id + 1);
   const bool accepted = queue_.push(std::move(job));
   ADRES_CHECK(accepted, "queue closed while submitting");
+  submitted_.fetch_add(1, std::memory_order_relaxed);
 }
 
 u64 PacketFarm::submit(std::array<std::vector<cint16>, 2> rx) {
@@ -53,6 +63,7 @@ std::vector<RxOutcome> PacketFarm::finish() {
   queue_.close();
   for (std::thread& t : threads_) t.join();
   threads_.clear();
+  watchdog_->stop();  // after the join: no more heartbeats to observe
 
   stats_ = FarmStats{};
   stats_.workers = cfg_.numWorkers;
@@ -61,6 +72,8 @@ std::vector<RxOutcome> PacketFarm::finish() {
   stats_.packets = merged.packets;
   stats_.counters = std::move(merged.counters);
   stats_.groups = std::move(merged.groups);
+  stats_.latencyNs = latencySnapshot();
+  stats_.packetCycles = cycleSnapshot();
 
   if (cfg_.ordered) {
     std::sort(outcomes_.begin(), outcomes_.end(),
@@ -69,21 +82,170 @@ std::vector<RxOutcome> PacketFarm::finish() {
   return std::move(outcomes_);
 }
 
+u64 PacketFarm::packetsDone() const {
+  u64 n = 0;
+  for (const auto& t : telemetry_)
+    n += t->packetsDone.load(std::memory_order_relaxed);
+  return n;
+}
+
+obs::HistogramSnapshot PacketFarm::latencySnapshot() const {
+  obs::HistogramSnapshot merged;
+  for (const auto& t : telemetry_) merged.merge(t->latencyNs.snapshot());
+  return merged;
+}
+
+obs::HistogramSnapshot PacketFarm::cycleSnapshot() const {
+  obs::HistogramSnapshot merged;
+  for (const auto& t : telemetry_) merged.merge(t->packetCycles.snapshot());
+  return merged;
+}
+
+std::map<std::string, u64> PacketFarm::liveCounters() const {
+  std::map<std::string, u64> out;
+  for (const auto& t : telemetry_) {
+    if (const std::shared_ptr<const SessionStats> s = t->published()) {
+      for (const auto& [name, value] : s->counters) out[name] += value;
+    }
+  }
+  return out;
+}
+
+void PacketFarm::registerMetrics(obs::MetricsRegistry& reg) const {
+  reg.addGauge("adres_farm_workers", "configured worker count",
+               [this] { return static_cast<double>(cfg_.numWorkers); });
+  reg.addGauge("adres_farm_queue_depth", "jobs waiting in the bounded queue",
+               [this] { return static_cast<double>(queueDepth()); });
+  reg.addGauge("adres_farm_queue_capacity", "bounded queue capacity",
+               [this] { return static_cast<double>(queue_.capacity()); });
+  reg.addCounter("adres_farm_packets_submitted_total", "jobs accepted",
+                 [this] { return static_cast<double>(submitted()); });
+  reg.addCounter("adres_farm_packets_done_total", "decodes completed",
+                 [this] { return static_cast<double>(packetsDone()); });
+  reg.addCounter("adres_farm_health_events_total",
+                 "watchdog health events (stalls, budget overruns)",
+                 [this] { return static_cast<double>(watchdog_->eventCount()); });
+  reg.addGauge("adres_farm_uptime_seconds", "host seconds since farm start",
+               [this] {
+                 return std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - startTime_)
+                     .count();
+               });
+  for (int w = 0; w < cfg_.numWorkers; ++w) {
+    const obs::Labels labels{{"worker", std::to_string(w)}};
+    const WorkerTelemetry* t = telemetry_[static_cast<std::size_t>(w)].get();
+    const obs::WorkerHealth* h = &watchdog_->health(w);
+    reg.addCounter("adres_farm_worker_packets_total", "decodes by worker",
+                   [t] {
+                     return static_cast<double>(
+                         t->packetsDone.load(std::memory_order_relaxed));
+                   },
+                   labels);
+    reg.addCounter("adres_farm_worker_sim_cycles_total",
+                   "simulated cycles decoded by worker",
+                   [t] {
+                     return static_cast<double>(
+                         t->simCycles.load(std::memory_order_relaxed));
+                   },
+                   labels);
+    reg.addGauge("adres_farm_worker_utilization",
+                 "fraction of farm uptime spent decoding",
+                 [this, t] {
+                   const double up =
+                       std::chrono::duration<double, std::nano>(
+                           std::chrono::steady_clock::now() - startTime_)
+                           .count();
+                   return up > 0 ? static_cast<double>(t->busyNs.load(
+                                       std::memory_order_relaxed)) /
+                                       up
+                                 : 0.0;
+                 },
+                 labels);
+    reg.addGauge("adres_farm_worker_ipc",
+                 "simulated ops per simulated cycle across worker decodes",
+                 [t] {
+                   const double cycles = static_cast<double>(
+                       t->simCycles.load(std::memory_order_relaxed));
+                   return cycles > 0
+                              ? static_cast<double>(t->simOps.load(
+                                    std::memory_order_relaxed)) /
+                                    cycles
+                              : 0.0;
+                 },
+                 labels);
+    reg.addGauge("adres_farm_worker_state",
+                 "0 = idle, 1 = busy, 2 = done",
+                 [h] {
+                   return static_cast<double>(
+                       h->state.load(std::memory_order_relaxed));
+                 },
+                 labels);
+    reg.addGauge("adres_farm_worker_heartbeat_cycles",
+                 "sim cycles of the in-flight decode (watchdog heartbeat)",
+                 [h] {
+                   return static_cast<double>(
+                       h->heartbeatCycles.load(std::memory_order_relaxed));
+                 },
+                 labels);
+  }
+  reg.addSummary("adres_farm_latency_host_us",
+                 "host wall-clock decode latency (merged across workers)",
+                 1e-3 /* ns -> us */, [this] { return latencySnapshot(); });
+  reg.addSummary("adres_farm_packet_cycles",
+                 "simulated cycles per decoded packet (merged across workers)",
+                 1.0, [this] { return cycleSnapshot(); });
+  // Farm-wide sim counter totals (the stable adres.counters.v1 key set) as
+  // one labelled family, summed live from each worker's last published
+  // session snapshot.
+  reg.addCounterFamily(
+      "adres_sim_counter", "farm-wide simulator counter totals", [this] {
+        std::vector<std::pair<obs::Labels, double>> out;
+        for (const auto& [name, value] : liveCounters())
+          out.push_back(
+              {obs::Labels{{"name", name}}, static_cast<double>(value)});
+        return out;
+      });
+}
+
 void PacketFarm::workerMain(int idx) {
   using Clock = std::chrono::steady_clock;
-  RxSession session(cfg_.modem, cfg_.run);
+  obs::WorkerHealth& health = watchdog_->health(idx);
+  WorkerTelemetry& tele = *telemetry_[static_cast<std::size_t>(idx)];
+  sdr::RxRunOptions opts = cfg_.run;
+  if (cfg_.watchdog.enabled) {
+    opts.progressCycles = &health.heartbeatCycles;
+    opts.cancel = &health.cancel;
+  }
+  RxSession session(cfg_.modem, opts);
   while (std::optional<RxJob> job = queue_.pop()) {
+    health.beginJob(job->id);
+    if (cfg_.preDecodeHook) cfg_.preDecodeHook(idx, *job);
     RxOutcome out;
     out.id = job->id;
     out.worker = idx;
     const auto t0 = Clock::now();
     out.result = session.decode(job->rx);
-    out.hostUs = std::chrono::duration<double, std::micro>(Clock::now() - t0)
-                     .count();
+    const double ns =
+        std::chrono::duration<double, std::nano>(Clock::now() - t0).count();
+    out.hostUs = ns / 1000.0;
     out.avgPowerMw = power::analyze(session.processor()).averageActiveMw;
+
+    tele.packetsDone.fetch_add(1, std::memory_order_relaxed);
+    tele.simCycles.fetch_add(out.result.cycles, std::memory_order_relaxed);
+    tele.simOps.fetch_add(session.processor().activity().totalOps(),
+                          std::memory_order_relaxed);
+    tele.busyNs.fetch_add(static_cast<u64>(ns), std::memory_order_relaxed);
+    tele.latencyNs.record(static_cast<u64>(ns));
+    tele.packetCycles.record(out.result.cycles);
+    tele.setPublished(std::make_shared<const SessionStats>(session.stats()));
+    watchdog_->noteDecodeEnd(idx, job->id, out.result.stop, out.result.cycles);
+    health.endJob();
+
     std::lock_guard<std::mutex> lk(mu_);
     outcomes_.push_back(std::move(out));
   }
+  health.state.store(static_cast<u32>(obs::WorkerState::kDone),
+                     std::memory_order_release);
   std::lock_guard<std::mutex> lk(mu_);
   workerStats_[static_cast<std::size_t>(idx)] = session.stats();
 }

@@ -13,14 +13,28 @@
 // sorted by job id, which — since each decode is a deterministic function
 // of the waveform — makes an N-worker run bit-exact with the sequential
 // baseline regardless of scheduling.
+//
+// Live observability (src/obs): every worker keeps lock-free telemetry
+// (packet/cycle/op totals, log-linear latency and cycle histograms, a
+// published copy of its counter totals) that registerMetrics() exposes
+// through a MetricsRegistry — so a running farm can be scraped mid-flight
+// by the embedded MetricsServer with zero effect on decoded output.  A
+// WorkerWatchdog supervises decode heartbeats and turns stalls and budget
+// overruns into structured HealthEvents (optionally cancelling the decode)
+// instead of silent hangs.
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <iosfwd>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "obs/histogram.hpp"
+#include "obs/metrics.hpp"
+#include "obs/watchdog.hpp"
 #include "platform/packet_queue.hpp"
 #include "platform/rx_session.hpp"
 
@@ -49,7 +63,15 @@ struct FarmConfig {
   bool ordered = true;
   /// Per-packet run options.  trace and countersJsonPath are ignored by the
   /// farm (per-worker sinks would interleave); use stats() for aggregates.
+  /// The supervision fields (progressCycles/cancel) are overwritten with
+  /// the per-worker health records when the watchdog is enabled.
   sdr::RxRunOptions run;
+  /// Worker health supervision (stall detection, budget warnings).
+  obs::WatchdogConfig watchdog;
+  /// Test/fault-injection hook, run on the worker thread after the worker
+  /// marks itself busy with the job and before the decode.  Observation
+  /// must stay observation: the hook must not touch simulator state.
+  std::function<void(int worker, const RxJob&)> preDecodeHook;
 };
 
 /// Aggregate statistics merged from every worker's session after finish().
@@ -58,6 +80,8 @@ struct FarmStats {
   u64 packets = 0;
   std::map<std::string, u64> counters;
   std::map<std::string, std::map<std::string, u64>> groups;
+  obs::HistogramSnapshot latencyNs;     ///< host decode latency, nanoseconds
+  obs::HistogramSnapshot packetCycles;  ///< simulated cycles per packet
 
   /// adres.counters.v1 dump carrying the `workers` extension field.
   void writeJson(std::ostream& os) const;
@@ -86,13 +110,66 @@ class PacketFarm {
   const FarmStats& stats() const { return stats_; }
   const FarmConfig& config() const { return cfg_; }
 
+  // -- Live telemetry (safe from any thread, mid-flight) ---------------------
+
+  std::size_t queueDepth() const { return queue_.size(); }
+  u64 submitted() const { return submitted_.load(std::memory_order_relaxed); }
+  u64 packetsDone() const;
+  /// Merged host-latency histogram (nanoseconds) across workers, live.
+  obs::HistogramSnapshot latencySnapshot() const;
+  /// Merged per-packet simulated-cycle histogram across workers, live.
+  obs::HistogramSnapshot cycleSnapshot() const;
+  /// Farm-wide sim counter totals summed from each worker's last published
+  /// session snapshot (live approximation of the post-run merge).
+  std::map<std::string, u64> liveCounters() const;
+
+  const obs::WorkerWatchdog& watchdog() const { return *watchdog_; }
+  std::vector<obs::HealthEvent> healthEvents() const {
+    return watchdog_->events();
+  }
+
+  /// Registers every farm series on `reg`: queue depth, submitted/done
+  /// packets, per-worker packets/utilization/IPC/state, merged latency and
+  /// cycle summaries, health-event count, and the farm-wide sim counters
+  /// (as adres_sim_counter{name=...}).  The farm must outlive `reg`, or
+  /// reg.clear() must run before the farm is destroyed.
+  void registerMetrics(obs::MetricsRegistry& reg) const;
+
  private:
+  /// Per-worker live telemetry; single writer (the worker), lock-free
+  /// readers (metrics scrapes).
+  struct WorkerTelemetry {
+    std::atomic<u64> packetsDone{0};
+    std::atomic<u64> simCycles{0};
+    std::atomic<u64> simOps{0};
+    std::atomic<u64> busyNs{0};
+    obs::LogLinearHistogram latencyNs;
+    obs::LogLinearHistogram packetCycles;
+
+    std::shared_ptr<const SessionStats> published() const {
+      std::lock_guard<std::mutex> lk(mu);
+      return pub;
+    }
+    void setPublished(std::shared_ptr<const SessionStats> s) {
+      std::lock_guard<std::mutex> lk(mu);
+      pub = std::move(s);
+    }
+
+   private:
+    mutable std::mutex mu;
+    std::shared_ptr<const SessionStats> pub;
+  };
+
   void workerMain(int idx);
 
   FarmConfig cfg_;
   BoundedQueue<RxJob> queue_;
+  std::unique_ptr<obs::WorkerWatchdog> watchdog_;
+  std::vector<std::unique_ptr<WorkerTelemetry>> telemetry_;
   std::vector<std::thread> threads_;
+  std::chrono::steady_clock::time_point startTime_;
   u64 nextId_ = 0;
+  std::atomic<u64> submitted_{0};
   bool finished_ = false;
 
   std::mutex mu_;  ///< guards outcomes_ and workerStats_ while running

@@ -69,9 +69,12 @@ sdr::ProcessorRxResult RxSession::decode(
   proc_.dma().resetStats();
   sdr::ProcessorRxResult res = sdr::runModemOnProcessor(proc_, *modem_, rx, opts_);
   // Stats reset on the next load; fold this packet's into the session total.
+  // publish() doubles as our snapshot: one getter pass fills the fold AND
+  // leaves an immutable copy other threads (live metrics) may read.
   ++stats_.packets;
-  for (const auto& [name, value] : reg_.snapshot()) stats_.counters[name] += value;
-  for (const auto& [prefix, block] : reg_.groupSnapshot()) {
+  const std::shared_ptr<const trace::PublishedCounters> snap = reg_.publish();
+  for (const auto& [name, value] : snap->counters) stats_.counters[name] += value;
+  for (const auto& [prefix, block] : snap->groups) {
     auto& mine = stats_.groups[prefix];
     for (const auto& [suffix, value] : block) mine[suffix] += value;
   }

@@ -1,5 +1,6 @@
 #include "sdr/modem_program.hpp"
 
+#include <algorithm>
 #include <fstream>
 
 #include "common/check.hpp"
@@ -686,7 +687,31 @@ ProcessorRxResult runModemOnProcessor(
   }
 
   ProcessorRxResult out;
-  out.stop = proc.run(opts.maxCycles);
+  if (opts.progressCycles == nullptr && opts.cancel == nullptr) {
+    out.stop = proc.run(opts.maxCycles);
+  } else {
+    // Supervised run: slice the budget so a heartbeat is published (and a
+    // cancel request honoured) every progressIntervalCycles.  run() resumes
+    // from held pipeline state, so the slicing is bit- and cycle-exact.
+    const u64 interval = std::max<u64>(1, opts.progressIntervalCycles);
+    const u64 startCycle = proc.cycles();
+    for (;;) {
+      if (opts.cancel != nullptr &&
+          opts.cancel->load(std::memory_order_relaxed) != 0) {
+        out.stop = StopReason::kCancelled;
+        break;
+      }
+      const u64 used = proc.cycles() - startCycle;
+      if (used >= opts.maxCycles) {
+        out.stop = StopReason::kMaxCycles;
+        break;
+      }
+      out.stop = proc.run(std::min(interval, opts.maxCycles - used));
+      if (opts.progressCycles != nullptr)
+        opts.progressCycles->store(proc.cycles(), std::memory_order_relaxed);
+      if (out.stop != StopReason::kMaxCycles) break;
+    }
+  }
   out.cycles = proc.cycles();
   out.elapsedUs = proc.elapsedUs();
   if (!out.halted()) {

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <vector>
 
 #include "core/processor.hpp"
@@ -53,10 +54,21 @@ ModemOnProcessor buildModemProgram(const dsp::ModemConfig& cfg);
 /// Per-run knobs for runModemOnProcessor, replacing its former hard-coded
 /// defaults.  The options are read once at call time; the referenced trace
 /// sink must outlive the run.
+///
+/// `progressCycles`/`cancel` are the supervision hooks (obs::WorkerWatchdog):
+/// when either is set the run is sliced into `progressIntervalCycles`-sized
+/// budget chunks — bit- and cycle-exact with an unsliced run, since run()
+/// resumes from held state — and between slices the processor's cycle count
+/// is published to `progressCycles` (a heartbeat another thread may read)
+/// and `cancel` is polled (a non-zero value aborts with
+/// StopReason::kCancelled).  Both referents must outlive the run.
 struct RxRunOptions {
   u64 maxCycles = 200'000'000ull;  ///< simulated-cycle budget
   TraceSink* trace = nullptr;      ///< attached to the processor when set
   std::string countersJsonPath;    ///< adres.counters.v1 dump ("" = off)
+  std::atomic<u64>* progressCycles = nullptr;  ///< heartbeat: cycles so far
+  const std::atomic<u32>* cancel = nullptr;    ///< non-zero aborts the run
+  u64 progressIntervalCycles = 32'768;         ///< slice size when supervised
 };
 
 struct ProcessorRxResult {

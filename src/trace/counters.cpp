@@ -22,7 +22,46 @@ void CounterRegistry::reset() {
   for (const auto& hook : resetHooks_) hook();
 }
 
+void CounterRegistry::checkOwner() const {
+  std::lock_guard<std::mutex> lk(pubMu_);
+  if (!ownerBound_) {
+    owner_ = std::this_thread::get_id();
+    ownerBound_ = true;
+    return;
+  }
+  ADRES_CHECK(owner_ == std::this_thread::get_id(),
+              "CounterRegistry read from a non-owner thread — getters read "
+              "unsynchronized live stats; use publish()/published() for "
+              "cross-thread access or rebindOwner() to transfer ownership");
+}
+
+void CounterRegistry::rebindOwner() {
+  std::lock_guard<std::mutex> lk(pubMu_);
+  owner_ = std::this_thread::get_id();
+  ownerBound_ = true;
+}
+
+std::shared_ptr<const PublishedCounters> CounterRegistry::publish() {
+  checkOwner();
+  auto snap = std::make_shared<PublishedCounters>();
+  for (const auto& [name, g] : counters_) snap->counters[name] = g();
+  for (const auto& [prefix, g] : groups_) {
+    auto& block = snap->groups[prefix];
+    for (const auto& [suffix, value] : g()) block[suffix] += value;
+  }
+  std::shared_ptr<const PublishedCounters> out = std::move(snap);
+  std::lock_guard<std::mutex> lk(pubMu_);
+  published_ = out;
+  return out;
+}
+
+std::shared_ptr<const PublishedCounters> CounterRegistry::published() const {
+  std::lock_guard<std::mutex> lk(pubMu_);
+  return published_;
+}
+
 u64 CounterRegistry::value(const std::string& name) const {
+  checkOwner();
   const auto it = counters_.find(name);
   ADRES_CHECK(it != counters_.end(), "unknown counter '" << name << '\'');
   return it->second();
@@ -36,6 +75,7 @@ std::vector<std::string> CounterRegistry::keys() const {
 }
 
 std::map<std::string, u64> CounterRegistry::snapshot() const {
+  checkOwner();
   std::map<std::string, u64> out;
   for (const auto& [name, g] : counters_) out[name] = g();
   return out;
@@ -43,6 +83,7 @@ std::map<std::string, u64> CounterRegistry::snapshot() const {
 
 std::map<std::string, std::map<std::string, u64>>
 CounterRegistry::groupSnapshot() const {
+  checkOwner();
   std::map<std::string, std::map<std::string, u64>> out;
   for (const auto& [prefix, g] : groups_) {
     auto& block = out[prefix];

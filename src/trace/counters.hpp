@@ -8,18 +8,37 @@
 // profiles) register as groups under a prefix; the static key set is stable
 // for the lifetime of the registry, so JSON dumps from different runs diff
 // cleanly.
+// Threading contract (single-writer): the getters read live component
+// statistics that the simulating thread mutates with no synchronization, so
+// every value-reading call (value(), snapshot(), groupSnapshot(),
+// writeJson(), publish()) must run on that thread.  The registry binds its
+// owner thread on the first such call and rejects cross-thread reads with a
+// SimError (rebindOwner() transfers ownership explicitly, e.g. when a
+// registry built on one thread is handed to a worker before any read).
+// The supported cross-thread path is publish()/published(): the owner
+// publishes an immutable PublishedCounters snapshot which any thread may
+// then read — that is what live farm metrics scrape.
 #pragma once
 
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <ostream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/types.hpp"
 
 namespace adres::trace {
+
+/// Immutable counter snapshot shared across threads (see publish()).
+struct PublishedCounters {
+  std::map<std::string, u64> counters;
+  std::map<std::string, std::map<std::string, u64>> groups;
+};
 
 class CounterRegistry {
  public:
@@ -56,10 +75,31 @@ class CounterRegistry {
   /// {"schema":"adres.counters.v1","counters":{...},"groups":{prefix:{...}}}
   void writeJson(std::ostream& os) const;
 
+  /// Owner-thread call: materializes every counter and group into an
+  /// immutable snapshot, stores it for cross-thread readers, and returns
+  /// it.  The returned object also serves as the caller's own snapshot
+  /// (one getter pass for both uses).
+  std::shared_ptr<const PublishedCounters> publish();
+
+  /// Any-thread call: the most recently published snapshot (null before
+  /// the first publish()).
+  std::shared_ptr<const PublishedCounters> published() const;
+
+  /// Transfers the single-writer ownership to the calling thread (see the
+  /// file-top threading contract).
+  void rebindOwner();
+
  private:
+  void checkOwner() const;
+
   std::map<std::string, Getter> counters_;
   std::map<std::string, GroupGetter> groups_;
   std::vector<std::function<void()>> resetHooks_;
+
+  mutable std::mutex pubMu_;  ///< guards published_ and the owner binding
+  std::shared_ptr<const PublishedCounters> published_;
+  mutable std::thread::id owner_;
+  mutable bool ownerBound_ = false;
 };
 
 /// Writes the adres.counters.v1 JSON for already-materialized values.  When

@@ -1,12 +1,15 @@
 // Packet farm: program-build cache identity, N-worker bit-exactness vs the
-// sequential baseline (bits, cycles, merged counters), and lossless
-// close-then-drain shutdown.
+// sequential baseline (bits, cycles, merged counters), lossless
+// close-then-drain shutdown, and live telemetry (mid-flight HTTP scrapes
+// must not perturb decoded output).
 #include <gtest/gtest.h>
 
 #include <set>
 #include <sstream>
+#include <string>
 
 #include "dsp/channel.hpp"
+#include "obs/metrics_server.hpp"
 #include "platform/packet_farm.hpp"
 
 namespace adres::platform {
@@ -141,6 +144,75 @@ TEST(PacketFarm, ShutdownDrainsQueueWithoutLosingJobs) {
   EXPECT_EQ(*ids.rbegin(), static_cast<u64>(kJobs - 1));
 
   EXPECT_TRUE(farm.finish().empty()) << "finish() is idempotent";
+}
+
+TEST(PacketFarm, LiveMetricsScrapeIsBitExactAndExposesFarmSeries) {
+  const dsp::ModemConfig cfg = smallConfig();
+  constexpr int kPackets = 6;
+  std::vector<std::array<std::vector<cint16>, 2>> waves;
+  for (int i = 0; i < kPackets; ++i)
+    waves.push_back(makePacket(cfg, i).first);
+
+  // Baseline: same farm shape, no metrics attached.
+  std::vector<RxOutcome> base;
+  {
+    FarmConfig fc;
+    fc.modem = cfg;
+    fc.numWorkers = 3;
+    PacketFarm farm(fc);
+    for (const auto& rx : waves) (void)farm.submit(rx);
+    base = farm.finish();
+  }
+
+  FarmConfig fc;
+  fc.modem = cfg;
+  fc.numWorkers = 3;
+  fc.watchdog.pollMs = 2;  // aggressive supervision while we scrape
+  obs::MetricsRegistry reg;
+  PacketFarm farm(fc);
+  farm.registerMetrics(reg);
+  obs::MetricsServer server(reg, 0);
+
+  // Scrape over real HTTP between submissions — mid-flight observation.
+  int scrapes = 0;
+  for (const auto& rx : waves) {
+    (void)farm.submit(rx);
+    const std::string text = obs::httpGet("127.0.0.1", server.port(), "/metrics");
+    if (!text.empty()) ++scrapes;
+  }
+  const std::vector<RxOutcome> outs = farm.finish();
+  EXPECT_GT(scrapes, 0) << "at least one live scrape succeeded";
+
+  ASSERT_EQ(outs.size(), base.size());
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    EXPECT_EQ(outs[i].result.bits, base[i].result.bits) << "packet " << i;
+    EXPECT_EQ(outs[i].result.cycles, base[i].result.cycles)
+        << "supervised slicing + scraping must stay cycle-exact, packet " << i;
+  }
+
+  // Post-run exposition carries the acceptance series: farm counters, queue
+  // depth, latency quantiles, and the sim-counter family.
+  const std::string text = obs::httpGet("127.0.0.1", server.port(), "/metrics");
+  EXPECT_NE(text.find("adres_farm_packets_done_total 6\n"), std::string::npos);
+  EXPECT_NE(text.find("adres_farm_packets_submitted_total 6\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("adres_farm_queue_depth 0\n"), std::string::npos);
+  EXPECT_NE(text.find("adres_farm_latency_host_us{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("adres_farm_packet_cycles{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("adres_farm_worker_packets_total{worker=\"2\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("adres_sim_counter{name=\"core.cycles\"}"),
+            std::string::npos)
+      << "published session counters reach the live endpoint";
+
+  // The merged live histogram equals the post-run merge.
+  EXPECT_EQ(farm.latencySnapshot().count, static_cast<u64>(kPackets));
+  EXPECT_EQ(farm.stats().packetCycles.count, static_cast<u64>(kPackets));
+
+  server.stop();
+  reg.clear();  // teardown barrier before the farm dies
 }
 
 }  // namespace

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate for the simulator's host speed.
+
+Compares a fresh bench_simspeed run against the committed baseline
+(BENCH_simspeed.json at the repo root) and fails when any case regressed by
+more than the threshold.  Accepts both dump shapes:
+
+  adres.bench_simspeed.v1     one run (kernels[] + modem + farm)
+  adres.bench_simspeed.ab.v1  a baseline/after pair — the "after" section
+                              (the current optimized state) is the baseline
+
+Because the baseline was recorded on a different machine than the CI
+runner, raw Mcycles/s are not comparable directly.  The gate therefore
+normalizes by the median speed ratio across every case ("this runner is
+0.7x the baseline machine") and flags cases whose ratio falls more than
+--threshold below that median — a uniform slowdown passes, a lopsided one
+(one kernel or the modem/farm path got slower relative to the rest) fails.
+With --absolute the raw per-case ratios are gated instead (same-machine
+A/B runs).
+
+Usage:
+  tools/check_perf_regression.py --baseline BENCH_simspeed.json \
+      --current build-rel/BENCH_simspeed_ci.json [--threshold 0.25]
+
+Exit code 0 = no regression, 1 = regression, 2 = bad input.
+"""
+import argparse
+import json
+import sys
+
+
+def load_run(path):
+    """Returns the v1 run dict from either dump shape."""
+    with open(path) as f:
+        doc = json.load(f)
+    schema = doc.get("schema", "")
+    if schema == "adres.bench_simspeed.ab.v1":
+        doc = doc.get("after", {})
+        schema = doc.get("schema", "")
+    if schema != "adres.bench_simspeed.v1":
+        raise ValueError(f"{path}: unsupported schema {schema!r}")
+    return doc
+
+
+def cases(run):
+    """Flattens a run into {case name: speed} (higher is better)."""
+    out = {}
+    for k in run.get("kernels", []):
+        out[f"kernel/{k['name']}"] = float(k["mcyclesPerSec"])
+    if "modem" in run:
+        out["modem"] = float(run["modem"]["mcyclesPerSec"])
+    if "farm" in run:
+        out["farm"] = float(run["farm"]["packetsPerSec"])
+    return out
+
+
+def median(values):
+    s = sorted(values)
+    n = len(s)
+    return s[n // 2] if n % 2 else 0.5 * (s[n // 2 - 1] + s[n // 2])
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True,
+                    help="committed BENCH_simspeed.json (v1 or ab.v1)")
+    ap.add_argument("--current", required=True,
+                    help="fresh bench_simspeed dump (v1)")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="max tolerated fractional regression (default 0.25)")
+    ap.add_argument("--absolute", action="store_true",
+                    help="gate raw ratios instead of median-normalized ones")
+    args = ap.parse_args()
+
+    try:
+        base = cases(load_run(args.baseline))
+        cur = cases(load_run(args.current))
+    except (OSError, ValueError, KeyError) as e:
+        print(f"perf gate: bad input: {e}", file=sys.stderr)
+        return 2
+
+    shared = sorted(set(base) & set(cur))
+    if not shared:
+        print("perf gate: no comparable cases between the two dumps",
+              file=sys.stderr)
+        return 2
+    missing = sorted(set(base) - set(cur))
+    if missing:
+        print(f"perf gate: WARNING: cases missing from current run: "
+              f"{', '.join(missing)}")
+
+    ratios = {name: cur[name] / base[name] for name in shared
+              if base[name] > 0}
+    med = 1.0 if args.absolute else median(list(ratios.values()))
+    mode = "absolute" if args.absolute else f"median-normalized (x{med:.3f})"
+    print(f"perf gate: {len(ratios)} cases, threshold "
+          f"{args.threshold:.0%}, mode {mode}")
+
+    failed = []
+    for name in shared:
+        if base[name] <= 0:
+            continue
+        rel = ratios[name] / med
+        status = "OK"
+        if rel < 1.0 - args.threshold:
+            status = "REGRESSED"
+            failed.append(name)
+        print(f"  {name:<22} base {base[name]:10.2f}  cur {cur[name]:10.2f}"
+              f"  ratio {ratios[name]:6.3f}  vs-median {rel:6.3f}  {status}")
+
+    if failed:
+        print(f"perf gate: FAIL — {len(failed)} case(s) regressed more than "
+              f"{args.threshold:.0%}: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print("perf gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
