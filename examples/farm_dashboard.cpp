@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_args.hpp"
 #include "dsp/channel.hpp"
 #include "obs/metrics_server.hpp"
 #include "platform/packet_farm.hpp"
@@ -148,22 +149,18 @@ int main(int argc, char** argv) {
   int frames = 0;  // 0 = until the endpoint goes away
   bool demo = false;
   bool noAnsi = false;
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    if (a == "--host" && i + 1 < argc) host = argv[++i];
-    else if (a == "--port" && i + 1 < argc) port = std::atoi(argv[++i]);
-    else if (a == "--interval-ms" && i + 1 < argc) intervalMs = std::atoi(argv[++i]);
-    else if (a == "--frames" && i + 1 < argc) frames = std::atoi(argv[++i]);
-    else if (a == "--demo") demo = true;
-    else if (a == "--no-ansi") noAnsi = true;
-    else {
-      printf("usage: farm_dashboard [--host H] [--port P] [--interval-ms N]\n"
-             "                      [--frames N] [--demo] [--no-ansi]\n"
-             "--demo runs its own farm + metrics server and watches it;\n"
-             "--frames N exits after N redraws (0 = run until scrape fails).\n");
-      return a == "--help" || a == "-h" ? 0 : 1;
-    }
-  }
+  bench::Args args("farm_dashboard",
+                   "terminal dashboard for a live packet farm");
+  args.flag("host", "H", "metrics host to scrape", &host);
+  args.flag("port", "P", "metrics port to scrape", &port);
+  args.flag("interval-ms", "N", "redraw interval", &intervalMs);
+  args.flag("frames", "N", "exit after N redraws (0 = until scrape fails)",
+            &frames);
+  args.flag("demo", "run a self-hosted farm + metrics server and watch it",
+            &demo);
+  args.flag("no-ansi", "plain append-only output (no cursor control)",
+            &noAnsi);
+  if (!args.parse(argc, argv)) return args.parseError() ? 1 : 0;
 
   // Demo mode: a self-hosted farm decodes a packet stream while the
   // dashboard scrapes it over real HTTP.

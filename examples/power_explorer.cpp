@@ -2,9 +2,10 @@
 // with the architecture knobs (array size, memory sizes, register-file
 // porting) — the trade-offs §2/§3 of the paper argue about.
 //
-//   $ ./examples/power_explorer
+//   $ ./examples/power_explorer [--trips N]
 #include <cstdio>
 
+#include "bench/bench_args.hpp"
 #include "power/area_model.hpp"
 #include "power/energy_model.hpp"
 #include "sched/progbuilder.hpp"
@@ -12,7 +13,14 @@
 using namespace adres;
 using namespace adres::power;
 
-int main() {
+int main(int argc, char** argv) {
+  int trips = 2000;
+  bench::Args args("power_explorer",
+                   "area / power design-space walk (Fig 5, Table 3)");
+  args.flag("trips", "N", "kernel loop trip count for the power sweep",
+            &trips);
+  if (!args.parse(argc, argv)) return args.parseError() ? 1 : 0;
+
   printf("=== Area design space (baseline: the paper's 5.79 mm^2) ===\n");
   printf("%-34s %10s %12s\n", "configuration", "total mm2", "CGA FU share");
   struct Case {
@@ -60,7 +68,7 @@ int main() {
     }
     ProgramBuilder pb("p");
     const int kid = pb.addKernel(k);
-    pb.li(1, 2000);
+    pb.li(1, trips);
     pb.cga(kid, 1);
     pb.halt();
     Processor proc;

@@ -1,0 +1,99 @@
+#include "campaign/spec.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/hash.hpp"
+
+namespace adres::campaign {
+
+u64 CellSpec::key() const {
+  u64 h = 0x61647265735F6365ull;  // "adres_ce"
+  h = hashCombine(h, dsp::stableHash(modem));
+  h = hashCombine(h, dsp::stableHash(channel));
+  return h;
+}
+
+u64 CellSpec::trialSeed(u64 trial, u64 stream) const {
+  u64 h = hashCombine(mix64(campaignSeed ^ 0x63616D706169676Eull), key());
+  h = hashCombine(h, trial);
+  return hashCombine(h, stream);
+}
+
+u64 stableHash(const SweepSpec& spec) {
+  u64 h = 0x61647265735F7377ull;  // "adres_sw"
+  h = hashCombine(h, spec.seed);
+  h = hashCombine(h, spec.mods.size());
+  for (dsp::Modulation m : spec.mods) h = hashCombine(h, static_cast<u64>(m));
+  h = hashCombine(h, spec.numSymbols.size());
+  for (int n : spec.numSymbols) h = hashCombine(h, static_cast<u64>(n));
+  h = hashCombine(h, spec.taps.size());
+  for (int t : spec.taps) h = hashCombine(h, static_cast<u64>(t));
+  h = hashCombine(h, spec.cfoPpm.size());
+  for (double c : spec.cfoPpm) h = hashCombine(h, doubleBits(c));
+  h = hashCombine(h, spec.snrDb.size());
+  for (double s : spec.snrDb) h = hashCombine(h, doubleBits(s));
+  h = hashCombine(h, doubleBits(spec.delaySpread));
+  h = hashCombine(h, spec.flat ? 1 : 0);
+  h = hashCombine(h, spec.batchSize);
+  h = hashCombine(h, spec.stop.minTrials);
+  h = hashCombine(h, spec.stop.maxTrials);
+  h = hashCombine(h, spec.stop.errorBudget);
+  h = hashCombine(h, doubleBits(spec.stop.ciHalfWidth));
+  h = hashCombine(h, doubleBits(spec.stop.confidence));
+  return h;
+}
+
+std::vector<CellSpec> expand(const SweepSpec& spec) {
+  ADRES_CHECK(!spec.mods.empty() && !spec.numSymbols.empty() &&
+                  !spec.taps.empty() && !spec.cfoPpm.empty() &&
+                  !spec.snrDb.empty(),
+              "empty sweep axis");
+  ADRES_CHECK(spec.batchSize >= 1, "batchSize must be >= 1");
+  ADRES_CHECK(spec.stop.minTrials >= 1 &&
+                  spec.stop.maxTrials >= spec.stop.minTrials,
+              "stopping rule trial bounds");
+  std::vector<CellSpec> cells;
+  std::set<u64> seen;
+  for (dsp::Modulation m : spec.mods) {
+    for (int n : spec.numSymbols) {
+      for (int t : spec.taps) {
+        for (double cfo : spec.cfoPpm) {
+          for (double snr : spec.snrDb) {
+            CellSpec c;
+            c.modem.mod = m;
+            c.modem.numSymbols = n;
+            c.channel.taps = t;
+            c.channel.delaySpread = spec.delaySpread;
+            c.channel.snrDb = snr;
+            c.channel.cfoPpm = cfo;
+            c.channel.seed = 0;
+            c.channel.flat = spec.flat;
+            c.campaignSeed = spec.seed;
+            ADRES_CHECK(seen.insert(c.key()).second,
+                        "sweep cells alias (duplicate grid point?)");
+            cells.push_back(c);
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+std::string cellLabel(const CellSpec& cell) {
+  std::ostringstream os;
+  switch (cell.modem.mod) {
+    case dsp::Modulation::kBpsk: os << "bpsk"; break;
+    case dsp::Modulation::kQpsk: os << "qpsk"; break;
+    case dsp::Modulation::kQam16: os << "qam16"; break;
+    case dsp::Modulation::kQam64: os << "qam64"; break;
+  }
+  os << " s" << cell.modem.numSymbols << " t" << cell.channel.taps << " cfo"
+     << cell.channel.cfoPpm << " snr" << cell.channel.snrDb;
+  if (cell.channel.flat) os << " flat";
+  return os.str();
+}
+
+}  // namespace adres::campaign

@@ -1,0 +1,88 @@
+// Declarative Monte-Carlo sweep specification (DESIGN.md §11).
+//
+// A SweepSpec is a grid over channel operating points (SNR, CFO, taps) and
+// modem configurations (modulation, symbols); expand() flattens it into
+// CellSpecs in a fixed, documented order.  Per-trial randomness is
+// counter-based: trial t of a cell derives its TX-payload seed and its
+// channel seed purely from (campaign seed, cell key, t), so any single
+// cell — or any single trial — is reproducible in isolation, and results
+// cannot depend on worker count or execution order.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dsp/channel.hpp"
+#include "dsp/modem.hpp"
+
+namespace adres::campaign {
+
+/// Sequential early-stopping policy for one cell, evaluated after every
+/// trial in trial order (so the stop point is a pure function of the spec).
+struct StoppingRule {
+  u64 minTrials = 16;    ///< never stop before this many trials
+  u64 maxTrials = 1024;  ///< hard trial ceiling per cell
+  /// Stop once this many packet errors have been observed (the error
+  /// budget: beyond it the PER estimate is already well resolved).
+  u64 errorBudget = 50;
+  /// Stop once the Wilson confidence interval on PER is narrower than
+  /// this absolute half-width.
+  double ciHalfWidth = 0.05;
+  double confidence = 0.95;  ///< CI coverage for the width test
+
+  bool operator==(const StoppingRule&) const = default;
+};
+
+/// The sweep grid.  Cells expand in row-major order over
+/// (mod, numSymbols, taps, cfoPpm, snrDb) — snrDb fastest.
+struct SweepSpec {
+  u64 seed = 1;  ///< campaign master seed (one number reproduces everything)
+  std::vector<dsp::Modulation> mods{dsp::Modulation::kQam64};
+  std::vector<int> numSymbols{4};
+  std::vector<int> taps{3};
+  std::vector<double> cfoPpm{10.0};
+  std::vector<double> snrDb{30.0};
+  double delaySpread = 0.45;
+  /// Identity-gain channel (no fading): isolates the AWGN+CFO waterfall.
+  /// Uncoded QAM over random multipath has a fade-induced PER floor, so
+  /// zero-error operating points are measured on the flat channel.
+  bool flat = false;
+  /// Trials submitted to the farm per submit/collect round.  Part of the
+  /// spec (and the spec hash) because the discarded-trial accounting after
+  /// an early stop depends on it.
+  u64 batchSize = 16;
+  StoppingRule stop;
+
+  bool operator==(const SweepSpec&) const = default;
+};
+
+/// One grid cell: a fully specified operating point.
+struct CellSpec {
+  dsp::ModemConfig modem;
+  /// Channel template for the cell; the `seed` field is zero — each trial
+  /// substitutes its own derived seed.
+  dsp::ChannelConfig channel;
+  u64 campaignSeed = 1;
+
+  /// Stable identity of the operating point (independent of the campaign
+  /// seed): checkpoint records are keyed by this.
+  u64 key() const;
+
+  /// Counter-based per-trial seed derivation; `stream` separates the
+  /// independent consumers within one trial (TX payload vs channel).
+  static constexpr u64 kTxStream = 0;
+  static constexpr u64 kChannelStream = 1;
+  u64 trialSeed(u64 trial, u64 stream) const;
+};
+
+/// Stable hash of the whole spec (grid + stopping rule + seed + batch);
+/// a checkpoint only resumes against the spec that wrote it.
+u64 stableHash(const SweepSpec& spec);
+
+/// Flattens the grid; ADRES_CHECKs that no two cells share a key.
+std::vector<CellSpec> expand(const SweepSpec& spec);
+
+/// Short human-readable cell label, e.g. "qam64 s4 t3 cfo10 snr22.5".
+std::string cellLabel(const CellSpec& cell);
+
+}  // namespace adres::campaign

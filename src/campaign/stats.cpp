@@ -1,0 +1,89 @@
+#include "campaign/stats.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace adres::campaign {
+
+double normalQuantile(double p) {
+  ADRES_CHECK(p > 0.0 && p < 1.0, "normalQuantile domain");
+  // Acklam's rational approximation with one Halley refinement step.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double pLow = 0.02425;
+  double x;
+  if (p < pLow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - pLow) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // Halley step against erfc for full double accuracy.
+  const double e = 0.5 * std::erfc(-x / std::sqrt(2.0)) - p;
+  const double u = e * std::sqrt(2.0 * 3.14159265358979323846) *
+                   std::exp(x * x / 2.0);
+  return x - u / (1.0 + x * u / 2.0);
+}
+
+Interval wilson(u64 errors, u64 trials, double confidence) {
+  if (trials == 0) return {0.0, 1.0};
+  const double z = normalQuantile(1.0 - (1.0 - confidence) / 2.0);
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(errors) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  Interval iv;
+  iv.lo = center - half;
+  iv.hi = center + half;
+  // Pin the boundary cases exactly: at 0 (or n) errors the algebraic bound
+  // is exactly 0 (or 1) but center - half leaves rounding residue, which
+  // would leak into the %.17g checkpoint encoding.
+  if (errors == 0) iv.lo = 0.0;
+  if (errors == trials) iv.hi = 1.0;
+  if (iv.lo < 0.0) iv.lo = 0.0;
+  if (iv.hi > 1.0) iv.hi = 1.0;
+  return iv;
+}
+
+double CellResult::per() const {
+  return trials ? static_cast<double>(packetErrors) / static_cast<double>(trials)
+                : 0.0;
+}
+
+double CellResult::ber() const {
+  return bits ? static_cast<double>(bitErrors) / static_cast<double>(bits)
+              : 0.0;
+}
+
+double CellResult::energyPerBitNj() const {
+  return bits ? energyNj / static_cast<double>(bits) : 0.0;
+}
+
+double CellResult::avgCyclesPerPacket() const {
+  return trials ? static_cast<double>(cycles) / static_cast<double>(trials)
+                : 0.0;
+}
+
+}  // namespace adres::campaign

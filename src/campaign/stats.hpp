@@ -1,0 +1,52 @@
+// Sequential statistics for campaign cells: Wilson score confidence
+// intervals on the packet error rate and the per-cell accumulator record.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace adres::campaign {
+
+/// Inverse standard-normal CDF (Acklam's rational approximation, relative
+/// error < 1.15e-9 — far below any Monte-Carlo resolution here).
+double normalQuantile(double p);
+
+struct Interval {
+  double lo = 0.0;
+  double hi = 1.0;
+  double halfWidth() const { return (hi - lo) / 2.0; }
+};
+
+/// Wilson score interval for a binomial proportion: well-behaved at
+/// 0 and n successes (unlike the Wald interval), which is exactly the
+/// regime a low-PER waterfall cell lives in.
+Interval wilson(u64 errors, u64 trials, double confidence);
+
+/// Integer-first accumulator for one cell.  Everything the stopping rule
+/// and the checkpoint need is either an integer or a sum of per-trial
+/// doubles folded in trial order — both bit-reproducible across runs,
+/// worker counts and resume boundaries.
+struct CellResult {
+  u64 trials = 0;
+  u64 bits = 0;
+  u64 bitErrors = 0;
+  u64 packetErrors = 0;  ///< packets with any bit error or lost
+  u64 lostPackets = 0;   ///< detection failures (subset of packetErrors)
+  u64 cycles = 0;        ///< summed simulated decode cycles
+  double energyNj = 0.0; ///< summed per-trial decode energy (activity model)
+  u64 discardedTrials = 0;  ///< decoded past the stop point and dropped
+  std::string stopReason;   ///< "ci" | "errorBudget" | "maxTrials"
+  bool done = false;
+
+  bool operator==(const CellResult&) const = default;
+
+  // Derived statistics — recomputed on demand (never accumulated), so a
+  // checkpoint round-trip cannot drift them.
+  double per() const;
+  double ber() const;
+  double energyPerBitNj() const;
+  double avgCyclesPerPacket() const;
+};
+
+}  // namespace adres::campaign

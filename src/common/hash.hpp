@@ -1,0 +1,38 @@
+// Stable 64-bit hashing for configuration keys.
+//
+// Campaign cells and checkpoint records are keyed by hashes of config
+// structs; these helpers are fixed-width, endian-independent arithmetic
+// (SplitMix64 finalizer based), so a hash written into a checkpoint on one
+// machine matches the hash recomputed on any other — unlike std::hash,
+// which is implementation-defined.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace adres {
+
+/// SplitMix64 finalizer: the avalanche mix used for seeding and hashing.
+constexpr u64 mix64(u64 x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Folds `v` into hash `h` (order-sensitive).
+constexpr u64 hashCombine(u64 h, u64 v) {
+  return mix64(h ^ (v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2)));
+}
+
+/// The IEEE-754 bit pattern of a double, with -0.0 canonicalized to +0.0 so
+/// equal values always hash equally.
+inline u64 doubleBits(double d) {
+  return std::bit_cast<u64>(d == 0.0 ? 0.0 : d);
+}
+
+}  // namespace adres

@@ -1,8 +1,9 @@
-// Minimal self-contained JSON parser for validating the repo's JSON
-// exporters in tests (Chrome trace, adres.counters.v1, adres.metrics.v1,
-// bench dumps) — no external parser dependency.  Shared by trace_test and
-// the obs exporter round-trip tests; not a general-purpose parser (\uXXXX
-// escapes are accepted but collapsed to '?').
+// Minimal self-contained JSON parser — no external dependency.  Used to
+// validate the repo's JSON exporters in tests (Chrome trace,
+// adres.counters.v1, adres.metrics.v1, bench dumps) and to load
+// adres.campaign.v1 checkpoints for resumable campaigns.  Not a
+// general-purpose parser (\uXXXX escapes are accepted but collapsed
+// to '?').
 #pragma once
 
 #include <cctype>
@@ -11,7 +12,7 @@
 #include <string>
 #include <vector>
 
-namespace adres::testsupport {
+namespace adres::json {
 
 struct JsonValue {
   enum Type { kNull, kBool, kNumber, kString, kArray, kObject };
@@ -179,4 +180,4 @@ class JsonParser {
   std::size_t pos_ = 0;
 };
 
-}  // namespace adres::testsupport
+}  // namespace adres::json

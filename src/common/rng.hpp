@@ -8,6 +8,7 @@
 #include <cmath>
 #include <cstdint>
 
+#include "common/hash.hpp"
 #include "common/types.hpp"
 
 namespace adres {
@@ -15,7 +16,7 @@ namespace adres {
 /// Deterministic 64-bit PRNG (xoshiro256**).
 class Rng {
  public:
-  explicit Rng(u64 seed = 0x9E3779B97F4A7C15ull) {
+  explicit Rng(u64 seed = 0x9E3779B97F4A7C15ull) : seed_(seed) {
     // SplitMix64 seeding.
     u64 z = seed;
     for (auto& s : state_) {
@@ -25,6 +26,15 @@ class Rng {
       x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
       s = x ^ (x >> 31);
     }
+  }
+
+  /// Derives an independent labelled stream (SplitMix-style mixing).  The
+  /// child is a pure function of the *construction seed* and `label` —
+  /// draws already taken from this generator do not shift it — so consumers
+  /// holding different labels stay reproducible independently of the order
+  /// (or count) of each other's draws.
+  Rng fork(u64 label) const {
+    return Rng(hashCombine(mix64(seed_ ^ 0x5851F42D4C957F2Dull), label));
   }
 
   u64 next() {
@@ -65,6 +75,7 @@ class Rng {
 
  private:
   static constexpr u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+  u64 seed_ = 0;  ///< construction seed, kept so fork() is draw-independent
   u64 state_[4] = {};
   double cached_ = 0.0;
   bool has_cached_ = false;

@@ -4,9 +4,18 @@
 #include <complex>
 
 #include "common/check.hpp"
+#include "common/hash.hpp"
 #include "dsp/ofdm.hpp"
 
 namespace adres::dsp {
+namespace {
+
+// Rng::fork labels of the channel's independent streams: one tap stream per
+// antenna pair, one noise stream per receive antenna.
+constexpr u64 kTapStream = 0x100;
+constexpr u64 kNoiseStream = 0x200;
+
+}  // namespace
 
 double cfoTurnsPerSample(const ChannelConfig& cfg) {
   // f_carrier = 2.4 GHz, f_sample = 20 MHz: offset per sample in turns.
@@ -14,8 +23,23 @@ double cfoTurnsPerSample(const ChannelConfig& cfg) {
   return offsetHz / 20e6;
 }
 
-MimoChannel::MimoChannel(const ChannelConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {
+u64 stableHash(const ChannelConfig& cfg) {
+  u64 h = 0x61647265735F6368ull;  // "adres_ch"
+  h = hashCombine(h, static_cast<u64>(cfg.taps));
+  h = hashCombine(h, doubleBits(cfg.delaySpread));
+  h = hashCombine(h, doubleBits(cfg.snrDb));
+  h = hashCombine(h, doubleBits(cfg.cfoPpm));
+  h = hashCombine(h, cfg.seed);
+  h = hashCombine(h, cfg.flat ? 1 : 0);
+  return h;
+}
+
+MimoChannel::MimoChannel(const ChannelConfig& cfg) : cfg_(cfg) {
   ADRES_CHECK(cfg.taps >= 1 && cfg.taps <= 16, "channel taps");
+  const Rng base(cfg.seed);
+  for (int rx = 0; rx < kNumRx; ++rx)
+    noiseRng_[static_cast<std::size_t>(rx)] =
+        base.fork(kNoiseStream + static_cast<u64>(rx));
   for (int rx = 0; rx < kNumRx; ++rx) {
     for (int tx = 0; tx < kNumTx; ++tx) {
       auto& t = taps_[static_cast<std::size_t>(rx)][static_cast<std::size_t>(tx)];
@@ -26,11 +50,12 @@ MimoChannel::MimoChannel(const ChannelConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {
                         : std::complex<double>{0.0, 0.0};
         continue;
       }
+      Rng tapRng = base.fork(kTapStream + static_cast<u64>(rx * kNumTx + tx));
       double power = 0.0;
       for (int k = 0; k < cfg.taps; ++k) {
         const double p = std::pow(cfg.delaySpread, k);
-        t[static_cast<std::size_t>(k)] = {rng_.gaussian() * std::sqrt(p / 2.0),
-                                          rng_.gaussian() * std::sqrt(p / 2.0)};
+        t[static_cast<std::size_t>(k)] = {tapRng.gaussian() * std::sqrt(p / 2.0),
+                                          tapRng.gaussian() * std::sqrt(p / 2.0)};
         power += p;
       }
       // Normalize each pair to unit average energy.
@@ -81,6 +106,7 @@ std::array<std::vector<cint16>, kNumRx> MimoChannel::run(
   std::array<std::vector<cint16>, kNumRx> out;
   for (int rx = 0; rx < kNumRx; ++rx) {
     auto& o = out[static_cast<std::size_t>(rx)];
+    Rng& noise = noiseRng_[static_cast<std::size_t>(rx)];
     o.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
       std::complex<double> acc{0.0, 0.0};
@@ -96,8 +122,8 @@ std::array<std::vector<cint16>, kNumRx> MimoChannel::run(
       // CFO rotation (common oscillator) and AWGN.
       const double ang = cfoStep * static_cast<double>(i);
       acc *= std::complex<double>{std::cos(ang), std::sin(ang)};
-      acc += std::complex<double>{rng_.gaussian() * noiseStd,
-                                  rng_.gaussian() * noiseStd};
+      acc += std::complex<double>{noise.gaussian() * noiseStd,
+                                  noise.gaussian() * noiseStd};
       o[i] = {sat16(static_cast<i32>(std::lround(acc.real() * 32768.0))),
               sat16(static_cast<i32>(std::lround(acc.imag() * 32768.0)))};
     }

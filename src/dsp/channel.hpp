@@ -23,7 +23,14 @@ struct ChannelConfig {
   double cfoPpm = 10.0;        ///< carrier offset in ppm of 2.4 GHz
   u64 seed = 1;
   bool flat = false;           ///< single-tap identity-gain channel (tests)
+
+  bool operator==(const ChannelConfig&) const = default;
 };
+
+/// Stable (cross-run, cross-platform) hash over every ChannelConfig field —
+/// campaign cells and checkpoint keys derive from it, so two distinct
+/// configurations must not silently alias.
+u64 stableHash(const ChannelConfig& cfg);
 
 /// Carrier offset in Q16 turns per 20 MHz sample.
 double cfoTurnsPerSample(const ChannelConfig& cfg);
@@ -45,7 +52,10 @@ class MimoChannel {
 
  private:
   ChannelConfig cfg_;
-  Rng rng_;
+  /// Per-receive-antenna noise streams, forked from the seed independently
+  /// of the tap streams: the noise realization for a given seed is the same
+  /// whatever the tap count or construction order.
+  std::array<Rng, kNumRx> noiseRng_;
   /// taps_[rx][tx][tap]
   std::array<std::array<std::vector<std::complex<double>>, kNumTx>, kNumRx> taps_;
 };

@@ -1,11 +1,19 @@
 #include "dsp/modem.hpp"
 
 #include "common/check.hpp"
+#include "common/hash.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/sync.hpp"
 #include "dsp/trig.hpp"
 
 namespace adres::dsp {
+
+u64 stableHash(const ModemConfig& cfg) {
+  u64 h = 0x61647265735F6D64ull;  // "adres_md"
+  h = hashCombine(h, static_cast<u64>(cfg.mod));
+  h = hashCombine(h, static_cast<u64>(cfg.numSymbols));
+  return h;
+}
 
 int bitsPerOfdmSymbol(const ModemConfig& cfg) {
   return kDataCarriers * bitsPerSymbol(cfg.mod) * kNumTx;

@@ -31,7 +31,13 @@ namespace adres::dsp {
 struct ModemConfig {
   Modulation mod = Modulation::kQam64;
   int numSymbols = 10;  ///< OFDM data symbols per packet
+
+  bool operator==(const ModemConfig&) const = default;
 };
+
+/// Stable (cross-run, cross-platform) hash over every ModemConfig field —
+/// companion to stableHash(ChannelConfig) for campaign cell keys.
+u64 stableHash(const ModemConfig& cfg);
 
 /// Raw (uncoded) bit rate for a configuration, in Mbps.
 double rawRateMbps(const ModemConfig& cfg);

@@ -57,6 +57,23 @@ u64 PacketFarm::submit(std::array<std::vector<cint16>, 2> rx) {
   return id;
 }
 
+std::vector<RxOutcome> PacketFarm::collect() {
+  ADRES_CHECK(!finished_, "collect after finish()");
+  // Only the submitting thread calls collect(), so submitted_ is stable here.
+  const u64 want = submitted_.load(std::memory_order_relaxed) - collected_;
+  std::unique_lock<std::mutex> lk(mu_);
+  outcomeCv_.wait(lk, [&] { return outcomes_.size() >= want; });
+  collected_ += outcomes_.size();
+  std::vector<RxOutcome> out = std::move(outcomes_);
+  outcomes_.clear();
+  lk.unlock();
+  if (cfg_.ordered) {
+    std::sort(out.begin(), out.end(),
+              [](const RxOutcome& a, const RxOutcome& b) { return a.id < b.id; });
+  }
+  return out;
+}
+
 std::vector<RxOutcome> PacketFarm::finish() {
   if (finished_) return {};
   finished_ = true;
@@ -241,8 +258,11 @@ void PacketFarm::workerMain(int idx) {
     watchdog_->noteDecodeEnd(idx, job->id, out.result.stop, out.result.cycles);
     health.endJob();
 
-    std::lock_guard<std::mutex> lk(mu_);
-    outcomes_.push_back(std::move(out));
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      outcomes_.push_back(std::move(out));
+    }
+    outcomeCv_.notify_all();
   }
   health.state.store(static_cast<u32>(obs::WorkerState::kDone),
                      std::memory_order_release);

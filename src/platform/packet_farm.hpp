@@ -24,6 +24,7 @@
 // instead of silent hangs.
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <iosfwd>
@@ -102,8 +103,15 @@ class PacketFarm {
   /// Convenience: submits with the next sequential id; returns that id.
   u64 submit(std::array<std::vector<cint16>, 2> rx);
 
+  /// Blocks until every submitted job has an outcome, then returns and
+  /// clears the outcome buffer (sorted by id in ordered mode).  The workers
+  /// stay alive, so a submit/collect cycle can repeat — campaign batches
+  /// reuse one farm instead of paying construction per batch.
+  std::vector<RxOutcome> collect();
+
   /// Closes the queue, drains and joins the workers, merges their stats,
-  /// and returns every outcome.  A second call returns an empty vector.
+  /// and returns every outcome not already collect()ed.  A second call
+  /// returns an empty vector.
   std::vector<RxOutcome> finish();
 
   /// Merged per-worker counters; populated by finish().
@@ -173,6 +181,8 @@ class PacketFarm {
   bool finished_ = false;
 
   std::mutex mu_;  ///< guards outcomes_ and workerStats_ while running
+  std::condition_variable outcomeCv_;  ///< signalled per recorded outcome
+  u64 collected_ = 0;  ///< outcomes already handed out by collect()
   std::vector<RxOutcome> outcomes_;
   std::vector<SessionStats> workerStats_;
   FarmStats stats_;

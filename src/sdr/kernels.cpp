@@ -486,4 +486,38 @@ KernelDfg DemodKernel::build() {
   return b.build();
 }
 
+KernelDfg DemodKernel::build16() {
+  KernelBuilder b("demod_qam16");
+  auto det = b.liveIn(kDet);
+  auto derot = b.liveIn(kDerot);
+  auto thr = b.liveIn(kThr);
+  auto three = b.liveIn(kThree);
+  auto tab = b.carried(kTab);
+  auto out = b.carried(kOut);
+
+  auto off = b.loadImm(Opcode::LD_UC2, tab, 0);
+  auto y = b.load(Opcode::LD_I, det, off);
+  auto yd = cmulPair(b, y, derot);
+  // Level index = #{thresholds <= v} for thresholds {-3300, 0, +3300}:
+  // each saturating difference keeps its sign, so the arithmetic >>15
+  // yields -1 below threshold / 0 at-or-above, and 3 plus the three
+  // indicators is exactly sliceLevel's clamped floor division.
+  auto sLo = b.op(Opcode::C4ADD, yd, thr);   // v + 3300
+  auto sHi = b.op(Opcode::C4SUB, yd, thr);   // v - 3300
+  auto iLo = b.opImm(Opcode::C4SHIFTR, sLo, 15);
+  auto iMid = b.opImm(Opcode::C4SHIFTR, yd, 15);
+  auto iHi = b.opImm(Opcode::C4SHIFTR, sHi, 15);
+  auto sum = b.op(Opcode::C4ADD, iLo, iMid);
+  sum = b.op(Opcode::C4ADD, sum, iHi);
+  auto idx = b.op(Opcode::C4ADD, sum, three);
+  // Gray code: g = idx ^ (idx >> 1) (lane shift, bitwise xor).
+  auto idxS = b.opImm(Opcode::C4SHIFTR, idx, 1);
+  auto gray = b.op(Opcode::XOR, idx, idxS);
+  b.storeImm(Opcode::ST_I, out, 0, gray);
+
+  b.defineCarried(tab, b.opImm(Opcode::ADD, tab, 2));
+  b.defineCarried(out, b.opImm(Opcode::ADD, out, 4));
+  return b.build();
+}
+
 }  // namespace adres::sdr

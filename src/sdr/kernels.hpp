@@ -207,22 +207,34 @@ struct CompKernel {
 };
 
 // ---------------------------------------------------------------------------
-// demod QAM64 (Table 2): CPE derotation + hard slicing + gray encoding of
-// one detected stream; one data tone per trip (gathered past the pilots).
+// demod (Table 2): CPE derotation + hard slicing + gray encoding of one
+// detected stream; one data tone per trip (gathered past the pilots).
 // Output per tone: 32-bit word [grayI (u16), grayQ (u16)].
 // trips = 48 per stream per OFDM symbol.
+//
+// Two variants share the register layout for live-in pointers:
+//  - build():   QAM-64 slicing via the shift/multiply level recipe.
+//  - build16(): QAM-16 slicing via a saturating comparison network — the
+//    QAM-16 unit (1650) admits no exact post-shift multiply recipe (the
+//    residual span exceeds Q15), so the level index is the count of
+//    thresholds {-2*unit, 0, +2*unit} at or below the sample.
 // ---------------------------------------------------------------------------
 struct DemodKernel {
   static constexpr int kDet = reg::kIn0;     ///< detected-stream base address
   static constexpr int kTab = reg::kIn1;     ///< seeds data-tone offset table
   static constexpr int kOut = reg::kIn2;     ///< seeds gray output pointer
   static constexpr int kDerot = reg::kConst0;     ///< [derot, derot]
+  // QAM-64 constants.
   static constexpr int kOffW = reg::kConst0 + 1;  ///< splat(8*unit = 6400)
   static constexpr int kC12 = reg::kConst0 + 2;   ///< splat(12)
   static constexpr int kMul = reg::kConst0 + 3;   ///< splat(1312)
   static constexpr int kZero = reg::kConst0 + 4;  ///< splat(0)
   static constexpr int kSeven = reg::kConst0 + 5; ///< splat(7)
+  // QAM-16 constants (slots overlap the QAM-64 set; one variant per program).
+  static constexpr int kThr = reg::kConst0 + 1;   ///< splat(2*unit = 3300)
+  static constexpr int kThree = reg::kConst0 + 2; ///< splat(3)
   static KernelDfg build();
+  static KernelDfg build16();
   static constexpr u32 kTrips = 48;
 };
 

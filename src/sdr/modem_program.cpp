@@ -89,6 +89,7 @@ struct Emitter {
   ProgramBuilder pb{"mimo_ofdm_rx"};
   ModemLayout L;
   int numSymbols;
+  dsp::Modulation mod = dsp::Modulation::kQam64;
 
   // Kernel ids.
   int kAcorr, kCfo, kFshift, kXcorr, kBitrev, kStage1, kInterleave, kChest,
@@ -110,6 +111,8 @@ struct Emitter {
     kCSplat1312,
     kCSplat0,
     kCSplat7,
+    kCSplat3300,
+    kCSplat3,
     kConstSlotCount
   };
 
@@ -207,6 +210,8 @@ void Emitter::emitTablesAndLayout() {
     consts[kCSplat1312] = dsp::lanes::splat(1312);
     consts[kCSplat0] = dsp::lanes::splat(0);
     consts[kCSplat7] = dsp::lanes::splat(7);
+    consts[kCSplat3300] = dsp::lanes::splat(3300);
+    consts[kCSplat3] = dsp::lanes::splat(3);
     constWords = pb.dataWords(wordsToU32(consts));
   }
   for (int s = 2; s <= 6; ++s) {
@@ -231,7 +236,9 @@ void Emitter::emitTablesAndLayout() {
   kEqNorm = pb.addKernel(scheduleKernel(EqCoeffKernel::buildNorm()));
   kEqApply = pb.addKernel(scheduleKernel(EqCoeffKernel::buildApply()));
   kComp = pb.addKernel(scheduleKernel(CompKernel::build()));
-  kDemod = pb.addKernel(scheduleKernel(DemodKernel::build()));
+  kDemod = pb.addKernel(scheduleKernel(mod == dsp::Modulation::kQam16
+                                           ? DemodKernel::build16()
+                                           : DemodKernel::build()));
 }
 
 void Emitter::emitPrologue() {
@@ -600,12 +607,18 @@ void Emitter::emitDataLoop() {
     emitBroadcast64(pb, DemodKernel::kDerot, 20);
     pb.markerEnd();
 
-    pb.marker("demod QAM64");
-    loadConst(DemodKernel::kOffW, kCSplat6400);
-    loadConst(DemodKernel::kC12, kCSplat12);
-    loadConst(DemodKernel::kMul, kCSplat1312);
-    loadConst(DemodKernel::kZero, kCSplat0);
-    loadConst(DemodKernel::kSeven, kCSplat7);
+    if (mod == dsp::Modulation::kQam16) {
+      pb.marker("demod QAM16");
+      loadConst(DemodKernel::kThr, kCSplat3300);
+      loadConst(DemodKernel::kThree, kCSplat3);
+    } else {
+      pb.marker("demod QAM64");
+      loadConst(DemodKernel::kOffW, kCSplat6400);
+      loadConst(DemodKernel::kC12, kCSplat12);
+      loadConst(DemodKernel::kMul, kCSplat1312);
+      loadConst(DemodKernel::kZero, kCSplat0);
+      loadConst(DemodKernel::kSeven, kCSplat7);
+    }
     for (int stream = 0; stream < 2; ++stream) {
       pb.li(DemodKernel::kDet,
             static_cast<i32>((stream == 0 ? L.det0 : L.det1) + 208 * static_cast<u32>(s)));
@@ -636,13 +649,15 @@ void Emitter::emitDataLoop() {
 }  // namespace
 
 ModemOnProcessor buildModemProgram(const dsp::ModemConfig& cfg) {
-  ADRES_CHECK(cfg.mod == dsp::Modulation::kQam64,
-              "the mapped demod kernel implements QAM-64 only");
+  ADRES_CHECK(cfg.mod == dsp::Modulation::kQam64 ||
+                  cfg.mod == dsp::Modulation::kQam16,
+              "the mapped demod kernel implements QAM-16 and QAM-64 only");
   const int numSymbols = cfg.numSymbols;
   ADRES_CHECK(numSymbols >= 2 && numSymbols % 2 == 0,
               "data symbols come in pairs");
   Emitter e;
   e.numSymbols = numSymbols;
+  e.mod = cfg.mod;
   e.emitTablesAndLayout();
   e.emitPrologue();
   e.emitDetection();
@@ -724,22 +739,27 @@ ProcessorRxResult runModemOnProcessor(
   out.detected = proc.l1().read32(m.layout.status) != 0;
   out.ltfStart = proc.l1().read32(m.layout.status + 4);
 
-  // Decode gray words into payload bits (sym-major, stream, tone, 6 bits).
-  out.bits.resize(static_cast<std::size_t>(m.numSymbols) * 576u);
+  // Decode gray words into payload bits (sym-major, stream, tone,
+  // bitsPerSymbol bits: I axis first, then Q — mirroring qamDemap).
+  const int ab = dsp::bitsPerSymbol(m.config.mod) / 2;
+  const u32 axisMask = (1u << ab) - 1u;
+  const int bitsPerSym = 48 * 2 * ab;  // per stream
+  out.bits.resize(static_cast<std::size_t>(m.numSymbols) *
+                  static_cast<std::size_t>(2 * bitsPerSym));
   for (int sym = 0; sym < m.numSymbols; ++sym) {
     for (int stream = 0; stream < 2; ++stream) {
       const u32 base = m.layout.gray +
                        192u * static_cast<u32>(sym * 2 + stream);
       for (int d = 0; d < 48; ++d) {
         const u32 w = proc.l1().read32(base + 4 * static_cast<u32>(d));
-        const u32 gI = w & 7u;
-        const u32 gQ = (w >> 16) & 7u;
+        const u32 gI = w & axisMask;
+        const u32 gQ = (w >> 16) & axisMask;
         const std::size_t bit0 = static_cast<std::size_t>(
-            sym * 576 + stream * 288 + d * 6);
-        for (int i = 0; i < 3; ++i) {
+            (sym * 2 + stream) * bitsPerSym + d * 2 * ab);
+        for (int i = 0; i < ab; ++i) {
           out.bits[bit0 + static_cast<std::size_t>(i)] =
               static_cast<u8>((gI >> i) & 1);
-          out.bits[bit0 + static_cast<std::size_t>(i + 3)] =
+          out.bits[bit0 + static_cast<std::size_t>(i + ab)] =
               static_cast<u8>((gQ >> i) & 1);
         }
       }

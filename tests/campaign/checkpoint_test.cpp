@@ -1,0 +1,107 @@
+// adres.campaign.v1 checkpoints: lossless round-trip (including doubles),
+// deterministic bytes, spec-hash guarding, and the file variants.
+#include "campaign/checkpoint.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace adres::campaign {
+namespace {
+
+SweepSpec twoCellSpec() {
+  SweepSpec s;
+  s.seed = 3;
+  s.mods = {dsp::Modulation::kQam64};
+  s.numSymbols = {2};
+  s.taps = {1};
+  s.cfoPpm = {10.0};
+  s.snrDb = {18.0, 30.0};
+  s.flat = true;
+  return s;
+}
+
+/// Accumulators with deliberately awkward doubles: %.17g + std::stod must
+/// round-trip them bit-exactly.
+CellResult fakeResult(u64 salt) {
+  CellResult r;
+  r.trials = 37 + salt;
+  r.bits = (37 + salt) * 384;
+  r.bitErrors = 5 * salt;
+  r.packetErrors = salt;
+  r.lostPackets = salt / 2;
+  r.cycles = (37 + salt) * 66977;
+  r.energyNj = static_cast<double>(salt + 1) / 3.0 * 1e4;
+  r.discardedTrials = salt;
+  r.stopReason = salt % 2 ? "ci" : "errorBudget";
+  r.done = true;
+  return r;
+}
+
+TEST(Checkpoint, RoundTripIsLossless) {
+  const SweepSpec spec = twoCellSpec();
+  const std::vector<CellSpec> cells = expand(spec);
+  std::vector<CellResult> results{fakeResult(1), fakeResult(2)};
+
+  std::stringstream ss;
+  writeCheckpoint(ss, spec, cells, results);
+  const std::map<u64, CellResult> loaded = loadCheckpoint(ss, spec);
+
+  ASSERT_EQ(loaded.size(), 2u);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto it = loaded.find(cells[i].key());
+    ASSERT_NE(it, loaded.end());
+    EXPECT_EQ(it->second, results[i]) << "cell " << i;
+  }
+}
+
+TEST(Checkpoint, BytesAreDeterministicAndSkipUnfinishedCells) {
+  const SweepSpec spec = twoCellSpec();
+  const std::vector<CellSpec> cells = expand(spec);
+  std::vector<CellResult> results{fakeResult(1), fakeResult(2)};
+  results[1].done = false;  // still running: must not be recorded
+
+  std::stringstream a, b;
+  writeCheckpoint(a, spec, cells, results);
+  writeCheckpoint(b, spec, cells, results);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_EQ(loadCheckpoint(a, spec).size(), 1u);
+}
+
+TEST(Checkpoint, RefusesADifferentSpec) {
+  const SweepSpec spec = twoCellSpec();
+  const std::vector<CellSpec> cells = expand(spec);
+  std::vector<CellResult> results{fakeResult(1), fakeResult(2)};
+  std::stringstream ss;
+  writeCheckpoint(ss, spec, cells, results);
+
+  SweepSpec other = spec;
+  other.stop.maxTrials += 1;
+  EXPECT_THROW(loadCheckpoint(ss, other), SimError)
+      << "a checkpoint never silently resumes a different sweep";
+}
+
+TEST(Checkpoint, FileVariantRoundTripsAndToleratesMissingFiles) {
+  const SweepSpec spec = twoCellSpec();
+  const std::vector<CellSpec> cells = expand(spec);
+  std::vector<CellResult> results{fakeResult(1), fakeResult(2)};
+
+  const std::string path =
+      testing::TempDir() + "adres_checkpoint_test_camp.json";
+  std::remove(path.c_str());
+  EXPECT_TRUE(loadCheckpointFile(path, spec).empty()) << "missing = fresh";
+
+  writeCheckpointFile(path, spec, cells, results);
+  const std::map<u64, CellResult> loaded = loadCheckpointFile(path, spec);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.at(cells[0].key()), results[0]);
+  EXPECT_EQ(loaded.at(cells[1].key()), results[1]);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace adres::campaign

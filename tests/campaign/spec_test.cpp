@@ -1,0 +1,119 @@
+// SweepSpec expansion and the counter-based seed derivation: cell order,
+// key uniqueness, spec-hash sensitivity — the identities the checkpoint
+// format and the worker-count-invariance guarantee are built on.
+#include "campaign/spec.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace adres::campaign {
+namespace {
+
+SweepSpec smallSpec() {
+  SweepSpec s;
+  s.seed = 7;
+  s.mods = {dsp::Modulation::kQam16, dsp::Modulation::kQam64};
+  s.numSymbols = {2};
+  s.taps = {1, 3};
+  s.cfoPpm = {10.0};
+  s.snrDb = {10.0, 20.0};
+  return s;
+}
+
+TEST(SweepSpec, ExpandIsRowMajorWithSnrFastest) {
+  const SweepSpec s = smallSpec();
+  const std::vector<CellSpec> cells = expand(s);
+  ASSERT_EQ(cells.size(), 8u);  // 2 mods * 1 sym * 2 taps * 1 cfo * 2 snr
+  // snr varies fastest, then taps, then mod.
+  EXPECT_EQ(cells[0].modem.mod, dsp::Modulation::kQam16);
+  EXPECT_EQ(cells[0].channel.taps, 1);
+  EXPECT_EQ(cells[0].channel.snrDb, 10.0);
+  EXPECT_EQ(cells[1].channel.snrDb, 20.0);
+  EXPECT_EQ(cells[2].channel.taps, 3);
+  EXPECT_EQ(cells[2].channel.snrDb, 10.0);
+  EXPECT_EQ(cells[4].modem.mod, dsp::Modulation::kQam64);
+  for (const CellSpec& c : cells) {
+    EXPECT_EQ(c.modem.numSymbols, 2);
+    EXPECT_EQ(c.channel.cfoPpm, 10.0);
+    EXPECT_EQ(c.channel.seed, 0u) << "trials substitute their own seeds";
+    EXPECT_EQ(c.campaignSeed, s.seed);
+  }
+}
+
+TEST(SweepSpec, CellKeysAreDistinctAndSeedIndependent) {
+  const std::vector<CellSpec> cells = expand(smallSpec());
+  std::set<u64> keys;
+  for (const CellSpec& c : cells) keys.insert(c.key());
+  EXPECT_EQ(keys.size(), cells.size());
+
+  // The key identifies the operating point, not the campaign: the same
+  // grid under a different master seed maps onto the same checkpoint keys.
+  SweepSpec reseeded = smallSpec();
+  reseeded.seed = 1234;
+  const std::vector<CellSpec> cells2 = expand(reseeded);
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    EXPECT_EQ(cells[i].key(), cells2[i].key());
+}
+
+TEST(SweepSpec, ExpandRejectsAliasedCells) {
+  SweepSpec s = smallSpec();
+  s.snrDb = {10.0, 10.0};  // duplicate operating point
+  EXPECT_THROW(expand(s), SimError);
+}
+
+TEST(SweepSpec, TrialSeedIsPureAndSeparatesStreams) {
+  const std::vector<CellSpec> cells = expand(smallSpec());
+  const CellSpec& c = cells[0];
+  // Pure function: no hidden state, so any worker computes the same seed.
+  EXPECT_EQ(c.trialSeed(5, CellSpec::kTxStream),
+            c.trialSeed(5, CellSpec::kTxStream));
+  // Trials, streams, cells and campaign seeds all separate.
+  EXPECT_NE(c.trialSeed(5, CellSpec::kTxStream),
+            c.trialSeed(6, CellSpec::kTxStream));
+  EXPECT_NE(c.trialSeed(5, CellSpec::kTxStream),
+            c.trialSeed(5, CellSpec::kChannelStream));
+  EXPECT_NE(c.trialSeed(5, CellSpec::kTxStream),
+            cells[1].trialSeed(5, CellSpec::kTxStream));
+  CellSpec reseeded = c;
+  reseeded.campaignSeed = 1234;
+  EXPECT_NE(c.trialSeed(5, CellSpec::kTxStream),
+            reseeded.trialSeed(5, CellSpec::kTxStream));
+}
+
+TEST(SweepSpec, StableHashCoversEveryAxisAndTheStoppingRule) {
+  const SweepSpec base = smallSpec();
+  const u64 h0 = stableHash(base);
+  EXPECT_EQ(stableHash(smallSpec()), h0) << "hash is a pure function";
+
+  SweepSpec s = smallSpec();
+  s.seed = 8;
+  EXPECT_NE(stableHash(s), h0);
+  s = smallSpec();
+  s.snrDb.push_back(30.0);
+  EXPECT_NE(stableHash(s), h0);
+  s = smallSpec();
+  s.flat = true;
+  EXPECT_NE(stableHash(s), h0);
+  s = smallSpec();
+  s.batchSize = 8;
+  EXPECT_NE(stableHash(s), h0) << "batch size shapes discard accounting";
+  s = smallSpec();
+  s.stop.maxTrials = 99;
+  EXPECT_NE(stableHash(s), h0);
+  s = smallSpec();
+  s.stop.ciHalfWidth = 0.01;
+  EXPECT_NE(stableHash(s), h0);
+}
+
+TEST(SweepSpec, CellLabelNamesTheOperatingPoint) {
+  const std::vector<CellSpec> cells = expand(smallSpec());
+  const std::string l = cellLabel(cells.back());
+  EXPECT_NE(l.find("qam64"), std::string::npos) << l;
+  EXPECT_NE(l.find("snr20"), std::string::npos) << l;
+}
+
+}  // namespace
+}  // namespace adres::campaign

@@ -1,0 +1,79 @@
+// Wilson intervals, the inverse-normal quantile behind them, and the
+// CellResult derived statistics.
+#include "campaign/stats.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace adres::campaign {
+namespace {
+
+TEST(NormalQuantile, KnownValuesAndSymmetry) {
+  EXPECT_NEAR(normalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normalQuantile(0.975), 1.959963985, 1e-6);
+  EXPECT_NEAR(normalQuantile(0.995), 2.575829304, 1e-6);
+  EXPECT_NEAR(normalQuantile(0.841344746), 1.0, 1e-6);
+  for (double p : {0.01, 0.1, 0.25, 0.4}) {
+    EXPECT_NEAR(normalQuantile(p), -normalQuantile(1.0 - p), 1e-9) << p;
+  }
+}
+
+TEST(Wilson, KnownInterval) {
+  // 5 errors in 50 trials at 95%: the textbook Wilson interval.
+  const Interval ci = wilson(5, 50, 0.95);
+  EXPECT_NEAR(ci.lo, 0.0435, 0.001);
+  EXPECT_NEAR(ci.hi, 0.2136, 0.001);
+}
+
+TEST(Wilson, BoundaryBehaviour) {
+  // Zero errors: lo pinned at 0, hi strictly positive (unlike Wald).
+  const Interval zero = wilson(0, 30, 0.95);
+  EXPECT_DOUBLE_EQ(zero.lo, 0.0);
+  EXPECT_GT(zero.hi, 0.0);
+  EXPECT_LT(zero.hi, 0.2);
+  // All errors: mirror image.
+  const Interval all = wilson(30, 30, 0.95);
+  EXPECT_DOUBLE_EQ(all.hi, 1.0);
+  EXPECT_LT(all.lo, 1.0);
+  EXPECT_GT(all.lo, 0.8);
+  // No data: the vacuous interval.
+  const Interval none = wilson(0, 0, 0.95);
+  EXPECT_DOUBLE_EQ(none.lo, 0.0);
+  EXPECT_DOUBLE_EQ(none.hi, 1.0);
+}
+
+TEST(Wilson, ShrinksWithSampleSizeAndContainsPointEstimate) {
+  double prev = 1.0;
+  for (u64 n : {10u, 100u, 1000u, 10000u}) {
+    const Interval ci = wilson(n / 10, n, 0.95);
+    const double phat = static_cast<double>(n / 10) / static_cast<double>(n);
+    EXPECT_LE(ci.lo, phat);
+    EXPECT_GE(ci.hi, phat);
+    EXPECT_LT(ci.halfWidth(), prev);
+    prev = ci.halfWidth();
+  }
+}
+
+TEST(CellResult, DerivedStatistics) {
+  CellResult r;
+  r.trials = 8;
+  r.bits = 8 * 384;
+  r.bitErrors = 96;
+  r.packetErrors = 2;
+  r.cycles = 8 * 67000;
+  r.energyNj = 8 * 3200.0;
+  EXPECT_DOUBLE_EQ(r.per(), 0.25);
+  EXPECT_DOUBLE_EQ(r.ber(), 96.0 / (8 * 384));
+  EXPECT_DOUBLE_EQ(r.energyPerBitNj(), 8 * 3200.0 / (8 * 384));
+  EXPECT_DOUBLE_EQ(r.avgCyclesPerPacket(), 67000.0);
+
+  const CellResult empty;
+  EXPECT_DOUBLE_EQ(empty.per(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.ber(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.energyPerBitNj(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.avgCyclesPerPacket(), 0.0);
+}
+
+}  // namespace
+}  // namespace adres::campaign

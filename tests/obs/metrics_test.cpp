@@ -9,13 +9,13 @@
 
 #include "obs/metrics.hpp"
 #include "obs/metrics_server.hpp"
-#include "support/json_min.hpp"
+#include "common/json_min.hpp"
 
 namespace adres::obs {
 namespace {
 
-using testsupport::JsonParser;
-using testsupport::JsonValue;
+using json::JsonParser;
+using json::JsonValue;
 
 TEST(MetricsRegistry, SnapshotOrdersByNameAndTypesSamples) {
   MetricsRegistry reg;

@@ -118,6 +118,41 @@ TEST(PacketFarm, OrderedNWorkerRunIsBitExactWithSequentialBaseline) {
   EXPECT_NE(os.str().find("\"workers\": 4"), std::string::npos);
 }
 
+TEST(PacketFarm, CollectSupportsRepeatedBatchesOnOneFarm) {
+  const dsp::ModemConfig cfg = smallConfig();
+  const auto [rx, bits] = makePacket(cfg, 0);
+
+  FarmConfig fc;
+  fc.modem = cfg;
+  fc.numWorkers = 2;
+  fc.queueCapacity = 2;
+  fc.ordered = true;
+  PacketFarm farm(fc);
+
+  // Two submit/collect rounds on the same workers (the campaign batch
+  // pattern), then a final finish() that must return nothing new.
+  for (int round = 0; round < 2; ++round) {
+    const int kBatch = 3;
+    for (int i = 0; i < kBatch; ++i) {
+      RxJob job;
+      job.id = static_cast<u64>(round * 100 + i);
+      job.rx = rx;
+      farm.submit(std::move(job));
+    }
+    const std::vector<RxOutcome> outs = farm.collect();
+    ASSERT_EQ(outs.size(), static_cast<std::size_t>(kBatch)) << "round " << round;
+    for (int i = 0; i < kBatch; ++i) {
+      EXPECT_EQ(outs[static_cast<std::size_t>(i)].id,
+                static_cast<u64>(round * 100 + i))
+          << "ordered collect sorts by id";
+      EXPECT_EQ(outs[static_cast<std::size_t>(i)].result.bits, bits);
+    }
+  }
+  EXPECT_TRUE(farm.collect().empty()) << "collect with nothing pending";
+  EXPECT_TRUE(farm.finish().empty()) << "everything was already collected";
+  EXPECT_EQ(farm.stats().packets, 6u);
+}
+
 TEST(PacketFarm, ShutdownDrainsQueueWithoutLosingJobs) {
   const dsp::ModemConfig cfg = smallConfig();
   const auto [rx, bits] = makePacket(cfg, 0);

@@ -292,5 +292,75 @@ TEST(DemodKernel, GrayWordsMatchGoldenBits) {
   }
 }
 
+// QAM-16 variant: the comparison-network recipe (three saturating
+// threshold tests summed into a level index) must equal the generic
+// sliceLevel for every 16-bit input (exhaustive).
+TEST(DemodSlicing, Qam16RecipeEqualsSliceLevelExhaustive) {
+  const i16 unit = dsp::qamUnit(dsp::Modulation::kQam16);
+  ASSERT_EQ(unit, 1650);
+  const i16 thr = static_cast<i16>(2 * unit);  // 3300: level boundaries
+  for (i32 v = -32768; v <= 32767; ++v) {
+    // Kernel recipe: arithmetic >>15 turns each comparison into -1/0.
+    const i16 a = static_cast<i16>(satAdd16(static_cast<i16>(v), thr) >> 15);
+    const i16 b = static_cast<i16>(static_cast<i16>(v) >> 15);
+    const i16 c = static_cast<i16>(satSub16(static_cast<i16>(v), thr) >> 15);
+    const i16 idx = static_cast<i16>(3 + a + b + c);
+    ASSERT_GE(idx, 0);
+    ASSERT_LE(idx, 3);
+    // Golden demap: recover the level index from the mapped bits.
+    std::vector<u8> bits(4);
+    dsp::qamDemap(dsp::Modulation::kQam16,
+                  {static_cast<i16>(v), static_cast<i16>(-3 * unit)}, bits, 0);
+    u32 bv = 0;
+    for (int i = 0; i < 2; ++i) bv |= static_cast<u32>(bits[static_cast<std::size_t>(i)]) << i;
+    const u32 gray = static_cast<u32>(idx) ^ (static_cast<u32>(idx) >> 1);
+    ASSERT_EQ(gray, bv) << "v=" << v;
+  }
+}
+
+TEST(DemodKernel, Qam16GrayWordsMatchGoldenBits) {
+  Rng rng(78);
+  std::vector<u8> bits(48 * 4);
+  for (auto& bb : bits) bb = rng.bit();
+  const auto syms = dsp::qamModulate(dsp::Modulation::kQam16, bits);
+  const cint16 derot = dsp::phasorQ15(65000);
+  const cint16 rerot = dsp::phasorQ15(536);  // approximately derot^-1
+
+  std::vector<cint16> det(52, cint16{});
+  const auto dpos = dataToneByteOffsets();
+  for (int d = 0; d < 48; ++d) {
+    cint16 s = syms[static_cast<std::size_t>(d)] * rerot;  // pre-rotate
+    s.re = satAdd16(s.re, static_cast<i16>(rng.below(60)) - 30);
+    s.im = satAdd16(s.im, static_cast<i16>(rng.below(60)) - 30);
+    det[dpos[static_cast<std::size_t>(d)] / 4] = s;
+  }
+
+  Fabric f;
+  f.l1.loadBytes(0x1000, samplesToBytes(det));
+  f.l1.loadBytes(0x5000, u16ToBytes(dataToneByteOffsets()));
+  const ScheduledKernel sk = scheduleKernel(DemodKernel::build16());
+  f.crf.poke(DemodKernel::kDet, 0x1000);
+  f.crf.poke(DemodKernel::kTab, 0x5000);
+  f.crf.poke(DemodKernel::kOut, 0x7000);
+  f.crf.poke(DemodKernel::kDerot, packC2(derot, derot));
+  f.crf.poke(DemodKernel::kThr, dsp::lanes::splat(3300));
+  f.crf.poke(DemodKernel::kThree, dsp::lanes::splat(3));
+  (void)f.array.run(sk.config, DemodKernel::kTrips);
+
+  for (int d = 0; d < 48; ++d) {
+    const cint16 y = det[dpos[static_cast<std::size_t>(d)] / 4] * derot;
+    std::vector<u8> gb(4);
+    dsp::qamDemap(dsp::Modulation::kQam16, y, gb, 0);
+    u32 gI = 0, gQ = 0;
+    for (int i = 0; i < 2; ++i) {
+      gI |= static_cast<u32>(gb[static_cast<std::size_t>(i)]) << i;
+      gQ |= static_cast<u32>(gb[static_cast<std::size_t>(i + 2)]) << i;
+    }
+    const u32 w = f.l1.read32(0x7000 + 4 * static_cast<u32>(d));
+    EXPECT_EQ(w & 0xFFFF, gI) << "tone " << d;
+    EXPECT_EQ(w >> 16, gQ) << "tone " << d;
+  }
+}
+
 }  // namespace
 }  // namespace adres::sdr

@@ -33,6 +33,30 @@ TEST(ModemOnProcessor, DecodesCleanPacket) {
       << "clean channel must decode error-free";
 }
 
+TEST(ModemOnProcessor, DecodesCleanQam16Packet) {
+  dsp::ModemConfig cfg;
+  cfg.mod = dsp::Modulation::kQam16;
+  cfg.numSymbols = 4;
+  Rng rng(6);
+  const dsp::TxPacket pkt = dsp::transmit(cfg, rng);
+
+  dsp::ChannelConfig cc;
+  cc.flat = true;
+  cc.snrDb = 40;
+  cc.cfoPpm = 6;
+  dsp::MimoChannel ch(cc);
+  const auto rx = ch.run(pkt.waveform);
+
+  const ModemOnProcessor m = buildModemProgram(cfg);
+  Processor proc;
+  const ProcessorRxResult res = runModemOnProcessor(proc, m, rx);
+
+  EXPECT_TRUE(res.detected);
+  ASSERT_EQ(res.bits.size(), pkt.bits.size());
+  EXPECT_EQ(dsp::bitErrors(res.bits, pkt.bits), 0)
+      << "clean channel must decode QAM-16 error-free";
+}
+
 TEST(ModemOnProcessor, DecodesMultipathPacket) {
   dsp::ModemConfig cfg;
   cfg.numSymbols = 4;
@@ -42,7 +66,7 @@ TEST(ModemOnProcessor, DecodesMultipathPacket) {
   cc.taps = 2;
   cc.snrDb = 38;
   cc.cfoPpm = 5;
-  cc.seed = 4;
+  cc.seed = 5;
   dsp::MimoChannel ch(cc);
   const auto rx = ch.run(pkt.waveform);
 

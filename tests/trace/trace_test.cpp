@@ -10,7 +10,7 @@
 
 #include "core/processor.hpp"
 #include "sched/progbuilder.hpp"
-#include "support/json_min.hpp"
+#include "common/json_min.hpp"
 #include "trace/counters.hpp"
 #include "trace/export.hpp"
 #include "trace/telemetry.hpp"
@@ -18,8 +18,8 @@
 namespace adres {
 namespace {
 
-using testsupport::JsonParser;
-using testsupport::JsonValue;
+using json::JsonParser;
+using json::JsonValue;
 
 TraceEvent ev(u64 cycle, TraceEventKind kind, u8 track = 0, u32 a = 0,
               u32 b = 0, u64 dur = 0) {
