@@ -35,6 +35,8 @@ struct Row {
   int workers = 0;
   double wallMs = 0, pps = 0, mbps = 0, speedup = 0, efficiency = 0;
   double p50Us = 0, p99Us = 0, avgPowerMw = 0, ber = 0;
+  double queueWaitP50Us = 0, queueWaitP99Us = 0;
+  double queueWaitShare = 0;  ///< queue wait / (queue wait + decode time)
   bool bitExact = true;  ///< per-packet results identical to the 1-worker run
 };
 
@@ -121,9 +123,11 @@ int main(int argc, char** argv) {
     fc.ordered = true;
     // Swap the scrape target: clear() is the teardown barrier for the
     // getters capturing the previous farm.
+    fc.spans = true;  // per-packet span trees (region log, fast path kept)
     metrics.clear();
     farm = std::make_unique<platform::PacketFarm>(fc);
     farm->registerMetrics(metrics);
+    if (server) server->registerSelfMetrics(metrics);
 
     const auto t0 = std::chrono::steady_clock::now();
     for (int i = 0; i < numPackets; ++i)
@@ -152,6 +156,12 @@ int main(int argc, char** argv) {
     const obs::HistogramSnapshot lat = farm->stats().latencyNs;
     r.p50Us = lat.quantile(0.5) / 1000.0;
     r.p99Us = lat.quantile(0.99) / 1000.0;
+    // Queue-wait vs decode-time split, from the per-packet span machinery.
+    const obs::HistogramSnapshot wait = farm->stats().queueWaitNs;
+    r.queueWaitP50Us = wait.quantile(0.5) / 1000.0;
+    r.queueWaitP99Us = wait.quantile(0.99) / 1000.0;
+    const double busyNs = static_cast<double>(wait.sum + lat.sum);
+    r.queueWaitShare = busyNs > 0 ? static_cast<double>(wait.sum) / busyNs : 0;
     if (w == 1) {
       for (const auto& o : outs) {
         baselineBits.push_back(o.result.bits);
@@ -170,9 +180,11 @@ int main(int argc, char** argv) {
     rows.push_back(r);
 
     printf("%2d worker%s: %8.1f ms  %7.2f pkt/s  %7.2f Mbps  speedup %5.2fx "
-           "(eff %3.0f%%)  p50 %.0f us  p99 %.0f us  BER %.1e  %s\n",
+           "(eff %3.0f%%)  p50 %.0f us  p99 %.0f us  qwait p50 %.0f / p99 %.0f "
+           "us (%.0f%%)  BER %.1e  %s\n",
            w, w == 1 ? " " : "s", r.wallMs, r.pps, r.mbps, r.speedup,
-           100.0 * r.efficiency, r.p50Us, r.p99Us, r.ber,
+           100.0 * r.efficiency, r.p50Us, r.p99Us, r.queueWaitP50Us,
+           r.queueWaitP99Us, 100.0 * r.queueWaitShare, r.ber,
            r.bitExact ? "bit-exact" : "MISMATCH vs 1-worker baseline");
     for (const obs::HealthEvent& ev : farm->healthEvents())
       printf("   health[%s]: %s\n", obs::healthEventKindName(ev.kind),
@@ -200,6 +212,9 @@ int main(int argc, char** argv) {
          << ", \"speedup\": " << r.speedup
          << ", \"efficiency\": " << r.efficiency
          << ", \"p50_us\": " << r.p50Us << ", \"p99_us\": " << r.p99Us
+         << ", \"queue_wait_p50_us\": " << r.queueWaitP50Us
+         << ", \"queue_wait_p99_us\": " << r.queueWaitP99Us
+         << ", \"queue_wait_share\": " << r.queueWaitShare
          << ", \"avg_power_mw\": " << r.avgPowerMw << ", \"ber\": " << r.ber
          << ", \"bit_exact\": " << (r.bitExact ? "true" : "false") << "}";
     }

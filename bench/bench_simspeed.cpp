@@ -4,9 +4,15 @@
 // committed BENCH_simspeed.json at the repo root tracks these numbers
 // across PRs (a baseline/after pair per optimization).
 //
-//   $ ./bench_simspeed [jsonPath] [minMsPerCase]
+//   $ ./bench_simspeed [jsonPath] [minMsPerCase] [--profile-json PATH] \
+//         [--profile-folded PATH] [--overhead-max-pct PCT]
 //
 // jsonPath defaults to BENCH_simspeed.json; pass "-" to skip the dump.
+// --profile-json / --profile-folded dump the cycle-attribution profiler
+// output (adres.profile.v1 JSON / flamegraph folded stacks) of the modem
+// phase; --overhead-max-pct makes the run fail (exit 1) when enabling
+// spans + profiler costs more than PCT percent host time vs tracing off
+// (the CI tracing-overhead smoke).
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -18,6 +24,7 @@
 #include "dsp/channel.hpp"
 #include "platform/packet_farm.hpp"
 #include "support/kernel_fixture.hpp"
+#include "trace/profile.hpp"
 
 using namespace adres;
 using namespace adres::testsupport;
@@ -40,10 +47,20 @@ struct Measure {
 int main(int argc, char** argv) {
   std::string jsonPath = "BENCH_simspeed.json";
   double minMs = 150.0;
+  std::string profileJsonPath;
+  std::string profileFoldedPath;
+  double overheadMaxPct = -1.0;
   bench::Args args("bench_simspeed", "host simulation-speed benchmark");
   args.positional("jsonPath", "BENCH_simspeed.json path ('-' = skip)",
                   &jsonPath);
   args.positional("minMsPerCase", "minimum timed ms per kernel case", &minMs);
+  args.flag("profile-json", "PATH", "write adres.profile.v1 of the modem phase",
+            &profileJsonPath);
+  args.flag("profile-folded", "PATH", "write flamegraph folded stacks",
+            &profileFoldedPath);
+  args.flag("overhead-max-pct", "PCT",
+            "fail if spans+profiler cost more than PCT% vs tracing off",
+            &overheadMaxPct);
   if (!args.parse(argc, argv)) return args.parseError() ? 1 : 0;
 
   // -- Per-kernel: standalone launches on a private fabric ------------------
@@ -106,6 +123,65 @@ int main(int argc, char** argv) {
   printf("modem (16 sym)      %8.2f Mcycles/s  (%llu runs, %.2f ms/run)\n",
          mm.mcyclesPerSec(), static_cast<unsigned long long>(mm.runs),
          mm.hostMs / static_cast<double>(mm.runs));
+
+  // -- Observability: span/profiler overhead + cycle attribution ------------
+  // Paired baseline/instrumented modem runs.  The instrumented side enables
+  // the per-launch profiler and the region-span log (the farm's span
+  // machinery) — both must keep the decode bit- and cycle-exact and cost
+  // only a few percent of host time.
+  trace::ProfileSummary profile;
+  double obsOffMs = 0, obsOnMs = 0, overheadPct = 0;
+  u64 obsRuns = 0;
+  {
+    Processor proc;
+    const sdr::RxRunOptions off;
+    sdr::RxRunOptions on;
+    on.profile = true;
+    std::vector<RegionSpan> regionLog;
+    on.regionLog = &regionLog;
+    const sdr::ProcessorRxResult refRun = sdr::runModemOnProcessor(proc, modem, rx, off);
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      // One retry at a doubled budget if the first measurement lands over
+      // the threshold (noise on a loaded host).
+      const double target = minMs * (attempt ? 2.0 : 1.0);
+      obsOffMs = obsOnMs = 0;
+      obsRuns = 0;
+      while (obsOffMs < target) {
+        auto t0 = std::chrono::steady_clock::now();
+        const sdr::ProcessorRxResult a = sdr::runModemOnProcessor(proc, modem, rx, off);
+        obsOffMs += msSince(t0);
+        regionLog.clear();
+        t0 = std::chrono::steady_clock::now();
+        const sdr::ProcessorRxResult b = sdr::runModemOnProcessor(proc, modem, rx, on);
+        obsOnMs += msSince(t0);
+        profile.addProcessor(proc);
+        ++obsRuns;
+        if (a.cycles != refRun.cycles || b.cycles != refRun.cycles ||
+            a.bits != refRun.bits || b.bits != refRun.bits) {
+          fprintf(stderr, "observability run diverged from the baseline\n");
+          return 1;
+        }
+      }
+      overheadPct = obsOffMs > 0 ? 100.0 * (obsOnMs - obsOffMs) / obsOffMs : 0;
+      if (overheadMaxPct < 0 || overheadPct <= overheadMaxPct) break;
+    }
+    printf("observability       %+7.2f%% host overhead (spans+profiler, "
+           "%llu paired runs)\n",
+           overheadPct, static_cast<unsigned long long>(obsRuns));
+    for (const trace::CycleSink& s : profile.topSinks(3))
+      printf("  cycle sink %-28s %10llu cycles  (%.1f%%)\n", s.name.c_str(),
+             static_cast<unsigned long long>(s.cycles), 100.0 * s.share);
+  }
+  if (!profileJsonPath.empty()) {
+    std::ofstream os(profileJsonPath);
+    profile.writeJson(os);
+    printf("wrote %s\n", profileJsonPath.c_str());
+  }
+  if (!profileFoldedPath.empty()) {
+    std::ofstream os(profileFoldedPath);
+    profile.writeFolded(os);
+    printf("wrote %s\n", profileFoldedPath.c_str());
+  }
 
   // -- Packet farm: decoded packets per host second -------------------------
   const int farmPackets = 32;
@@ -172,10 +248,23 @@ int main(int argc, char** argv) {
     os << buf;
     snprintf(buf, sizeof buf,
              "  \"farm\": {\"packets\": %d, \"numSymbols\": %d, "
-             "\"workers\": %d, \"wallMs\": %.1f, \"packetsPerSec\": %.1f}\n}\n",
+             "\"workers\": %d, \"wallMs\": %.1f, \"packetsPerSec\": %.1f},\n",
              farmPackets, fcfg.numSymbols, workers, farmMs, pps);
     os << buf;
+    snprintf(buf, sizeof buf,
+             "  \"observability\": {\"offMs\": %.1f, \"onMs\": %.1f, "
+             "\"overheadPct\": %.2f, \"pairedRuns\": %llu}\n}\n",
+             obsOffMs, obsOnMs, overheadPct,
+             static_cast<unsigned long long>(obsRuns));
+    os << buf;
     printf("wrote %s\n", jsonPath.c_str());
+  }
+  if (overheadMaxPct >= 0 && overheadPct > overheadMaxPct) {
+    fprintf(stderr,
+            "tracing overhead %.2f%% exceeds the --overhead-max-pct %.2f%% "
+            "budget\n",
+            overheadPct, overheadMaxPct);
+    return 1;
   }
   return 0;
 }

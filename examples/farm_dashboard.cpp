@@ -137,6 +137,34 @@ void drawFrame(const std::vector<Sample>& samples, int frame, bool ansi) {
   printf("packet cycles (sim):       p50 %.0f   p99 %.0f\n",
          value(samples, "adres_farm_packet_cycles", "quantile", "0.5"),
          value(samples, "adres_farm_packet_cycles", "quantile", "0.99"));
+  printf("queue wait (host us):      p50 %.0f   p99 %.0f\n",
+         value(samples, "adres_farm_queue_wait_us", "quantile", "0.5"),
+         value(samples, "adres_farm_queue_wait_us", "quantile", "0.99"));
+
+  // Slowest-packet breakdown: which packet hit the tail, where it waited,
+  // and (when span recording is on) which modem regions its decode spent
+  // simulated cycles in.
+  const double slowLat = value(samples, "adres_farm_slowest_packet_latency_us");
+  if (slowLat > 0) {
+    printf("\nslowest packet: job %.0f on worker %.0f   latency %.0f us   "
+           "queue wait %.0f us   %.0f sim cycles\n",
+           value(samples, "adres_farm_slowest_packet_id"),
+           value(samples, "adres_farm_slowest_packet_worker"), slowLat,
+           value(samples, "adres_farm_slowest_packet_queue_wait_us"),
+           value(samples, "adres_farm_slowest_packet_cycles"));
+    double totalRegion = 0;
+    for (const Sample& s : samples)
+      if (s.name == "adres_farm_slowest_packet_region_cycles")
+        totalRegion += s.value;
+    for (const Sample& s : samples) {
+      if (s.name != "adres_farm_slowest_packet_region_cycles") continue;
+      const auto it = s.labels.find("region");
+      const double frac = totalRegion > 0 ? s.value / totalRegion : 0;
+      printf("  %-24s %10.0f cycles  [%s] %3.0f%%\n",
+             it != s.labels.end() ? it->second.c_str() : "?", s.value,
+             bar(frac, 12).c_str(), 100 * frac);
+    }
+  }
   fflush(stdout);
 }
 
@@ -177,10 +205,12 @@ int main(int argc, char** argv) {
     fc.modem = cfg;
     fc.numWorkers = std::max(
         1, std::min(4, static_cast<int>(std::thread::hardware_concurrency())));
+    fc.spans = true;  // feeds the slowest-packet region breakdown panel
     reg = std::make_unique<obs::MetricsRegistry>();
     farm = std::make_unique<platform::PacketFarm>(fc);
     farm->registerMetrics(*reg);
     server = std::make_unique<obs::MetricsServer>(*reg, 0);
+    server->registerSelfMetrics(*reg);
     port = server->port();
     host = "127.0.0.1";
     if (frames == 0) frames = 6;

@@ -109,6 +109,9 @@ void CampaignRunner::runCell(const CellSpec& cell, CellResult& result) {
       dsp::MimoChannel ch(cc);
       platform::RxJob job;
       job.id = trial;
+      // Cell-tagged so per-packet trace ids and spans name their campaign
+      // cell even when several cells share one metrics endpoint.
+      job.tag = static_cast<u32>(currentCell_.load(std::memory_order_relaxed));
       job.rx = ch.run(pkt.waveform);
       txBits[b] = std::move(pkt.bits);
       farm.submit(std::move(job));

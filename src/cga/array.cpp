@@ -173,9 +173,11 @@ CgaRunResult CgaArray::run(const KernelPlan& plan, u32 trips, u64 traceBase,
       commitSlot(g);
       const ContextPlan& ctx = plan.contexts[static_cast<std::size_t>(g % ii)];
       int stallThisCycle = 0;
+      bool issued = false;
       for (const PlanOp& op : ctx.ops) {
         if (g < op.schedTime) continue;  // prologue squash
         if ((g - op.schedTime) / ii >= trips) continue;  // epilogue squash
+        issued = true;
         ++res.ops;
         ++act_.cgaOps;
         if (trace_) ++fuOps[op.fu];
@@ -187,6 +189,7 @@ CgaRunResult CgaArray::run(const KernelPlan& plan, u32 trips, u64 traceBase,
         act_.ops16 += op.ops16;
         execOp(op, g, stallThisCycle);
       }
+      if (issued) ++res.issueCycles;
       endCycle(stallThisCycle);
     }
   };
@@ -209,6 +212,7 @@ CgaRunResult CgaArray::run(const KernelPlan& plan, u32 trips, u64 traceBase,
   for (u64 g = steadyBegin; g < steadyEnd; ++g) {
     commitSlot(g);
     const ContextPlan& ctx = plan.contexts[static_cast<std::size_t>(g % ii)];
+    if (ctx.opCount) ++res.issueCycles;
     res.ops += ctx.opCount;
     act_.cgaOps += ctx.opCount;
     res.routeMoves += ctx.movCount;
@@ -298,6 +302,7 @@ CgaRunResult CgaArray::runReference(const KernelConfig& k, u32 trips,
     cfg_.noteContextFetch();  // the ultra-wide configuration word read
     const Context& ctx = k.contexts[static_cast<std::size_t>(g % static_cast<u64>(k.ii))];
     int stallThisCycle = 0;
+    bool issued = false;
 
     for (int fu = 0; fu < kCgaFus; ++fu) {
       const FuOp& f = ctx.fu[fu];
@@ -306,6 +311,7 @@ CgaRunResult CgaArray::runReference(const KernelConfig& k, u32 trips,
       const u64 iter = (g - f.schedTime) / static_cast<u64>(k.ii);
       if (iter >= trips) continue;  // epilogue squash
 
+      issued = true;
       ++res.ops;
       ++act_.cgaOps;
       if (trace_) ++fuOps[static_cast<std::size_t>(fu)];
@@ -379,6 +385,7 @@ CgaRunResult CgaArray::runReference(const KernelConfig& k, u32 trips,
       pending.push_back(pw);
     }
 
+    if (issued) ++res.issueCycles;
     if (stallThisCycle > 0 && trace_)
       trace_->event({traceBase + wall, static_cast<u64>(stallThisCycle),
                      TraceEventKind::kCgaStall, 0,

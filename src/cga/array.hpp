@@ -33,6 +33,7 @@ struct CgaRunResult {
   u64 cycles = 0;       ///< total CGA-mode cycles (preloads + array + writebacks)
   u64 arrayCycles = 0;  ///< logical context cycles executed
   u64 stallCycles = 0;  ///< extra wall cycles from L1 contention
+  u64 issueCycles = 0;  ///< logical cycles on which at least one op issued
   u64 ops = 0;          ///< non-squashed, non-nop ops executed
   u64 routeMoves = 0;   ///< subset of ops that are routing MOVs
 

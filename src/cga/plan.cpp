@@ -66,6 +66,26 @@ KernelPlan buildKernelPlan(const KernelConfig& k) {
   }
   p.minSchedTime = minSched == ~0u ? 0 : minSched;
   p.maxSchedTime = maxSched;
+
+  // Per-iteration (kind, latency) class counts for the cycle-attribution
+  // profiler: every scheduled op fires exactly `trips` times per launch.
+  for (const ContextPlan& cp : p.contexts) {
+    for (const PlanOp& op : cp.ops) {
+      auto it = std::find_if(p.classes.begin(), p.classes.end(),
+                             [&](const PlanClassCount& c) {
+                               return c.kind == op.kind && c.lat == op.lat;
+                             });
+      if (it == p.classes.end()) {
+        p.classes.push_back({op.kind, op.lat, 1});
+      } else {
+        ++it->ops;
+      }
+    }
+  }
+  std::sort(p.classes.begin(), p.classes.end(),
+            [](const PlanClassCount& a, const PlanClassCount& b) {
+              return a.kind != b.kind ? a.kind < b.kind : a.lat < b.lat;
+            });
   return p;
 }
 

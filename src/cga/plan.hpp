@@ -69,6 +69,16 @@ struct ContextPlan {
 inline constexpr u64 kCgaWheelSlots = 16;
 inline constexpr u64 kCgaWheelMask = kCgaWheelSlots - 1;
 
+/// Per-iteration op count of one (dispatch kind, latency) class across the
+/// whole kernel.  Every scheduled op executes exactly once per trip, so a
+/// launch's per-class op totals are `ops * trips` — the profiler attributes
+/// steady-state work without touching the hot loop.
+struct PlanClassCount {
+  PlanOpKind kind = PlanOpKind::kCompute;
+  u8 lat = 1;
+  u32 ops = 0;  ///< scheduled ops of this class per iteration
+};
+
 /// A fully pre-decoded kernel: everything CgaArray::run needs, in dense
 /// per-context form.
 struct KernelPlan {
@@ -82,6 +92,7 @@ struct KernelPlan {
   std::vector<ContextPlan> contexts;  ///< size == ii
   std::vector<Preload> preloads;
   std::vector<Writeback> writebacks;
+  std::vector<PlanClassCount> classes;  ///< (kind, lat)-ascending
 };
 
 /// Pre-decodes `k` (validating it, as the reference path does).

@@ -98,6 +98,7 @@ void Processor::resetStats() {
   crf_.resetStats();
   for (int f = 0; f < kCgaFus; ++f) cga_.localRf(f).resetStats();
   profiles_.clear();
+  kernelProfiles_.clear();
   currentRegion_ = -1;
   regionStartCycle_ = cycle_;
   regionStartAct_ = act_;
@@ -240,6 +241,12 @@ void Processor::switchRegion(int id) {
     p.vliwOps += act_.vliwOps - regionStartAct_.vliwOps;
     p.cgaOps += act_.cgaOps - regionStartAct_.cgaOps;
     p.ops = p.vliwOps + p.cgaOps;
+    if (regionLog_) {
+      regionLog_->push_back(
+          {currentRegion_, regionStartCycle_, cycle_,
+           (act_.vliwOps - regionStartAct_.vliwOps) +
+               (act_.cgaOps - regionStartAct_.cgaOps)});
+    }
     if (trace_) {
       const u64 ops = (act_.vliwOps - regionStartAct_.vliwOps) +
                       (act_.cgaOps - regionStartAct_.cgaOps);
@@ -326,6 +333,23 @@ StopReason Processor::run(u64 maxCycles) {
                      static_cast<u32>(in.imm));
         cycle_ += 2 * kModeSwitchCycles + r.cycles;
         act_.cgaCycles += 2 * kModeSwitchCycles;  // switches booked as kernel overhead
+        if (kernelProfiling_) {
+          KernelLaunchProfile& kp =
+              kernelProfiles_[{currentRegion_, static_cast<u32>(in.imm)}];
+          ++kp.launches;
+          kp.trips += trips;
+          kp.cycles += 2 * kModeSwitchCycles + r.cycles;
+          kp.issueCycles += r.issueCycles;
+          kp.idleCycles += r.arrayCycles - r.issueCycles;
+          kp.stallCycles += r.stallCycles;
+          kp.overheadCycles +=
+              2 * kModeSwitchCycles + r.cycles - r.arrayCycles - r.stallCycles;
+          kp.ops += r.ops;
+          kp.routeMoves += r.routeMoves;
+          for (const PlanClassCount& c : plan.classes)
+            kp.opsByClass[{static_cast<u8>(c.kind), c.lat}] +=
+                static_cast<u64>(c.ops) * trips;
+        }
         if (trace_) {
           trace_->event({launchCycle, cycle_ - launchCycle,
                          TraceEventKind::kKernel, 0,

@@ -59,6 +59,35 @@ struct RegionProfile {
   std::string mode() const;
 };
 
+/// One closed region occupancy, appended to an attached region log — the
+/// per-packet span source (trace/span.hpp) without a TraceSink (which would
+/// disable the CGA steady-state fast path).
+struct RegionSpan {
+  int region = -1;
+  u64 startCycle = 0;
+  u64 endCycle = 0;
+  u64 ops = 0;  ///< VLIW + CGA ops retired inside the region
+};
+
+/// Cycle attribution of every CGA launch of one (region, kernel) pair,
+/// accumulated when kernel profiling is enabled.  All five cycle components
+/// partition the booked kernel cost exactly:
+///   cycles == issueCycles + idleCycles + stallCycles + overheadCycles.
+struct KernelLaunchProfile {
+  u64 launches = 0;
+  u64 trips = 0;           ///< summed trip counts
+  u64 cycles = 0;          ///< booked cost incl. the two mode switches
+  u64 issueCycles = 0;     ///< logical cycles with at least one op issued
+  u64 idleCycles = 0;      ///< logical cycles with every op squashed
+  u64 stallCycles = 0;     ///< L1 bank-contention stalls
+  u64 overheadCycles = 0;  ///< preloads + writebacks + drain + mode switches
+  u64 ops = 0;
+  u64 routeMoves = 0;
+  /// Ops per (PlanOpKind, latency) dispatch class, from the plan's
+  /// per-iteration class counts times the launch trip count.
+  std::map<std::pair<u8, u8>, u64> opsByClass;
+};
+
 class Processor {
  public:
   Processor();
@@ -108,6 +137,19 @@ class Processor {
   const ExceptionFlags& exceptions() const { return exc_; }
 
   const std::map<int, RegionProfile>& profiles() const { return profiles_; }
+  /// Per-(region id, kernel id) launch attribution; empty unless
+  /// setKernelProfiling(true).  Cleared by resetStats().
+  const std::map<std::pair<int, u32>, KernelLaunchProfile>& kernelProfiles()
+      const {
+    return kernelProfiles_;
+  }
+  /// Enables the per-launch cycle-attribution profiler (one map update per
+  /// CGA launch; the array hot loop is untouched).
+  void setKernelProfiling(bool on) { kernelProfiling_ = on; }
+  /// Attaches (or detaches, with nullptr) a region-span log: every closed
+  /// region appends one RegionSpan.  Costs one branch per region marker;
+  /// unlike a TraceSink it keeps the CGA steady-state fast path.
+  void setRegionLog(std::vector<RegionSpan>* log) { regionLog_ = log; }
   const Program& program() const { return prog_; }
   /// The decoded kernel plans the sequencer launches from.
   const std::shared_ptr<const ProgramPlans>& kernelPlans() const {
@@ -180,6 +222,9 @@ class Processor {
   std::array<u64, kVliwSlots> divBusyUntil_ = {};
 
   std::map<int, RegionProfile> profiles_;
+  std::map<std::pair<int, u32>, KernelLaunchProfile> kernelProfiles_;
+  bool kernelProfiling_ = false;
+  std::vector<RegionSpan>* regionLog_ = nullptr;
   int currentRegion_ = -1;
   u64 regionStartCycle_ = 0;
   ActivityCounters regionStartAct_;

@@ -1,0 +1,144 @@
+#include "obs/exemplar.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+
+namespace adres::obs {
+namespace {
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", std::isfinite(v) ? v : 0.0);
+  return buf;
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+  }
+  return out;
+}
+
+void writeExemplarFile(std::ostream& os, const trace::PacketSpans& spans,
+                       const std::vector<TraceEvent>& ringEvents,
+                       u64 ringAccepted, u64 ringDropped,
+                       std::size_t ringCapacity, double latencyUs,
+                       double queueWaitUs, u64 simCycles) {
+  os << "{\n  \"schema\": \"adres.exemplar.v1\",\n"
+     << "  \"trace_id\": \"" << trace::traceIdHex(spans.traceId) << "\",\n"
+     << "  \"job_id\": " << spans.jobId << ",\n"
+     << "  \"worker\": " << spans.worker << ",\n"
+     << "  \"tag\": " << spans.tag << ",\n"
+     << "  \"latency_us\": " << fmt(latencyUs) << ",\n"
+     << "  \"queue_wait_us\": " << fmt(queueWaitUs) << ",\n"
+     << "  \"sim_cycles\": " << simCycles << ",\n  \"spans\": [";
+  for (std::size_t i = 0; i < spans.spans.size(); ++i) {
+    const trace::Span& s = spans.spans[i];
+    os << (i ? ",\n" : "\n") << "    {\"kind\": \""
+       << trace::spanKindName(s.kind) << "\", \"name\": \""
+       << jsonEscape(s.name) << "\", \"start_us\": " << fmt(s.startUs)
+       << ", \"dur_us\": " << fmt(s.durUs)
+       << ", \"start_cycle\": " << s.startCycle << ", \"cycles\": " << s.cycles
+       << ", \"ops\": " << s.ops << '}';
+  }
+  os << "\n  ],\n  \"ring\": {\n    \"capacity\": " << ringCapacity
+     << ",\n    \"accepted\": " << ringAccepted
+     << ",\n    \"dropped\": " << ringDropped << ",\n    \"events\": [";
+  for (std::size_t i = 0; i < ringEvents.size(); ++i) {
+    const TraceEvent& e = ringEvents[i];
+    os << (i ? ",\n" : "\n") << "      {\"cycle\": " << e.cycle
+       << ", \"dur\": " << e.dur << ", \"kind\": \""
+       << traceEventKindName(e.kind)
+       << "\", \"track\": " << static_cast<int>(e.track) << ", \"a\": " << e.a
+       << ", \"b\": " << e.b << '}';
+  }
+  os << "\n    ]\n  }\n}\n";
+}
+
+}  // namespace
+
+ExemplarStore::ExemplarStore(ExemplarConfig cfg) : cfg_(std::move(cfg)) {
+  std::error_code ec;
+  std::filesystem::create_directories(cfg_.dir, ec);
+}
+
+double ExemplarStore::thresholdUs(const HistogramSnapshot& latencyNs) const {
+  if (latencyNs.count < cfg_.minCount)
+    return std::numeric_limits<double>::infinity();
+  return latencyNs.quantile(cfg_.quantile) * 1e-3;
+}
+
+bool ExemplarStore::maybeCapture(const trace::PacketSpans& spans,
+                                 const std::vector<TraceEvent>& ringEvents,
+                                 u64 ringAccepted, u64 ringDropped,
+                                 std::size_t ringCapacity, double latencyUs,
+                                 double queueWaitUs, u64 simCycles,
+                                 const HistogramSnapshot& latencyNs) {
+  if (latencyUs < thresholdUs(latencyNs)) return false;
+
+  std::string path, tmp;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (records_.size() >= cfg_.maxExemplars) {
+      // Full: only a packet slower than the fastest retained one qualifies.
+      if (latencyUs <= records_.back().latencyUs) return false;
+      std::error_code ec;
+      std::filesystem::remove(records_.back().path, ec);
+      records_.pop_back();
+      ++evicted_;
+    }
+    path = cfg_.dir + "/exemplar_" + trace::traceIdHex(spans.traceId) + "_" +
+           std::to_string(fileSeq_) + ".json";
+    tmp = path + ".tmp";
+    ++fileSeq_;
+
+    ExemplarRecord rec;
+    rec.traceId = spans.traceId;
+    rec.jobId = spans.jobId;
+    rec.worker = spans.worker;
+    rec.latencyUs = latencyUs;
+    rec.queueWaitUs = queueWaitUs;
+    rec.simCycles = simCycles;
+    rec.path = path;
+    records_.push_back(rec);
+    std::sort(records_.begin(), records_.end(),
+              [](const ExemplarRecord& a, const ExemplarRecord& b) {
+                return a.latencyUs > b.latencyUs;
+              });
+    ++captured_;
+  }
+
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    writeExemplarFile(os, spans, ringEvents, ringAccepted, ringDropped,
+                      ringCapacity, latencyUs, queueWaitUs, simCycles);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) std::filesystem::remove(tmp, ec);
+  return true;
+}
+
+std::vector<ExemplarRecord> ExemplarStore::records() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return records_;
+}
+
+u64 ExemplarStore::captured() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return captured_;
+}
+
+u64 ExemplarStore::evicted() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return evicted_;
+}
+
+}  // namespace adres::obs

@@ -67,6 +67,33 @@ void jsonLabels(std::ostream& os, const Labels& labels) {
   os << '}';
 }
 
+/// Power-of-two raw-unit bucket bounds covering the snapshot's [min, max];
+/// bounds align with the log-linear decade boundaries, so no histogram
+/// bucket ever straddles one.  Capped at 24 lines by widening the stride.
+std::vector<u64> histBounds(const HistogramSnapshot& h) {
+  std::vector<u64> bounds;
+  if (!h.count) return bounds;
+  int kLo = 0;
+  while (kLo < 63 && (1ull << (kLo + 1)) <= std::max<u64>(h.min, 1)) ++kLo;
+  int kHi = kLo;
+  while (kHi < 63 && (1ull << kHi) <= h.max) ++kHi;
+  int stride = 1;
+  while ((kHi - kLo) / stride + 1 > 24) ++stride;
+  for (int k = kLo; k <= kHi; k += stride) bounds.push_back(1ull << k);
+  return bounds;
+}
+
+/// Count of recorded values below raw bound `b` (a power of two, so it falls
+/// exactly on a bucket edge of the log-linear layout).
+u64 histCumBelow(const HistogramSnapshot& h, u64 b) {
+  if (h.buckets.empty() || b == 0) return 0;
+  const std::size_t last = LogLinearHistogram::bucketIndex(b - 1);
+  u64 cum = 0;
+  for (std::size_t i = 0; i <= last && i < h.buckets.size(); ++i)
+    cum += h.buckets[i];
+  return cum;
+}
+
 }  // namespace
 
 void MetricsSnapshot::writePrometheus(
@@ -107,6 +134,44 @@ void MetricsSnapshot::writePrometheus(
     os << name << "_count" << promLabels(s.labels) << ' '
        << fmt(static_cast<double>(s.hist.count)) << '\n';
   }
+  for (const HistogramSample& s : histograms) {
+    const std::string name = promName(s.name);
+    if (const std::string* h = helpFor(s.name)) {
+      os << "# HELP " << name << ' ' << *h << '\n';
+    }
+    os << "# TYPE " << name << " histogram\n";
+    std::vector<bool> used(s.exemplars.size(), false);
+    const auto exemplarFor = [&](double leExport,
+                                 bool isInf) -> const MetricExemplar* {
+      for (std::size_t i = 0; i < s.exemplars.size(); ++i) {
+        if (!used[i] && (isInf || s.exemplars[i].value <= leExport)) {
+          used[i] = true;
+          return &s.exemplars[i];
+        }
+      }
+      return nullptr;
+    };
+    for (const u64 b : histBounds(s.hist)) {
+      const double le = static_cast<double>(b) * s.scale;
+      os << name << "_bucket"
+         << promLabelsWith(s.labels, "le", fmt(le)) << ' '
+         << histCumBelow(s.hist, b);
+      if (const MetricExemplar* e = exemplarFor(le, false))
+        os << " # {trace_id=\"" << jsonEscape(e->traceId) << "\"} "
+           << fmt(e->value);
+      os << '\n';
+    }
+    os << name << "_bucket" << promLabelsWith(s.labels, "le", "+Inf") << ' '
+       << s.hist.count;
+    if (const MetricExemplar* e = exemplarFor(0, true))
+      os << " # {trace_id=\"" << jsonEscape(e->traceId) << "\"} "
+         << fmt(e->value);
+    os << '\n';
+    os << name << "_sum" << promLabels(s.labels) << ' '
+       << fmt(static_cast<double>(s.hist.sum) * s.scale) << '\n';
+    os << name << "_count" << promLabels(s.labels) << ' '
+       << fmt(static_cast<double>(s.hist.count)) << '\n';
+  }
 }
 
 void MetricsSnapshot::writeJson(std::ostream& os) const {
@@ -139,6 +204,25 @@ void MetricsSnapshot::writeJson(std::ostream& os) const {
     }
     os << '}';
   }
+  os << "\n  ],\n  \"histograms\": [";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSample& s = histograms[i];
+    os << (i ? ",\n" : "\n") << "    {\"name\": \"" << jsonEscape(s.name)
+       << "\", \"labels\": ";
+    jsonLabels(os, s.labels);
+    os << ", \"count\": " << s.hist.count << ", \"sum\": "
+       << fmt(static_cast<double>(s.hist.sum) * s.scale)
+       << ", \"min\": " << fmt(static_cast<double>(s.hist.min) * s.scale)
+       << ", \"max\": " << fmt(static_cast<double>(s.hist.max) * s.scale)
+       << ", \"mean\": " << fmt(s.hist.mean() * s.scale)
+       << ", \"exemplars\": [";
+    for (std::size_t e = 0; e < s.exemplars.size(); ++e) {
+      os << (e ? ", " : "") << "{\"value\": " << fmt(s.exemplars[e].value)
+         << ", \"trace_id\": \"" << jsonEscape(s.exemplars[e].traceId)
+         << "\"}";
+    }
+    os << "]}";
+  }
   os << "\n  ]\n}\n";
 }
 
@@ -167,6 +251,15 @@ void MetricsRegistry::addSummary(std::string name, std::string help,
       {std::move(name), std::move(help), std::move(labels), scale, std::move(fn)});
 }
 
+void MetricsRegistry::addHistogram(std::string name, std::string help,
+                                   double scale,
+                                   std::function<HistogramSnapshot()> fn,
+                                   ExemplarFn exemplarFn, Labels labels) {
+  std::lock_guard<std::mutex> lk(mu_);
+  histograms_.push_back({std::move(name), std::move(help), std::move(labels),
+                         scale, std::move(fn), std::move(exemplarFn)});
+}
+
 void MetricsRegistry::addCounterFamily(std::string name, std::string help,
                                        FamilyFn fn) {
   std::lock_guard<std::mutex> lk(mu_);
@@ -185,6 +278,7 @@ void MetricsRegistry::clear() {
   std::lock_guard<std::mutex> lk(mu_);
   scalars_.clear();
   summaries_.clear();
+  histograms_.clear();
   families_.clear();
 }
 
@@ -216,6 +310,16 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
                    [](const SummarySample& a, const SummarySample& b) {
                      return a.name < b.name;
                    });
+  out.histograms.reserve(histograms_.size());
+  for (const HistogramDef& d : histograms_) {
+    out.histograms.push_back({d.name, d.labels, d.scale, d.fn(),
+                              d.exemplarFn ? d.exemplarFn()
+                                           : std::vector<MetricExemplar>{}});
+  }
+  std::stable_sort(out.histograms.begin(), out.histograms.end(),
+                   [](const HistogramSample& a, const HistogramSample& b) {
+                     return a.name < b.name;
+                   });
   return out;
 }
 
@@ -230,6 +334,7 @@ std::vector<std::pair<std::string, std::string>> MetricsRegistry::helpTexts()
   };
   for (const ScalarDef& d : scalars_) addOnce(d.name, d.help);
   for (const SummaryDef& d : summaries_) addOnce(d.name, d.help);
+  for (const HistogramDef& d : histograms_) addOnce(d.name, d.help);
   for (const FamilyDef& d : families_) addOnce(d.name, d.help);
   return out;
 }

@@ -53,6 +53,27 @@ struct SummarySample {
   HistogramSnapshot hist;
 };
 
+/// A Prometheus-style exemplar: one observed value paired with the trace id
+/// of the packet that produced it, attached at export time to the first
+/// histogram bucket covering the value (OpenMetrics `# {trace_id="..."} v`
+/// suffix on the `_bucket` line).
+struct MetricExemplar {
+  double value = 0.0;   ///< export units (post-scale)
+  std::string traceId;  ///< 16-hex-digit packet trace id
+};
+
+/// One histogram series rendered as a native Prometheus histogram:
+/// cumulative `_bucket{le="..."}` lines at power-of-two bounds (in export
+/// units) covering the recorded range, plus `_sum`/`_count`, with optional
+/// exemplars.
+struct HistogramSample {
+  std::string name;
+  Labels labels;
+  double scale = 1.0;
+  HistogramSnapshot hist;
+  std::vector<MetricExemplar> exemplars;
+};
+
 /// The quantiles every summary exports.
 inline constexpr double kSummaryQuantiles[] = {0.5, 0.9, 0.99, 0.999};
 inline constexpr const char* kSummaryQuantileNames[] = {"p50", "p90", "p99",
@@ -63,6 +84,7 @@ struct MetricsSnapshot {
   double uptimeMs = 0;  ///< host ms since registry creation
   std::vector<MetricSample> samples;
   std::vector<SummarySample> summaries;
+  std::vector<HistogramSample> histograms;
 
   /// Prometheus text exposition format 0.0.4 (counters/gauges as-is,
   /// summaries as quantile series plus _sum/_count).  `help` optionally
@@ -89,6 +111,14 @@ class MetricsRegistry {
   /// Registers a histogram-backed summary series.
   void addSummary(std::string name, std::string help, double scale,
                   std::function<HistogramSnapshot()> fn, Labels labels = {});
+
+  /// Registers a native Prometheus histogram series (cumulative buckets at
+  /// power-of-two bounds).  `exemplarFn`, when set, yields the exemplars to
+  /// attach at each snapshot (e.g. the tail-latency exemplar store records).
+  using ExemplarFn = std::function<std::vector<MetricExemplar>()>;
+  void addHistogram(std::string name, std::string help, double scale,
+                    std::function<HistogramSnapshot()> fn,
+                    ExemplarFn exemplarFn = {}, Labels labels = {});
 
   /// A dynamic family: one getter yields the whole (labels, value) series
   /// set per snapshot — for key sets only known at runtime (e.g. the
@@ -126,6 +156,13 @@ class MetricsRegistry {
     double scale;
     std::function<HistogramSnapshot()> fn;
   };
+  struct HistogramDef {
+    std::string name, help;
+    Labels labels;
+    double scale;
+    std::function<HistogramSnapshot()> fn;
+    ExemplarFn exemplarFn;
+  };
   struct FamilyDef {
     std::string name, help;
     MetricType type;
@@ -135,6 +172,7 @@ class MetricsRegistry {
   mutable std::mutex mu_;
   std::vector<ScalarDef> scalars_;
   std::vector<SummaryDef> summaries_;
+  std::vector<HistogramDef> histograms_;
   std::vector<FamilyDef> families_;
   mutable u64 sequence_ = 0;
   std::chrono::steady_clock::time_point start_;

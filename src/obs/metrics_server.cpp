@@ -1,10 +1,12 @@
 #include "obs/metrics_server.hpp"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <sstream>
 
 #include "common/check.hpp"
+#include "obs/buildinfo.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <arpa/inet.h>
@@ -103,9 +105,23 @@ void MetricsServer::serveLoop() {
       if (errno == EINTR) continue;
       break;  // listener shut down (or unrecoverable) — exit the loop
     }
+    const auto t0 = std::chrono::steady_clock::now();
     handleConnection(fd);
     closeFd(fd);
+    scrapeDurationNs_.record(static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
   }
+}
+
+void MetricsServer::registerSelfMetrics(MetricsRegistry& reg) {
+  reg.addCounter("adres_metrics_scrapes_total",
+                 "HTTP requests served by the metrics endpoint",
+                 [this] { return static_cast<double>(requests()); });
+  reg.addSummary("adres_metrics_scrape_duration_us",
+                 "Per-request handling time in microseconds", 1e-3,
+                 [this] { return scrapeDurationNs_.snapshot(); });
 }
 
 void MetricsServer::handleConnection(int fd) {
@@ -138,6 +154,10 @@ void MetricsServer::handleConnection(int fd) {
     std::ostringstream body;
     reg_.writeJson(body);
     sendAll(fd, httpResponse("200 OK", "application/json", body.str()));
+  } else if (path == "/buildinfo") {
+    std::ostringstream body;
+    writeBuildInfoJson(body);
+    sendAll(fd, httpResponse("200 OK", "application/json", body.str()));
   } else if (path == "/healthz") {
     sendAll(fd, httpResponse("200 OK", "text/plain", "ok\n"));
   } else if (path == "/" || path == "/index.html") {
@@ -146,6 +166,7 @@ void MetricsServer::handleConnection(int fd) {
                     "<html><body><h1>adres metrics</h1><ul>"
                     "<li><a href=\"/metrics\">/metrics</a> (Prometheus)</li>"
                     "<li><a href=\"/metrics.json\">/metrics.json</a></li>"
+                    "<li><a href=\"/buildinfo\">/buildinfo</a></li>"
                     "<li><a href=\"/healthz\">/healthz</a></li>"
                     "</ul></body></html>\n"));
   } else {
@@ -208,6 +229,7 @@ MetricsServer::MetricsServer(const MetricsRegistry& reg, int, const std::string&
 }
 MetricsServer::~MetricsServer() = default;
 void MetricsServer::stop() {}
+void MetricsServer::registerSelfMetrics(MetricsRegistry&) {}
 void MetricsServer::serveLoop() {}
 void MetricsServer::handleConnection(int) {}
 

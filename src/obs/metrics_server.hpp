@@ -5,6 +5,7 @@
 //
 //   GET /metrics       -> Prometheus text exposition (format 0.0.4)
 //   GET /metrics.json  -> adres.metrics.v1 JSON snapshot
+//   GET /buildinfo     -> adres.buildinfo.v1 (version, git, build flags)
 //   GET /healthz       -> "ok" liveness probe
 //   GET /              -> tiny HTML index
 //
@@ -42,6 +43,15 @@ class MetricsServer {
   /// Scrapes served since start.
   u64 requests() const { return requests_.load(std::memory_order_relaxed); }
 
+  /// Per-request handling durations (ns), recorded by the serve thread.
+  HistogramSnapshot scrapeDurations() const { return scrapeDurationNs_.snapshot(); }
+
+  /// Registers the server's own series on `reg` (which must be the registry
+  /// this server scrapes): adres_metrics_scrapes_total and the
+  /// adres_metrics_scrape_duration_us summary.  The server must outlive the
+  /// registrations (clear() the registry before destroying the server).
+  void registerSelfMetrics(MetricsRegistry& reg);
+
  private:
   void serveLoop();
   void handleConnection(int fd);
@@ -51,6 +61,7 @@ class MetricsServer {
   int port_ = -1;
   std::atomic<bool> stopping_{false};
   std::atomic<u64> requests_{0};
+  LogLinearHistogram scrapeDurationNs_;
   std::thread thread_;
 };
 

@@ -22,6 +22,9 @@ PacketFarm::PacketFarm(FarmConfig cfg)
   cfg_.run.countersJsonPath.clear();
   cfg_.run.progressCycles = nullptr;
   cfg_.run.cancel = nullptr;
+  cfg_.run.regionLog = nullptr;  // per-worker logs are wired in workerMain
+  if (cfg_.exemplars.enabled)
+    exemplars_ = std::make_unique<obs::ExemplarStore>(cfg_.exemplars);
   workerStats_.resize(static_cast<std::size_t>(cfg_.numWorkers));
   watchdog_ = std::make_unique<obs::WorkerWatchdog>(cfg_.numWorkers,
                                                     cfg_.watchdog);
@@ -43,6 +46,9 @@ PacketFarm::~PacketFarm() { (void)finish(); }
 void PacketFarm::submit(RxJob job) {
   ADRES_CHECK(!finished_, "submit after finish()");
   nextId_ = std::max(nextId_, job.id + 1);
+  job.enqueueUs = std::chrono::duration<double, std::micro>(
+                      std::chrono::steady_clock::now() - startTime_)
+                      .count();
   const bool accepted = queue_.push(std::move(job));
   ADRES_CHECK(accepted, "queue closed while submitting");
   submitted_.fetch_add(1, std::memory_order_relaxed);
@@ -91,6 +97,8 @@ std::vector<RxOutcome> PacketFarm::finish() {
   stats_.groups = std::move(merged.groups);
   stats_.latencyNs = latencySnapshot();
   stats_.packetCycles = cycleSnapshot();
+  stats_.queueWaitNs = queueWaitSnapshot();
+  stats_.profile = std::move(merged.profile);
 
   if (cfg_.ordered) {
     std::sort(outcomes_.begin(), outcomes_.end(),
@@ -116,6 +124,17 @@ obs::HistogramSnapshot PacketFarm::cycleSnapshot() const {
   obs::HistogramSnapshot merged;
   for (const auto& t : telemetry_) merged.merge(t->packetCycles.snapshot());
   return merged;
+}
+
+obs::HistogramSnapshot PacketFarm::queueWaitSnapshot() const {
+  obs::HistogramSnapshot merged;
+  for (const auto& t : telemetry_) merged.merge(t->queueWaitNs.snapshot());
+  return merged;
+}
+
+PacketFarm::SlowestPacket PacketFarm::slowestPacket() const {
+  std::lock_guard<std::mutex> lk(slowMu_);
+  return slowest_;
 }
 
 std::map<std::string, u64> PacketFarm::liveCounters() const {
@@ -211,6 +230,61 @@ void PacketFarm::registerMetrics(obs::MetricsRegistry& reg) const {
   reg.addSummary("adres_farm_packet_cycles",
                  "simulated cycles per decoded packet (merged across workers)",
                  1.0, [this] { return cycleSnapshot(); });
+  reg.addSummary("adres_farm_queue_wait_us",
+                 "host submit-to-dispatch queue wait (merged across workers)",
+                 1e-3 /* ns -> us */, [this] { return queueWaitSnapshot(); });
+  // Native histogram with tail exemplars: bucket lines carry the trace id of
+  // a captured slow packet (OpenMetrics `# {trace_id="..."} v` suffix).
+  reg.addHistogram(
+      "adres_farm_decode_latency_us",
+      "host decode latency histogram with tail-latency exemplars",
+      1e-3 /* ns -> us */, [this] { return latencySnapshot(); },
+      [this] {
+        std::vector<obs::MetricExemplar> out;
+        if (exemplars_) {
+          for (const obs::ExemplarRecord& r : exemplars_->records())
+            out.push_back({r.latencyUs, trace::traceIdHex(r.traceId)});
+        }
+        return out;
+      });
+  if (exemplars_) {
+    reg.addCounter("adres_farm_exemplars_captured_total",
+                   "tail-latency exemplars captured (including evicted)",
+                   [this] {
+                     return static_cast<double>(exemplars_->captured());
+                   });
+  }
+  reg.addGauge("adres_farm_slowest_packet_id", "job id of the slowest decode",
+               [this] { return static_cast<double>(slowestPacket().id); });
+  reg.addGauge("adres_farm_slowest_packet_worker",
+               "worker index of the slowest decode", [this] {
+                 return static_cast<double>(slowestPacket().worker);
+               });
+  reg.addGauge("adres_farm_slowest_packet_latency_us",
+               "host latency of the slowest decode",
+               [this] { return slowestPacket().latencyUs; });
+  reg.addGauge("adres_farm_slowest_packet_queue_wait_us",
+               "queue wait of the slowest decode",
+               [this] { return slowestPacket().queueWaitUs; });
+  reg.addGauge("adres_farm_slowest_packet_cycles",
+               "simulated cycles of the slowest decode", [this] {
+                 return static_cast<double>(slowestPacket().cycles);
+               });
+  // Region-level breakdown of the slowest packet (needs span recording).
+  reg.addGaugeFamily(
+      "adres_farm_slowest_packet_region_cycles",
+      "per-region simulated cycles of the slowest decode", [this] {
+        const SlowestPacket slow = slowestPacket();
+        std::map<std::string, double> byRegion;  // re-entered regions sum
+        for (const trace::Span& s : slow.spans.spans) {
+          if (s.kind == trace::SpanKind::kRegion)
+            byRegion[s.name] += static_cast<double>(s.cycles);
+        }
+        std::vector<std::pair<obs::Labels, double>> out;
+        for (const auto& [name, cycles] : byRegion)
+          out.push_back({obs::Labels{{"region", name}}, cycles});
+        return out;
+      });
   // Farm-wide sim counter totals (the stable adres.counters.v1 key set) as
   // one labelled family, summed live from each worker's last published
   // session snapshot.
@@ -233,19 +307,43 @@ void PacketFarm::workerMain(int idx) {
     opts.progressCycles = &health.heartbeatCycles;
     opts.cancel = &health.cancel;
   }
+  // Observability attachments.  The region log and kernel profiler keep the
+  // CGA fast path; the exemplar flight recorder is a real TraceSink and is
+  // only attached when exemplar capture was requested.
+  const bool wantSpans = cfg_.spans || cfg_.exemplars.enabled;
+  std::vector<RegionSpan> regionLog;
+  if (wantSpans) opts.regionLog = &regionLog;
+  opts.profile = cfg_.kernelProfile;
+  std::unique_ptr<RingBufferSink> ring;
+  if (cfg_.exemplars.enabled) {
+    ring = std::make_unique<RingBufferSink>(cfg_.exemplars.ringCapacity);
+    opts.trace = ring.get();
+  }
   RxSession session(cfg_.modem, opts);
+  const auto epochUs = [this] {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - startTime_)
+        .count();
+  };
   while (std::optional<RxJob> job = queue_.pop()) {
     health.beginJob(job->id);
+    const double dispatchUs = epochUs();
     if (cfg_.preDecodeHook) cfg_.preDecodeHook(idx, *job);
+    regionLog.clear();
+    if (ring) ring->clear();
     RxOutcome out;
     out.id = job->id;
     out.worker = idx;
+    const double decodeStartUs = epochUs();
     const auto t0 = Clock::now();
     out.result = session.decode(job->rx);
     const double ns =
         std::chrono::duration<double, std::nano>(Clock::now() - t0).count();
+    const double decodeEndUs = decodeStartUs + ns / 1000.0;
     out.hostUs = ns / 1000.0;
     out.avgPowerMw = power::analyze(session.processor()).averageActiveMw;
+    out.traceId = trace::packetTraceId(job->id, job->tag);
+    out.queueWaitUs = std::max(0.0, dispatchUs - job->enqueueUs);
 
     tele.packetsDone.fetch_add(1, std::memory_order_relaxed);
     tele.simCycles.fetch_add(out.result.cycles, std::memory_order_relaxed);
@@ -254,7 +352,32 @@ void PacketFarm::workerMain(int idx) {
     tele.busyNs.fetch_add(static_cast<u64>(ns), std::memory_order_relaxed);
     tele.latencyNs.record(static_cast<u64>(ns));
     tele.packetCycles.record(out.result.cycles);
+    tele.queueWaitNs.record(static_cast<u64>(out.queueWaitUs * 1000.0));
     tele.setPublished(std::make_shared<const SessionStats>(session.stats()));
+
+    trace::PacketSpans spans;
+    if (wantSpans) {
+      spans = trace::buildPacketSpans(
+          job->id, job->tag, idx, job->enqueueUs, dispatchUs, decodeStartUs,
+          decodeEndUs, out.result.cycles, regionLog,
+          session.modem().program.regionNames);
+    }
+    if (exemplars_) {
+      exemplars_->maybeCapture(spans, ring->events(), ring->accepted(),
+                               ring->dropped(), ring->capacity(), out.hostUs,
+                               out.queueWaitUs, out.result.cycles,
+                               latencySnapshot());
+    }
+    {
+      std::lock_guard<std::mutex> lk(slowMu_);
+      if (out.hostUs > slowest_.latencyUs) {
+        slowest_ = {out.id,          out.traceId, idx,
+                    out.hostUs,      out.queueWaitUs,
+                    out.result.cycles, spans};
+      }
+    }
+    if (cfg_.spans) out.spans = std::move(spans);
+
     watchdog_->noteDecodeEnd(idx, job->id, out.result.stop, out.result.cycles);
     health.endJob();
 

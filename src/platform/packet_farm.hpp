@@ -33,18 +33,22 @@
 #include <thread>
 #include <vector>
 
+#include "obs/exemplar.hpp"
 #include "obs/histogram.hpp"
 #include "obs/metrics.hpp"
 #include "obs/watchdog.hpp"
 #include "platform/packet_queue.hpp"
 #include "platform/rx_session.hpp"
+#include "trace/span.hpp"
 
 namespace adres::platform {
 
 /// One packet to decode: the per-antenna waveforms plus submitter metadata.
 struct RxJob {
   u64 id = 0;  ///< submitter-chosen tag; ordered mode sorts outcomes by it
+  u32 tag = 0;  ///< submitter context (campaign cell index), span-labelled
   std::array<std::vector<cint16>, 2> rx;
+  double enqueueUs = 0;  ///< host µs on the farm epoch; set by submit()
 };
 
 struct RxOutcome {
@@ -53,6 +57,10 @@ struct RxOutcome {
   sdr::ProcessorRxResult result;
   double avgPowerMw = 0.0;  ///< activity-model average power of the decode
   double hostUs = 0.0;      ///< host wall-clock latency of the decode
+  u64 traceId = 0;          ///< deterministic per-packet trace id
+  double queueWaitUs = 0.0;  ///< host µs between submit and worker dispatch
+  /// Per-packet span tree; populated only when FarmConfig::spans is set.
+  trace::PacketSpans spans;
 };
 
 struct FarmConfig {
@@ -69,6 +77,18 @@ struct FarmConfig {
   sdr::RxRunOptions run;
   /// Worker health supervision (stall detection, budget warnings).
   obs::WatchdogConfig watchdog;
+  /// Record a span tree per packet (returned in RxOutcome::spans).  Uses the
+  /// region-span log, not a TraceSink, so decodes stay on the fast path and
+  /// remain bit- and cycle-exact.
+  bool spans = false;
+  /// Per-launch cycle attribution, folded into FarmStats::profile.
+  bool kernelProfile = false;
+  /// Tail-latency exemplar capture (ring buffer + span tree persisted for
+  /// packets above the configured latency quantile).  Implies span
+  /// recording; attaches a per-worker flight-recorder TraceSink, which
+  /// disables the CGA steady-state fast path — decodes stay bit- and
+  /// cycle-exact, but host throughput drops, so this is opt-in.
+  obs::ExemplarConfig exemplars;
   /// Test/fault-injection hook, run on the worker thread after the worker
   /// marks itself busy with the job and before the decode.  Observation
   /// must stay observation: the hook must not touch simulator state.
@@ -83,6 +103,9 @@ struct FarmStats {
   std::map<std::string, std::map<std::string, u64>> groups;
   obs::HistogramSnapshot latencyNs;     ///< host decode latency, nanoseconds
   obs::HistogramSnapshot packetCycles;  ///< simulated cycles per packet
+  obs::HistogramSnapshot queueWaitNs;   ///< submit-to-dispatch wait
+  /// Merged cycle-attribution summary (empty unless kernelProfile).
+  trace::ProfileSummary profile;
 
   /// adres.counters.v1 dump carrying the `workers` extension field.
   void writeJson(std::ostream& os) const;
@@ -118,6 +141,22 @@ class PacketFarm {
   const FarmStats& stats() const { return stats_; }
   const FarmConfig& config() const { return cfg_; }
 
+  /// The tail-latency exemplar store; null unless cfg.exemplars.enabled.
+  const obs::ExemplarStore* exemplarStore() const { return exemplars_.get(); }
+
+  /// The slowest packet decoded so far (live; id() == 0 with no packets is
+  /// indistinguishable from job 0 — check latencyUs > 0).
+  struct SlowestPacket {
+    u64 id = 0;
+    u64 traceId = 0;
+    int worker = -1;
+    double latencyUs = 0;
+    double queueWaitUs = 0;
+    u64 cycles = 0;
+    trace::PacketSpans spans;  ///< populated when span recording is on
+  };
+  SlowestPacket slowestPacket() const;
+
   // -- Live telemetry (safe from any thread, mid-flight) ---------------------
 
   std::size_t queueDepth() const { return queue_.size(); }
@@ -127,6 +166,8 @@ class PacketFarm {
   obs::HistogramSnapshot latencySnapshot() const;
   /// Merged per-packet simulated-cycle histogram across workers, live.
   obs::HistogramSnapshot cycleSnapshot() const;
+  /// Merged submit-to-dispatch queue-wait histogram (nanoseconds), live.
+  obs::HistogramSnapshot queueWaitSnapshot() const;
   /// Farm-wide sim counter totals summed from each worker's last published
   /// session snapshot (live approximation of the post-run merge).
   std::map<std::string, u64> liveCounters() const;
@@ -153,6 +194,7 @@ class PacketFarm {
     std::atomic<u64> busyNs{0};
     obs::LogLinearHistogram latencyNs;
     obs::LogLinearHistogram packetCycles;
+    obs::LogLinearHistogram queueWaitNs;
 
     std::shared_ptr<const SessionStats> published() const {
       std::lock_guard<std::mutex> lk(mu);
@@ -173,6 +215,7 @@ class PacketFarm {
   FarmConfig cfg_;
   BoundedQueue<RxJob> queue_;
   std::unique_ptr<obs::WorkerWatchdog> watchdog_;
+  std::unique_ptr<obs::ExemplarStore> exemplars_;
   std::vector<std::unique_ptr<WorkerTelemetry>> telemetry_;
   std::vector<std::thread> threads_;
   std::chrono::steady_clock::time_point startTime_;
@@ -186,6 +229,9 @@ class PacketFarm {
   std::vector<RxOutcome> outcomes_;
   std::vector<SessionStats> workerStats_;
   FarmStats stats_;
+
+  mutable std::mutex slowMu_;  ///< guards slowest_
+  SlowestPacket slowest_;
 };
 
 }  // namespace adres::platform

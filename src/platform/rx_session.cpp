@@ -53,6 +53,7 @@ void SessionStats::merge(const SessionStats& other) {
     auto& mine = groups[prefix];
     for (const auto& [suffix, value] : block) mine[suffix] += value;
   }
+  profile.merge(other.profile);
 }
 
 RxSession::RxSession(const dsp::ModemConfig& cfg, sdr::RxRunOptions opts)
@@ -72,6 +73,7 @@ sdr::ProcessorRxResult RxSession::decode(
   // publish() doubles as our snapshot: one getter pass fills the fold AND
   // leaves an immutable copy other threads (live metrics) may read.
   ++stats_.packets;
+  if (opts_.profile) stats_.profile.addProcessor(proc_);
   const std::shared_ptr<const trace::PublishedCounters> snap = reg_.publish();
   for (const auto& [name, value] : snap->counters) stats_.counters[name] += value;
   for (const auto& [prefix, block] : snap->groups) {

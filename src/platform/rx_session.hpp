@@ -14,6 +14,7 @@
 
 #include "sdr/modem_program.hpp"
 #include "trace/counters.hpp"
+#include "trace/profile.hpp"
 
 namespace adres::platform {
 
@@ -34,6 +35,9 @@ struct SessionStats {
   u64 packets = 0;
   std::map<std::string, u64> counters;
   std::map<std::string, std::map<std::string, u64>> groups;
+  /// Cycle-attribution summary; populated only when the session's run
+  /// options enable kernel profiling.
+  trace::ProfileSummary profile;
 
   void merge(const SessionStats& other);
 };

@@ -687,6 +687,9 @@ ProcessorRxResult runModemOnProcessor(
     Processor& proc, const ModemOnProcessor& m,
     const std::array<std::vector<cint16>, 2>& rx, const RxRunOptions& opts) {
   if (opts.trace) proc.setTrace(opts.trace);
+  // Always-set (not guarded) so a baseline run clears a previous attachment.
+  proc.setKernelProfiling(opts.profile);
+  proc.setRegionLog(opts.regionLog);
   proc.load(m.program, m.plans);
   // DMA the antenna waveforms into L1.
   for (int a = 0; a < 2; ++a) {

@@ -69,6 +69,11 @@ struct RxRunOptions {
   std::atomic<u64>* progressCycles = nullptr;  ///< heartbeat: cycles so far
   const std::atomic<u32>* cancel = nullptr;    ///< non-zero aborts the run
   u64 progressIntervalCycles = 32'768;         ///< slice size when supervised
+  bool profile = false;  ///< per-launch cycle-attribution (kernelProfiles())
+  /// Region-span log for per-packet span trees; entries are appended for
+  /// every closed region.  Unlike `trace`, both observability hooks keep the
+  /// CGA steady-state fast path engaged.
+  std::vector<RegionSpan>* regionLog = nullptr;
 };
 
 struct ProcessorRxResult {

@@ -54,6 +54,7 @@ void expectEqual(const AbSnapshot& ref, const AbSnapshot& fast) {
   EXPECT_EQ(ref.r.cycles, fast.r.cycles);
   EXPECT_EQ(ref.r.arrayCycles, fast.r.arrayCycles);
   EXPECT_EQ(ref.r.stallCycles, fast.r.stallCycles);
+  EXPECT_EQ(ref.r.issueCycles, fast.r.issueCycles);
   EXPECT_EQ(ref.r.ops, fast.r.ops);
   EXPECT_EQ(ref.r.routeMoves, fast.r.routeMoves);
   EXPECT_EQ(ref.l1Reads, fast.l1Reads);

@@ -124,6 +124,95 @@ TEST(Histogram, MergedSnapshotEqualsSingleHistogram) {
   EXPECT_DOUBLE_EQ(merged.quantile(0.5), single.quantile(0.5));
 }
 
+TEST(Histogram, ZeroValuesAreExactAndQuantileSafe) {
+  // Latency code records 0 for sub-resolution waits; zeros must land in the
+  // exact value-0 bucket and every derived statistic must stay finite.
+  H h;
+  for (int i = 0; i < 100; ++i) h.record(0);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.sum, 0u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_EQ(s.buckets[H::bucketIndex(0)], 100u);
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(s.quantile(q), 0.0) << q;
+  }
+  // Mixed with a real value, zeros still dominate the median.
+  h.record(1ull << 20);
+  const HistogramSnapshot s2 = h.snapshot();
+  EXPECT_DOUBLE_EQ(s2.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s2.quantile(1.0), static_cast<double>(1ull << 20));
+}
+
+TEST(Histogram, OverflowBucketAtTopDecadeSaturates) {
+  // The largest representable values — including ~0ull, which sum may wrap
+  // on — land in the final (saturating) bucket without losing counts.
+  H h;
+  const u64 top = ~0ull;
+  const u64 nearTop = (1ull << 63) + 123;
+  h.record(top);
+  h.record(nearTop);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.max, top);
+  EXPECT_EQ(s.min, nearTop);
+  const std::size_t topIdx = H::bucketIndex(top);
+  ASSERT_LT(topIdx, s.buckets.size());
+  EXPECT_EQ(H::bucketHi(topIdx), ~0ull) << "top bucket is inclusive";
+  EXPECT_GE(s.buckets[topIdx], 1u);
+  // Quantiles stay within the recorded range even at the extreme decade.
+  EXPECT_GE(s.quantile(0.5), static_cast<double>(s.min));
+  EXPECT_LE(s.quantile(1.0), static_cast<double>(s.max));
+  u64 bucketTotal = 0;
+  for (const u64 b : s.buckets) bucketTotal += b;
+  EXPECT_EQ(bucketTotal, 2u);
+}
+
+TEST(Histogram, MergeOfDisjointSnapshotsFoldsMinMaxAndRanks) {
+  // a holds a low cluster, b a high cluster with no overlapping buckets;
+  // the merge must fold min/max across both and rank quantiles globally.
+  H a, b;
+  for (int i = 0; i < 100; ++i) a.record(10 + static_cast<u64>(i % 3));
+  for (int i = 0; i < 100; ++i)
+    b.record((1ull << 30) + static_cast<u64>(i % 5) * 1000);
+  HistogramSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  EXPECT_EQ(merged.count, 200u);
+  EXPECT_EQ(merged.min, 10u);
+  EXPECT_GE(merged.max, 1ull << 30);
+  // Median sits in the low cluster, p99 in the high one.
+  EXPECT_LE(merged.quantile(0.49), 13.0);
+  EXPECT_GE(merged.quantile(0.99), static_cast<double>(1ull << 30) * 0.9);
+  // Merging an empty snapshot is the identity.
+  HistogramSnapshot copy = merged;
+  copy.merge(HistogramSnapshot{});
+  EXPECT_EQ(copy.count, merged.count);
+  EXPECT_EQ(copy.min, merged.min);
+  EXPECT_EQ(copy.max, merged.max);
+  EXPECT_EQ(copy.buckets, merged.buckets);
+  // And merging INTO an empty snapshot adopts the other side wholesale.
+  HistogramSnapshot fresh;
+  fresh.merge(merged);
+  EXPECT_EQ(fresh.count, merged.count);
+  EXPECT_EQ(fresh.min, merged.min);
+  EXPECT_EQ(fresh.max, merged.max);
+}
+
+TEST(Histogram, QuantilesOnEmptyHistogramAreZero) {
+  const HistogramSnapshot s = H().snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  for (const double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_DOUBLE_EQ(s.quantile(q), 0.0) << q;
+  }
+  // A default-constructed (bucketless) snapshot behaves the same way.
+  const HistogramSnapshot none;
+  EXPECT_DOUBLE_EQ(none.quantile(0.5), 0.0);
+}
+
 TEST(Histogram, ConcurrentRecordingLosesNothing) {
   // Lock-free recording from many threads while a reader snapshots; the
   // final snapshot must account for every record (TSan validates the

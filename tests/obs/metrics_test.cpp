@@ -7,9 +7,10 @@
 #include <sstream>
 #include <string>
 
+#include "common/json_min.hpp"
+#include "obs/buildinfo.hpp"
 #include "obs/metrics.hpp"
 #include "obs/metrics_server.hpp"
-#include "common/json_min.hpp"
 
 namespace adres::obs {
 namespace {
@@ -125,6 +126,104 @@ TEST(MetricsExport, JsonRoundTripsThroughParser) {
   EXPECT_EQ(lat.at("max").number, 9.0);
   EXPECT_EQ(lat.at("p50").number, 5.0) << "small values are bucket-exact";
   EXPECT_TRUE(lat.hasKey("p999"));
+}
+
+TEST(MetricsExport, HistogramBucketsAreCumulativeWithExemplars) {
+  // addHistogram renders a Prometheus histogram: power-of-two `le` bounds
+  // aligned with the log-linear decades, cumulative counts, and OpenMetrics
+  // exemplars (`# {trace_id="..."} value`) attached to the lowest covering
+  // bucket exactly once each.
+  MetricsRegistry reg;
+  LogLinearHistogram h;
+  for (u64 v = 1; v <= 8; ++v) h.record(v);
+  reg.addHistogram("lat_us", "decode latency", 1.0,
+                   [&h] { return h.snapshot(); },
+                   [] {
+                     return std::vector<MetricExemplar>{{3.5, "00c0ffee"},
+                                                        {100.0, "00facade"}};
+                   });
+
+  std::ostringstream os;
+  reg.writePrometheus(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# TYPE lat_us histogram\n"), std::string::npos);
+  // Values 1..8 → bounds 1,2,4,8,16; cumulative counts are "values < bound".
+  EXPECT_NE(text.find("lat_us_bucket{le=\"1\"} 0\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_bucket{le=\"2\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_bucket{le=\"8\"} 7\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_bucket{le=\"16\"} 8\n"), std::string::npos);
+  // 3.5 fits under le=4; 100 only under +Inf, which takes the leftovers.
+  EXPECT_NE(text.find("lat_us_bucket{le=\"4\"} 3 # {trace_id=\"00c0ffee\"} 3.5\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("lat_us_bucket{le=\"+Inf\"} 8 # {trace_id=\"00facade\"} 100\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("lat_us_sum 36\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_count 8\n"), std::string::npos);
+
+  // The JSON exporter carries the same histogram with its exemplars.
+  std::ostringstream js;
+  reg.writeJson(js);
+  const JsonValue root = JsonParser(js.str()).parse();
+  ASSERT_EQ(root.at("histograms").array.size(), 1u);
+  const JsonValue& lat = root.at("histograms").array[0];
+  EXPECT_EQ(lat.at("name").str, "lat_us");
+  EXPECT_EQ(lat.at("count").number, 8.0);
+  EXPECT_EQ(lat.at("sum").number, 36.0);
+  ASSERT_EQ(lat.at("exemplars").array.size(), 2u);
+  EXPECT_EQ(lat.at("exemplars").array[0].at("trace_id").str, "00c0ffee");
+  EXPECT_EQ(lat.at("exemplars").array[1].at("value").number, 100.0);
+
+  // clear() drops histograms along with everything else.
+  reg.clear();
+  EXPECT_TRUE(reg.snapshot().histograms.empty());
+}
+
+TEST(BuildInfo, JsonSchemaCarriesVersionAndToolchain) {
+  std::ostringstream os;
+  writeBuildInfoJson(os);
+  const JsonValue root = JsonParser(os.str()).parse();  // must not throw
+  EXPECT_EQ(root.at("schema").str, "adres.buildinfo.v1");
+  EXPECT_FALSE(root.at("version").str.empty());
+  EXPECT_FALSE(root.at("git_describe").str.empty());
+  EXPECT_FALSE(root.at("compiler").str.empty());
+  EXPECT_TRUE(root.hasKey("build_type"));
+  EXPECT_TRUE(root.hasKey("sanitize"));
+  EXPECT_EQ(root.at("version").str, buildInfo().version);
+}
+
+TEST(MetricsServer, ServesBuildinfoAndCountsItsOwnScrapes) {
+  MetricsRegistry reg;
+  MetricsServer server(reg, 0);
+  ASSERT_GT(server.port(), 0);
+  server.registerSelfMetrics(reg);
+
+  // Request 1: /buildinfo serves the same JSON the writer produces.
+  std::string status;
+  const std::string body =
+      httpGet("127.0.0.1", server.port(), "/buildinfo", &status);
+  EXPECT_NE(status.find("200"), std::string::npos);
+  const JsonValue root = JsonParser(body).parse();
+  EXPECT_EQ(root.at("schema").str, "adres.buildinfo.v1");
+  EXPECT_EQ(root.at("version").str, buildInfo().version);
+
+  // Request 2: the scrape counter includes the in-flight request, so the
+  // first /metrics after /buildinfo reads exactly 2.
+  const std::string scrape1 = httpGet("127.0.0.1", server.port(), "/metrics");
+  EXPECT_NE(scrape1.find("adres_metrics_scrapes_total 2\n"),
+            std::string::npos);
+  // Request 3: both prior requests have recorded handling durations by the
+  // time this one is served (the serve loop is sequential).
+  const std::string scrape2 = httpGet("127.0.0.1", server.port(), "/metrics");
+  EXPECT_NE(scrape2.find("adres_metrics_scrapes_total 3\n"),
+            std::string::npos);
+  EXPECT_NE(scrape2.find("# TYPE adres_metrics_scrape_duration_us summary\n"),
+            std::string::npos);
+  EXPECT_NE(scrape2.find("adres_metrics_scrape_duration_us_count 2\n"),
+            std::string::npos);
+
+  server.stop();
+  reg.clear();
 }
 
 TEST(MetricsServer, ServesPrometheusJsonHealthAnd404OverRealHttp) {

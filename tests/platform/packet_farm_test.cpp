@@ -4,10 +4,13 @@
 // must not perturb decoded output).
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <sstream>
 #include <string>
 
+#include "common/json_min.hpp"
 #include "dsp/channel.hpp"
 #include "obs/metrics_server.hpp"
 #include "platform/packet_farm.hpp"
@@ -248,6 +251,140 @@ TEST(PacketFarm, LiveMetricsScrapeIsBitExactAndExposesFarmSeries) {
 
   server.stop();
   reg.clear();  // teardown barrier before the farm dies
+}
+
+TEST(PacketFarm, DeepObservabilityKeepsDecodesBitAndCycleExact) {
+  // Spans + kernel profiling + exemplar capture all enabled at once against
+  // a plain farm: observation must not change a single bit or cycle, and
+  // every observability product (span trees, merged profile, exemplar
+  // files, exemplar'd Prometheus histogram) must materialize.
+  const dsp::ModemConfig cfg = smallConfig();
+  constexpr int kPackets = 8;
+  std::vector<std::array<std::vector<cint16>, 2>> waves;
+  for (int i = 0; i < kPackets; ++i) waves.push_back(makePacket(cfg, i).first);
+
+  std::vector<RxOutcome> base;
+  {
+    FarmConfig fc;
+    fc.modem = cfg;
+    fc.numWorkers = 3;
+    PacketFarm farm(fc);
+    for (const auto& rx : waves) (void)farm.submit(rx);
+    base = farm.finish();
+  }
+
+  const std::string dir = "packet_farm_test_exemplars";
+  std::filesystem::remove_all(dir);
+  FarmConfig fc;
+  fc.modem = cfg;
+  fc.numWorkers = 3;
+  fc.spans = true;
+  fc.kernelProfile = true;
+  fc.exemplars.enabled = true;
+  fc.exemplars.dir = dir;
+  fc.exemplars.quantile = 0.0;  // arm on the first sample: capture the tail
+  fc.exemplars.minCount = 1;    // of everything, deterministically non-empty
+  fc.exemplars.maxExemplars = 4;
+  fc.exemplars.ringCapacity = 512;
+  obs::MetricsRegistry reg;
+  PacketFarm farm(fc);
+  farm.registerMetrics(reg);
+  for (const auto& rx : waves) (void)farm.submit(rx);
+  const std::vector<RxOutcome> outs = farm.finish();
+
+  ASSERT_EQ(outs.size(), base.size());
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    const RxOutcome& o = outs[i];
+    EXPECT_EQ(o.result.bits, base[i].result.bits) << "packet " << i;
+    EXPECT_EQ(o.result.cycles, base[i].result.cycles)
+        << "observability must not move a cycle, packet " << i;
+    EXPECT_EQ(o.traceId, trace::packetTraceId(o.id, 0));
+    EXPECT_NE(o.traceId, 0u);
+    EXPECT_GE(o.queueWaitUs, 0.0);
+    // The span tree is attached and internally consistent.
+    ASSERT_FALSE(o.spans.empty()) << "packet " << i;
+    EXPECT_EQ(o.spans.traceId, o.traceId);
+    EXPECT_EQ(o.spans.jobId, o.id);
+    const trace::Span* decode = o.spans.find(trace::SpanKind::kDecode);
+    ASSERT_NE(decode, nullptr);
+    EXPECT_EQ(decode->cycles, o.result.cycles);
+    EXPECT_NEAR(o.spans.queueWaitUs(), o.queueWaitUs, 1e-9);
+    u64 regionChildren = 0, regionCycles = 0;
+    for (const trace::Span& s : o.spans.spans) {
+      if (s.kind != trace::SpanKind::kRegion) continue;
+      ++regionChildren;
+      regionCycles += s.cycles;
+      EXPECT_FALSE(s.name.empty());
+    }
+    EXPECT_GT(regionChildren, 4u) << "one child per modem region entered";
+    EXPECT_LE(regionCycles, o.result.cycles);
+  }
+
+  // Merged cycle-attribution profile: one fold per packet, partition exact.
+  const trace::ProfileSummary& prof = farm.stats().profile;
+  EXPECT_EQ(prof.runs, static_cast<u64>(kPackets));
+  EXPECT_GT(prof.totalCycles, 0u);
+  ASSERT_FALSE(prof.kernels.empty());
+  for (const auto& [key, kr] : prof.kernels) {
+    EXPECT_EQ(kr.cycles, kr.issueCycles + kr.idleCycles + kr.stallCycles +
+                             kr.overheadCycles)
+        << key.first << "/" << key.second;
+  }
+  EXPECT_EQ(farm.stats().queueWaitNs.count, static_cast<u64>(kPackets));
+
+  // Exemplar store: captured at least the first-armed packet, records are
+  // slowest-first, and every record's file is a parseable adres.exemplar.v1
+  // document matching its index entry.
+  const obs::ExemplarStore* store = farm.exemplarStore();
+  ASSERT_NE(store, nullptr);
+  EXPECT_GE(store->captured(), 1u);
+  const std::vector<obs::ExemplarRecord> recs = store->records();
+  ASSERT_FALSE(recs.empty());
+  ASSERT_LE(recs.size(), fc.exemplars.maxExemplars);
+  for (std::size_t i = 1; i < recs.size(); ++i)
+    EXPECT_GE(recs[i - 1].latencyUs, recs[i].latencyUs) << "slowest first";
+  for (const obs::ExemplarRecord& r : recs) {
+    std::ifstream in(r.path);
+    ASSERT_TRUE(in.good()) << r.path;
+    std::stringstream body;
+    body << in.rdbuf();
+    const json::JsonValue root = json::JsonParser(body.str()).parse();
+    EXPECT_EQ(root.at("schema").str, "adres.exemplar.v1");
+    EXPECT_EQ(root.at("trace_id").str, trace::traceIdHex(r.traceId));
+    EXPECT_EQ(root.at("job_id").number, static_cast<double>(r.jobId));
+    EXPECT_FALSE(root.at("spans").array.empty());
+    EXPECT_GT(root.at("ring").at("accepted").number, 0.0)
+        << "flight recorder saw the decode";
+  }
+
+  // Live slowest-packet view carries its span tree.
+  const PacketFarm::SlowestPacket slow = farm.slowestPacket();
+  EXPECT_GT(slow.latencyUs, 0.0);
+  EXPECT_NE(slow.traceId, 0u);
+  EXPECT_FALSE(slow.spans.empty());
+
+  // Prometheus exposition: the latency histogram renders buckets with an
+  // OpenMetrics trace-id exemplar, and the capture counter is live.
+  std::ostringstream os;
+  reg.writePrometheus(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# TYPE adres_farm_decode_latency_us histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("adres_farm_decode_latency_us_bucket{le=\"+Inf\"} 8"),
+            std::string::npos);
+  EXPECT_NE(text.find("# {trace_id=\"" + trace::traceIdHex(recs[0].traceId) +
+                      "\"}"),
+            std::string::npos)
+      << "slowest exemplar attached to a bucket";
+  EXPECT_NE(text.find("adres_farm_exemplars_captured_total"),
+            std::string::npos);
+  EXPECT_NE(text.find("adres_farm_queue_wait_us{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("adres_farm_slowest_packet_region_cycles{region="),
+            std::string::npos);
+
+  reg.clear();  // teardown barrier before the farm dies
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace
