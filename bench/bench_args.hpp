@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "cga/exec_tier.hpp"
+
 namespace adres::bench {
 
 /// Host milliseconds elapsed since `t0` (the latency-summary helper the
@@ -179,6 +181,25 @@ class Args {
   std::vector<Binding> positionals_;
   std::vector<Flag> flags_;
   bool error_ = false;
+};
+
+/// The shared `--exec-tier` flag (DESIGN.md §14): declares
+/// `--exec-tier TIER` on `args`, defaulting to defaultExecTier() (the
+/// ADRES_EXEC_TIER environment override, else native).  resolve() parses
+/// the chosen name and throws SimError on an unknown tier, so a typo fails
+/// loudly instead of silently benchmarking the wrong loop.
+class ExecTierFlag {
+ public:
+  explicit ExecTierFlag(Args& args)
+      : name_(execTierName(defaultExecTier())) {
+    args.flag("exec-tier", "TIER",
+              "execution tier: reference | interpreted | native", &name_);
+  }
+  ExecTier resolve() const { return parseExecTier(name_); }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
 };
 
 }  // namespace adres::bench

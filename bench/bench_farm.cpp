@@ -6,7 +6,8 @@
 // machine-readable BENCH_farm.json.
 //
 //   $ ./bench_farm [numPackets] [numSymbols] [maxWorkers] [jsonPath] \
-//         [--live-metrics PORT] [--linger-ms N] [--metrics-json PATH]
+//         [--exec-tier TIER] [--live-metrics PORT] [--linger-ms N] \
+//         [--metrics-json PATH]
 //
 // jsonPath defaults to BENCH_farm.json; pass "-" to skip the dump.  With
 // --live-metrics the bench embeds a MetricsServer: while the sweep runs,
@@ -65,7 +66,15 @@ int main(int argc, char** argv) {
             &lingerMs);
   args.flag("metrics-json", "PATH", "write the final adres.metrics.v1 snapshot",
             &metricsJsonPath);
+  bench::ExecTierFlag tierFlag(args);
   if (!args.parse(argc, argv)) return args.parseError() ? 1 : 0;
+  ExecTier tier;
+  try {
+    tier = tierFlag.resolve();
+  } catch (const SimError& e) {
+    fprintf(stderr, "bench_farm: %s\n", e.what());
+    return 1;
+  }
 
   if (numSymbols < 2) numSymbols = 2;
   numSymbols &= ~1;
@@ -76,7 +85,8 @@ int main(int argc, char** argv) {
   cfg.numSymbols = numSymbols;
 
   printf("=== packet farm: %d packets x %d symbols, up to %d workers "
-         "(%d hw threads) ===\n", numPackets, numSymbols, maxWorkers, hw);
+         "(%d hw threads, %s tier) ===\n",
+         numPackets, numSymbols, maxWorkers, hw, execTierName(tier));
 
   obs::MetricsRegistry metrics;
   std::unique_ptr<obs::MetricsServer> server;
@@ -124,6 +134,7 @@ int main(int argc, char** argv) {
     // Swap the scrape target: clear() is the teardown barrier for the
     // getters capturing the previous farm.
     fc.spans = true;  // per-packet span trees (region log, fast path kept)
+    fc.run.exec.tier = tier;
     metrics.clear();
     farm = std::make_unique<platform::PacketFarm>(fc);
     farm->registerMetrics(metrics);
@@ -200,6 +211,7 @@ int main(int argc, char** argv) {
   if (jsonPath != "-") {
     std::ofstream os(jsonPath);
     os << "{\n  \"schema\": \"adres.bench_farm.v1\",\n"
+       << "  \"exec_tier\": \"" << execTierName(tier) << "\",\n"
        << "  \"packets\": " << numPackets << ",\n"
        << "  \"num_symbols\": " << numSymbols << ",\n"
        << "  \"total_bits\": " << totalBits << ",\n"

@@ -4,8 +4,9 @@
 // committed BENCH_simspeed.json at the repo root tracks these numbers
 // across PRs (a baseline/after pair per optimization).
 //
-//   $ ./bench_simspeed [jsonPath] [minMsPerCase] [--profile-json PATH] \
-//         [--profile-folded PATH] [--overhead-max-pct PCT]
+//   $ ./bench_simspeed [jsonPath] [minMsPerCase] [--exec-tier TIER] \
+//         [--profile-json PATH] [--profile-folded PATH] \
+//         [--overhead-max-pct PCT]
 //
 // jsonPath defaults to BENCH_simspeed.json; pass "-" to skip the dump.
 // --profile-json / --profile-folded dump the cycle-attribution profiler
@@ -61,7 +62,16 @@ int main(int argc, char** argv) {
   args.flag("overhead-max-pct", "PCT",
             "fail if spans+profiler cost more than PCT% vs tracing off",
             &overheadMaxPct);
+  bench::ExecTierFlag tierFlag(args);
   if (!args.parse(argc, argv)) return args.parseError() ? 1 : 0;
+  ExecTier tier;
+  try {
+    tier = tierFlag.resolve();
+  } catch (const SimError& e) {
+    fprintf(stderr, "bench_simspeed: %s\n", e.what());
+    return 1;
+  }
+  printf("exec tier: %s\n", execTierName(tier));
 
   // -- Per-kernel: standalone launches on a private fabric ------------------
   std::vector<Measure> kernels;
@@ -69,7 +79,7 @@ int main(int argc, char** argv) {
     Fabric f;
     prepareFabric(f);
     c.setup(f);
-    (void)f.array.run(c.config, c.trips);  // warm-up (and plan build, if any)
+    (void)f.array.run(c.config, c.trips, tier);  // warm-up (and plan build)
     Measure m;
     m.name = c.name;
     const auto t0 = std::chrono::steady_clock::now();
@@ -77,7 +87,7 @@ int main(int argc, char** argv) {
       // Re-seed the live-ins every launch so pointers/indices the kernel
       // writes back never walk out of the fixture's address plan.
       c.setup(f);
-      const CgaRunResult r = f.array.run(c.config, c.trips);
+      const CgaRunResult r = f.array.run(c.config, c.trips, tier);
       m.simCycles += r.cycles;
       ++m.runs;
       m.hostMs = msSince(t0);
@@ -103,18 +113,23 @@ int main(int argc, char** argv) {
   const auto rx = ch.run(pkt.waveform);
   const sdr::ModemOnProcessor modem = sdr::buildModemProgram(cfg);
 
+  sdr::RxRunOptions tierOpts;
+  tierOpts.exec.tier = tier;
+
   Measure mm;
   mm.name = "modem";
   {
     Processor proc;
-    const sdr::ProcessorRxResult warm = sdr::runModemOnProcessor(proc, modem, rx);
+    const sdr::ProcessorRxResult warm =
+        sdr::runModemOnProcessor(proc, modem, rx, tierOpts);
     if (!warm.detected || dsp::bitErrors(warm.bits, pkt.bits) != 0) {
       fprintf(stderr, "modem warm-up run did not decode cleanly\n");
       return 1;
     }
     const auto t0 = std::chrono::steady_clock::now();
     do {
-      const sdr::ProcessorRxResult r = sdr::runModemOnProcessor(proc, modem, rx);
+      const sdr::ProcessorRxResult r =
+          sdr::runModemOnProcessor(proc, modem, rx, tierOpts);
       mm.simCycles += r.cycles;
       ++mm.runs;
       mm.hostMs = msSince(t0);
@@ -134,8 +149,8 @@ int main(int argc, char** argv) {
   u64 obsRuns = 0;
   {
     Processor proc;
-    const sdr::RxRunOptions off;
-    sdr::RxRunOptions on;
+    sdr::RxRunOptions off = tierOpts;
+    sdr::RxRunOptions on = tierOpts;
     on.profile = true;
     std::vector<RegionSpan> regionLog;
     on.regionLog = &regionLog;
@@ -206,6 +221,7 @@ int main(int argc, char** argv) {
   platform::FarmConfig fc;
   fc.modem = fcfg;
   fc.numWorkers = workers;
+  fc.run.exec.tier = tier;
   double farmMs = 0;
   {
     platform::PacketFarm farm(fc);
@@ -224,7 +240,8 @@ int main(int argc, char** argv) {
 
   if (jsonPath != "-") {
     std::ofstream os(jsonPath);
-    os << "{\n  \"schema\": \"adres.bench_simspeed.v1\",\n  \"kernels\": [\n";
+    os << "{\n  \"schema\": \"adres.bench_simspeed.v1\",\n  \"execTier\": \""
+       << execTierName(tier) << "\",\n  \"kernels\": [\n";
     for (std::size_t i = 0; i < kernels.size(); ++i) {
       const Measure& m = kernels[i];
       char buf[256];

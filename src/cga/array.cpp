@@ -60,11 +60,37 @@ Word CgaArray::readSrc(int fu, const SrcSel& s, i32 imm) {
 
 CgaRunResult CgaArray::run(const KernelConfig& k, u32 trips, u64 traceBase,
                            u32 kernelId) {
-  return run(buildKernelPlan(k), trips, traceBase, kernelId);
+  return run(buildKernelPlan(k, defaultExecTier()), trips, traceBase, kernelId);
+}
+
+CgaRunResult CgaArray::run(const KernelConfig& k, u32 trips, ExecTier tier,
+                           u64 traceBase, u32 kernelId) {
+  return run(buildKernelPlan(k, tier), trips, traceBase, kernelId);
 }
 
 CgaRunResult CgaArray::run(const KernelPlan& plan, u32 trips, u64 traceBase,
                            u32 kernelId) {
+  switch (plan.tier) {
+    case ExecTier::kReference:
+      return runReferenceLoop(plan.source, trips, traceBase, kernelId);
+    case ExecTier::kInterpreted:
+      return runInterpreted(plan, trips, traceBase, kernelId);
+    case ExecTier::kNative:
+      ADRES_CHECK(plan.native != nullptr,
+                  "kNative plan '" << plan.name << "' has no native section");
+      // Tracing needs per-op event emission; the interpreted loop produces
+      // the identical stream, results and counters.
+      if (trace_) return runInterpreted(plan, trips, traceBase, kernelId);
+      return runNative(plan, trips, traceBase);
+  }
+  ADRES_CHECK(false, "unknown exec tier "
+                         << static_cast<int>(plan.tier) << " for kernel '"
+                         << plan.name << "'");
+  return {};
+}
+
+CgaRunResult CgaArray::runInterpreted(const KernelPlan& plan, u32 trips,
+                                      u64 traceBase, u32 kernelId) {
   CgaRunResult res;
   std::array<u32, kCgaFus> fuOps = {};  // per-FU trace occupancy
   // Each kernel launch runs on its own local timeline; clear the bank-port
@@ -258,8 +284,8 @@ CgaRunResult CgaArray::run(const KernelPlan& plan, u32 trips, u64 traceBase,
   return res;
 }
 
-CgaRunResult CgaArray::runReference(const KernelConfig& k, u32 trips,
-                                    u64 traceBase, u32 kernelId) {
+CgaRunResult CgaArray::runReferenceLoop(const KernelConfig& k, u32 trips,
+                                        u64 traceBase, u32 kernelId) {
   k.validate();
   CgaRunResult res;
   std::array<u32, kCgaFus> fuOps = {};  // per-FU trace occupancy

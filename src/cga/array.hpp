@@ -14,9 +14,12 @@
 
 #include <array>
 
+#include <vector>
+
 #include "common/activity.hpp"
 #include "common/types.hpp"
 #include "cga/context.hpp"
+#include "cga/native.hpp"
 #include "cga/plan.hpp"
 #include "mem/config_mem.hpp"
 #include "mem/scratchpad.hpp"
@@ -46,27 +49,29 @@ class CgaArray {
            ActivityCounters& act)
       : crf_(crf), l1_(l1), cfg_(cfg), act_(act) {}
 
-  /// Executes `k` for `trips` iterations.  The caller (core) accounts the
-  /// mode-switch overhead; this returns the in-mode cycle cost.
-  /// `traceBase` anchors the kernel-local timeline on the core's absolute
-  /// cycle counter and `kernelId` labels trace events; both are trace-only.
-  /// Pre-decodes the kernel and delegates to the plan overload.
+  /// Executes `k` for `trips` iterations at the session's default tier
+  /// (defaultExecTier()).  The caller (core) accounts the mode-switch
+  /// overhead; this returns the in-mode cycle cost.  `traceBase` anchors
+  /// the kernel-local timeline on the core's absolute cycle counter and
+  /// `kernelId` labels trace events; both are trace-only.  Pre-decodes the
+  /// kernel and delegates to the plan overload.
   CgaRunResult run(const KernelConfig& k, u32 trips, u64 traceBase = 0,
                    u32 kernelId = 0);
 
-  /// Fast path: executes a pre-decoded plan.  Prologue and epilogue cycles
-  /// run with per-op squash checks; the steady-state window runs with none,
-  /// with per-context batched activity accounting and commits through a
-  /// latency-bounded wheel instead of a sorted queue.  Cycle- and bit-exact
-  /// with runReference on the plan's source KernelConfig.
+  /// Same, at an explicit execution tier.
+  CgaRunResult run(const KernelConfig& k, u32 trips, ExecTier tier,
+                   u64 traceBase = 0, u32 kernelId = 0);
+
+  /// Executes a pre-decoded plan, dispatching on the tier it was built for
+  /// (DESIGN.md §14): kReference replays the original per-cycle loop over
+  /// the plan's source config, kInterpreted runs the dense-op-list loop,
+  /// kNative runs the template-specialized loop with whole-launch batched
+  /// statistics and no-retire cycle skipping.  All tiers are bit- and
+  /// cycle-exact with each other (tests/cga/fastpath_ab_test); a kNative
+  /// plan with a trace sink attached runs the interpreted loop, which
+  /// emits the identical event stream.
   CgaRunResult run(const KernelPlan& plan, u32 trips, u64 traceBase = 0,
                    u32 kernelId = 0);
-
-  /// The pre-fast-path execution loop (per-cycle re-classification, sorted
-  /// pending queue), kept verbatim as the equivalence oracle for the A/B
-  /// tests.
-  CgaRunResult runReference(const KernelConfig& k, u32 trips,
-                            u64 traceBase = 0, u32 kernelId = 0);
 
   /// Test access to the fabric state.
   Word outputReg(int fu) const { return outRegs_[static_cast<std::size_t>(fu)]; }
@@ -96,11 +101,33 @@ class CgaArray {
 
   Word readSrc(int fu, const SrcSel& s, i32 imm);
 
+  /// kInterpreted tier: the dense-op-list loop (guarded edges, batched
+  /// steady window, commit wheel).
+  CgaRunResult runInterpreted(const KernelPlan& plan, u32 trips, u64 traceBase,
+                              u32 kernelId);
+
+  /// kReference tier: the original per-cycle re-classification loop with a
+  /// sorted pending queue — the equivalence oracle for the A/B/C tests.
+  CgaRunResult runReferenceLoop(const KernelConfig& k, u32 trips,
+                                u64 traceBase, u32 kernelId);
+
+  /// kNative tier (cga/native.cpp): resolves the plan's op specs to raw
+  /// pointers once per launch, then runs the template-specialized loop.
+  CgaRunResult runNative(const KernelPlan& plan, u32 trips, u64 traceBase);
+  void resolveNative(const KernelPlan& plan);
+
   /// Commit wheel: slot g & kCgaWheelMask holds the writes due at logical
   /// cycle g, in issue order (the deterministic commit order of the sorted
   /// reference queue).  Member state so slot capacity persists across
   /// launches; every run leaves all slots empty.
   std::array<std::vector<PendingWrite>, kCgaWheelSlots> wheel_;
+
+  /// Native-tier launch scratch: resolved ops and the flat commit wheel
+  /// (kCgaWheelSlots x maxCommitDepth, slot-major).  Member state so the
+  /// allocations persist across launches.
+  std::vector<NativeResolvedOp> nativeOps_;
+  std::vector<NativePending> nativeWheel_;
+  std::array<u32, kCgaWheelSlots> nativeWheelCounts_ = {};
 
   CentralRegFile& crf_;
   Scratchpad& l1_;

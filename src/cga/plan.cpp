@@ -2,15 +2,22 @@
 
 #include <algorithm>
 
+#include "cga/native.hpp"
 #include "common/check.hpp"
 #include "isa/semantics.hpp"
 
 namespace adres {
 
-KernelPlan buildKernelPlan(const KernelConfig& k) {
+KernelPlan buildKernelPlan(const KernelConfig& k, ExecTier tier) {
+  ADRES_CHECK(tier == ExecTier::kReference || tier == ExecTier::kInterpreted ||
+                  tier == ExecTier::kNative,
+              "unknown exec tier " << static_cast<int>(tier)
+                                   << " for kernel '" << k.name << "'");
   k.validate();
   KernelPlan p;
   p.name = k.name;
+  p.tier = tier;
+  p.source = k;
   p.ii = k.ii;
   p.schedLength = k.schedLength;
   p.preloads = k.preloads;
@@ -86,15 +93,18 @@ KernelPlan buildKernelPlan(const KernelConfig& k) {
             [](const PlanClassCount& a, const PlanClassCount& b) {
               return a.kind != b.kind ? a.kind < b.kind : a.lat < b.lat;
             });
+  if (tier == ExecTier::kNative) p.native = buildNativePlan(p);
   return p;
 }
 
 std::shared_ptr<const ProgramPlans> buildProgramPlans(
-    const std::vector<KernelConfig>& kernels) {
+    const std::vector<KernelConfig>& kernels, ExecTier tier) {
   auto plans = std::make_shared<ProgramPlans>();
+  plans->tier = tier;
   plans->kernels.reserve(kernels.size());
   for (const KernelConfig& k : kernels)
-    plans->kernels.push_back(buildKernelPlan(decodeKernel(encodeKernel(k))));
+    plans->kernels.push_back(
+        buildKernelPlan(decodeKernel(encodeKernel(k)), tier));
   return plans;
 }
 

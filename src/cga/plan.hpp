@@ -17,8 +17,11 @@
 #include <vector>
 
 #include "cga/context.hpp"
+#include "cga/exec_tier.hpp"
 
 namespace adres {
+
+struct NativePlan;  // cga/native.hpp: the native tier's specialized form
 
 /// Dispatch class of an active FU op, resolved at plan-build time.
 enum class PlanOpKind : u8 { kCompute, kLoad, kStore };
@@ -80,9 +83,14 @@ struct PlanClassCount {
 };
 
 /// A fully pre-decoded kernel: everything CgaArray::run needs, in dense
-/// per-context form.
+/// per-context form.  A plan is built FOR an execution tier (DESIGN.md
+/// §14); CgaArray::run dispatches on it.  All tiers carry the decoded
+/// sections below; kNative plans additionally carry the specialized
+/// NativePlan, and the source KernelConfig is retained so the kReference
+/// tier runs the original per-cycle loop through the same entry point.
 struct KernelPlan {
   std::string name;
+  ExecTier tier = ExecTier::kInterpreted;
   int ii = 1;
   int schedLength = 1;
   /// Steady-state window: logical cycle g has no squashed op iff
@@ -93,15 +101,22 @@ struct KernelPlan {
   std::vector<Preload> preloads;
   std::vector<Writeback> writebacks;
   std::vector<PlanClassCount> classes;  ///< (kind, lat)-ascending
+  KernelConfig source;  ///< the validated decode the plan was built from
+  /// Specialized native form; non-null iff tier == kNative.
+  std::shared_ptr<const NativePlan> native;
 };
 
-/// Pre-decodes `k` (validating it, as the reference path does).
-KernelPlan buildKernelPlan(const KernelConfig& k);
+/// Pre-decodes `k` for `tier` (validating it, as the reference path does).
+/// An out-of-range tier throws SimError — tier selection fails loudly at
+/// plan build, never silently at launch.
+KernelPlan buildKernelPlan(const KernelConfig& k,
+                           ExecTier tier = ExecTier::kInterpreted);
 
 /// Decoded plans of a whole program's kernel table, shared read-only
 /// between processors (the packet farm's workers share one instance the
 /// same way they share the mapped program).
 struct ProgramPlans {
+  ExecTier tier = ExecTier::kInterpreted;  ///< tier every plan was built for
   std::vector<KernelPlan> kernels;
 };
 
@@ -110,6 +125,18 @@ struct ProgramPlans {
 /// sequencer reads back out of configuration memory after Processor::load
 /// (idempotent for kernels that already went through the binary path).
 std::shared_ptr<const ProgramPlans> buildProgramPlans(
-    const std::vector<KernelConfig>& kernels);
+    const std::vector<KernelConfig>& kernels,
+    ExecTier tier = ExecTier::kInterpreted);
+
+/// How a processor executes kernel launches: the tier plus an optional
+/// pre-built plan-cache handle (the packet farm shares one read-only
+/// ProgramPlans across workers).  Owned by sdr::RxRunOptions and passed to
+/// Processor::load — this replaces the former ad-hoc plan threading
+/// through ModemOnProcessor.  When `plans` is set its tier must equal
+/// `tier`; when null, the loader builds plans at `tier`.
+struct ExecPolicy {
+  ExecTier tier = defaultExecTier();
+  std::shared_ptr<const ProgramPlans> plans;
+};
 
 }  // namespace adres

@@ -31,6 +31,13 @@ Processor::Processor() : cga_(crf_, l1_, cfgMem_, act_), dma_(l1_, cfgMem_) {}
 
 void Processor::load(const Program& prog,
                      std::shared_ptr<const ProgramPlans> plans) {
+  ExecPolicy policy;
+  if (plans) policy.tier = plans->tier;
+  policy.plans = std::move(plans);
+  load(prog, std::move(policy));
+}
+
+void Processor::load(const Program& prog, ExecPolicy policy) {
   prog.validate();
   prog_ = prog;
 
@@ -56,12 +63,21 @@ void Processor::load(const Program& prog,
         decodeKernel(cfgMem_.readBytes(spans[i].first, spans[i].second));
   }
 
-  // Decoded kernel plans: adopt the shared set when the caller provides one
+  // Decoded kernel plans: adopt the policy's shared set when provided
   // (buildProgramPlans round-trips through the binary path, so shared plans
-  // describe exactly the kernels decoded above), else build our own.
-  ADRES_CHECK(!plans || plans->kernels.size() == prog_.kernels.size(),
-              "kernel plans do not match the program's kernel table");
-  plans_ = plans ? std::move(plans) : buildProgramPlans(prog_.kernels);
+  // describe exactly the kernels decoded above), else build our own at the
+  // policy's tier.
+  if (policy.plans) {
+    ADRES_CHECK(policy.plans->kernels.size() == prog_.kernels.size(),
+                "kernel plans do not match the program's kernel table");
+    ADRES_CHECK(policy.plans->tier == policy.tier,
+                "ExecPolicy tier " << execTierName(policy.tier)
+                                   << " does not match the supplied plans ("
+                                   << execTierName(policy.plans->tier) << ")");
+    plans_ = std::move(policy.plans);
+  } else {
+    plans_ = buildProgramPlans(prog_.kernels, policy.tier);
+  }
 
   // Reset architectural and pipeline state.
   crf_.clear();

@@ -96,11 +96,18 @@ class Processor {
 
   /// Loads a program: validates it, encodes+decodes the text (exercising the
   /// binary path), places data segments in L1 via DMA, encodes kernels into
-  /// configuration memory via DMA, resets the pipeline.  `plans` optionally
-  /// supplies pre-decoded kernel plans shared across processors (the packet
-  /// farm path); when null, plans are built here from the loaded kernels.
-  void load(const Program& prog,
-            std::shared_ptr<const ProgramPlans> plans = nullptr);
+  /// configuration memory via DMA, resets the pipeline.  `policy` selects
+  /// how kernel launches execute (DESIGN.md §14): its tier picks the plan
+  /// flavour, and its optional pre-built plan set is adopted when supplied
+  /// (the packet farm shares one read-only set across workers; it must have
+  /// been built at the policy's tier).  When no plans are supplied they are
+  /// built here from the loaded kernels.
+  void load(const Program& prog, ExecPolicy policy = {});
+
+  /// Transitional shim for the pre-ExecTier API, which threaded bare plan
+  /// sets through load.  The plans' embedded tier governs execution.
+  [[deprecated("pass an ExecPolicy instead of a bare plan set")]]
+  void load(const Program& prog, std::shared_ptr<const ProgramPlans> plans);
 
   // -- Execution -------------------------------------------------------------
 

@@ -79,6 +79,43 @@ class Scratchpad {
     ++stats_.writes;
   }
 
+  // Raw functional access for the native execution tier: same address
+  // checks (ill-formed programs still fail loudly), no per-access stats —
+  // the tier adds `loads * trips` / `stores * trips` in one shot per launch.
+
+  u32 peek32(u32 addr) const {
+    checkAddr(addr, 4);
+    u32 v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<u32>(mem_[addr + static_cast<u32>(i)]) << (8 * i);
+    return v;
+  }
+
+  void poke32(u32 addr, u32 v) {
+    checkAddr(addr, 4);
+    for (int i = 0; i < 4; ++i) mem_[addr + static_cast<u32>(i)] = static_cast<u8>(v >> (8 * i));
+  }
+
+  u32 peek16(u32 addr) const {
+    checkAddr(addr, 2);
+    return static_cast<u32>(mem_[addr]) | (static_cast<u32>(mem_[addr + 1]) << 8);
+  }
+
+  void poke16(u32 addr, u32 v) {
+    checkAddr(addr, 2);
+    mem_[addr] = static_cast<u8>(v);
+    mem_[addr + 1] = static_cast<u8>(v >> 8);
+  }
+
+  u32 peek8(u32 addr) const {
+    checkAddr(addr, 1);
+    return mem_[addr];
+  }
+
+  void poke8(u32 addr, u32 v) {
+    checkAddr(addr, 1);
+    mem_[addr] = static_cast<u8>(v);
+  }
+
   /// Bulk initialization used by program loaders and the DMA engine.
   void loadBytes(u32 addr, const std::vector<u8>& bytes) {
     ADRES_CHECK(static_cast<u64>(addr) + bytes.size() <= kL1Bytes,

@@ -11,9 +11,9 @@ namespace {
 struct ProgramCache {
   std::mutex mu;
   // Key: (modulation, numSymbols) — the full build input.  The cached
-  // ModemOnProcessor carries the pre-decoded kernel plans, so every
-  // session sharing a program also shares its plans (Processor::load
-  // adopts them instead of re-decoding per worker).
+  // ModemOnProcessor carries the per-tier plan cache, so every session
+  // sharing a program also shares one pre-decoded plan set per exec tier
+  // (Processor::load adopts it instead of re-decoding per worker).
   std::map<std::pair<int, int>, std::shared_ptr<const sdr::ModemOnProcessor>>
       byConfig;
 };
@@ -58,6 +58,9 @@ void SessionStats::merge(const SessionStats& other) {
 
 RxSession::RxSession(const dsp::ModemConfig& cfg, sdr::RxRunOptions opts)
     : modem_(modemProgramFor(cfg)), opts_(std::move(opts)) {
+  // Resolve the exec policy's plan set once per session: every decode then
+  // loads with the shared per-tier plans instead of consulting the cache.
+  if (!opts_.exec.plans) opts_.exec.plans = modem_->plansFor(opts_.exec.tier);
   trace::registerProcessorCounters(reg_, proc_);
 }
 

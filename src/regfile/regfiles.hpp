@@ -54,7 +54,16 @@ class CentralRegFile {
   void poke(int r, Word v) { data_[static_cast<std::size_t>(r)] = v; }
   void pokePred(int p, bool v) { pred_[static_cast<std::size_t>(p)] = v; }
 
+  /// Range-checked raw storage pointer for the native execution tier: the
+  /// access itself carries no stats (the tier batches them per launch).
+  Word* slotPtr(int r) {
+    ADRES_CHECK(r >= 0 && r < kCdrfRegs, "CDRF slot r" << r);
+    return &data_[static_cast<std::size_t>(r)];
+  }
+
   const RegFileStats& stats() const { return stats_; }
+  /// Direct stats access for whole-launch batched accounting.
+  RegFileStats& mutableStats() { return stats_; }
   const RegFileStats& predStats() const { return predStats_; }
   void resetStats() { stats_ = {}; predStats_ = {}; }
 
@@ -88,8 +97,17 @@ class LocalRegFile {
   }
 
   Word peek(int r) const { return data_[static_cast<std::size_t>(r)]; }
+  void poke(int r, Word v) { data_[static_cast<std::size_t>(r)] = v; }
+
+  /// Range-checked raw storage pointer for the native execution tier.
+  Word* slotPtr(int r) {
+    ADRES_CHECK(r >= 0 && r < kLocalRfRegs, "local RF slot r" << r);
+    return &data_[static_cast<std::size_t>(r)];
+  }
 
   const RegFileStats& stats() const { return stats_; }
+  /// Direct stats access for whole-launch batched accounting.
+  RegFileStats& mutableStats() { return stats_; }
   void resetStats() { stats_ = {}; }
   void clear() { data_.fill(0); }
 

@@ -1,7 +1,9 @@
 #include "sdr/modem_program.hpp"
 
 #include <algorithm>
+#include <array>
 #include <fstream>
+#include <mutex>
 
 #include "common/check.hpp"
 #include "dsp/lanes.hpp"
@@ -15,6 +17,16 @@
 #include "trace/telemetry.hpp"
 
 namespace adres::sdr {
+
+namespace detail {
+/// Per-tier pre-decoded plan sets of one built modem program, filled
+/// lazily under the mutex (plansFor).
+struct ModemPlanCache {
+  std::mutex mu;
+  std::array<std::shared_ptr<const ProgramPlans>, kExecTierCount> byTier;
+};
+}  // namespace detail
+
 namespace {
 
 using dsp::kLtfAmpQ15;
@@ -677,10 +689,26 @@ ModemOnProcessor buildModemProgram(const dsp::ModemConfig& cfg) {
   out.layout = e.L;
   out.config = cfg;
   out.numSymbols = numSymbols;
-  // Pre-decode the kernel plans once per built program; every processor
-  // that loads it (all packet-farm workers) shares this read-only set.
-  out.plans = buildProgramPlans(out.program.kernels);
+  // The per-tier plan sets are built lazily through plansFor(); the cache
+  // is shared by every copy of this struct (the RxSession program cache
+  // hands out copies, so all packet-farm workers converge on one set per
+  // tier).
+  out.planCache = std::make_shared<detail::ModemPlanCache>();
   return out;
+}
+
+std::shared_ptr<const ProgramPlans> ModemOnProcessor::plansFor(
+    ExecTier tier) const {
+  ADRES_CHECK(planCache != nullptr,
+              "modem program has no plan cache (not built by "
+              "buildModemProgram?)");
+  const auto idx = static_cast<std::size_t>(tier);
+  ADRES_CHECK(idx < static_cast<std::size_t>(kExecTierCount),
+              "unknown exec tier " << static_cast<int>(tier));
+  std::lock_guard<std::mutex> lock(planCache->mu);
+  std::shared_ptr<const ProgramPlans>& slot = planCache->byTier[idx];
+  if (!slot) slot = buildProgramPlans(program.kernels, tier);
+  return slot;
 }
 
 ProcessorRxResult runModemOnProcessor(
@@ -690,7 +718,9 @@ ProcessorRxResult runModemOnProcessor(
   // Always-set (not guarded) so a baseline run clears a previous attachment.
   proc.setKernelProfiling(opts.profile);
   proc.setRegionLog(opts.regionLog);
-  proc.load(m.program, m.plans);
+  ExecPolicy pol = opts.exec;
+  if (!pol.plans) pol.plans = m.plansFor(pol.tier);
+  proc.load(m.program, std::move(pol));
   // DMA the antenna waveforms into L1.
   for (int a = 0; a < 2; ++a) {
     std::vector<u8> bytes;

@@ -35,14 +35,24 @@ struct ModemLayout {
   u32 scratch = 0;
 };
 
+namespace detail {
+struct ModemPlanCache;  // modem_program.cpp: per-tier pre-decoded plan sets
+}
+
 struct ModemOnProcessor {
   Program program;
   ModemLayout layout;
   dsp::ModemConfig config;  ///< the configuration the program was built for
   int numSymbols = 0;       ///< == config.numSymbols; must be even (pairs)
-  /// Pre-decoded kernel plans, shared read-only by every processor that
-  /// loads this program (Processor::load skips its own plan build).
-  std::shared_ptr<const ProgramPlans> plans;
+  /// Per-tier plan cache created by buildModemProgram and shared by copies
+  /// of this struct; plansFor() is the only accessor.
+  std::shared_ptr<detail::ModemPlanCache> planCache;
+
+  /// The pre-decoded kernel plans for `tier`, built lazily on first use and
+  /// then shared read-only by every processor that loads this program
+  /// (packet-farm workers share one set per tier; Processor::load skips its
+  /// own plan build).  Thread-safe.
+  std::shared_ptr<const ProgramPlans> plansFor(ExecTier tier) const;
 };
 
 /// Builds the receiver program for a modem configuration (QAM-64 only —
@@ -64,6 +74,11 @@ ModemOnProcessor buildModemProgram(const dsp::ModemConfig& cfg);
 /// StopReason::kCancelled).  Both referents must outlive the run.
 struct RxRunOptions {
   u64 maxCycles = 200'000'000ull;  ///< simulated-cycle budget
+  /// How kernel launches execute (DESIGN.md §14): the tier, plus an
+  /// optional pre-built plan set.  When `exec.plans` is unset the modem's
+  /// per-tier shared cache supplies it.  All tiers are bit- and cycle-exact;
+  /// they differ only in host speed.
+  ExecPolicy exec;
   TraceSink* trace = nullptr;      ///< attached to the processor when set
   std::string countersJsonPath;    ///< adres.counters.v1 dump ("" = off)
   std::atomic<u64>* progressCycles = nullptr;  ///< heartbeat: cycles so far

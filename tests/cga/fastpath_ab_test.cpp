@@ -1,10 +1,10 @@
-// A/B equivalence: the pre-decoded fast path (CgaArray::run on a
-// KernelPlan) against the reference per-cycle loop (runReference) for every
-// Table 2 fixture kernel, across trip counts that exercise the empty run,
-// prologue/epilogue-only runs (no steady-state window) and the canonical
-// steady-state run.  Equivalence means identical CgaRunResult, identical
-// activity/memory statistics and an identical fabric checksum (output
-// registers, local RFs, CRF, L1 contents).
+// A/B/C equivalence of the three execution tiers (DESIGN.md §14): for
+// every Table 2 fixture kernel, plans built at kReference, kInterpreted
+// and kNative must execute identically across trip counts that exercise
+// the empty run, prologue/epilogue-only runs (no steady-state window) and
+// the canonical steady-state run.  Equivalence means identical
+// CgaRunResult, identical activity/memory statistics and an identical
+// fabric checksum (output registers, local RFs, CRF, L1 contents).
 #include <gtest/gtest.h>
 
 #include "support/kernel_fixture.hpp"
@@ -74,38 +74,65 @@ void expectEqual(const AbSnapshot& ref, const AbSnapshot& fast) {
   EXPECT_EQ(ref.checksum, fast.checksum);
 }
 
-TEST(CgaFastPathAb, MatchesReferenceOnEveryFixtureKernel) {
+TEST(CgaExecTierAbc, TiersMatchOnEveryFixtureKernel) {
   for (const KernelCase& c : tableTwoKernelCases()) {
-    const KernelPlan plan = buildKernelPlan(c.config);
+    const KernelPlan ref = buildKernelPlan(c.config, ExecTier::kReference);
+    const KernelPlan interp = buildKernelPlan(c.config, ExecTier::kInterpreted);
+    const KernelPlan native = buildKernelPlan(c.config, ExecTier::kNative);
+    ASSERT_EQ(ref.tier, ExecTier::kReference);
+    ASSERT_EQ(interp.tier, ExecTier::kInterpreted);
+    ASSERT_EQ(native.tier, ExecTier::kNative);
+    ASSERT_EQ(ref.native, nullptr);
+    ASSERT_NE(native.native, nullptr);
     // 0: nothing runs; 1 and 2: prologue/epilogue overlap, steady-state
     // window empty or tiny; c.trips: the canonical Table 2 launch with a
     // real steady state.
     for (u32 trips : {0u, 1u, 2u, c.trips}) {
       SCOPED_TRACE(std::string(c.name) + " trips=" + std::to_string(trips));
-      const AbSnapshot ref = runCase(c, trips, [&](Fabric& f, u32 t) {
-        return f.array.runReference(c.config, t);
+      const AbSnapshot a = runCase(c, trips, [&](Fabric& f, u32 t) {
+        return f.array.run(ref, t);
       });
-      const AbSnapshot fast = runCase(c, trips, [&](Fabric& f, u32 t) {
-        return f.array.run(plan, t);
+      const AbSnapshot b = runCase(c, trips, [&](Fabric& f, u32 t) {
+        return f.array.run(interp, t);
       });
-      expectEqual(ref, fast);
+      const AbSnapshot n = runCase(c, trips, [&](Fabric& f, u32 t) {
+        return f.array.run(native, t);
+      });
+      expectEqual(a, b);
+      expectEqual(a, n);
     }
   }
 }
 
-// The KernelConfig overload is a thin wrapper over buildKernelPlan + the
-// plan overload; pin that it really is the same execution.
-TEST(CgaFastPathAb, ConfigOverloadDelegatesToPlan) {
+// The KernelConfig overloads are thin wrappers over buildKernelPlan + the
+// plan overload; pin that they really are the same execution, for both the
+// explicit-tier and default-tier flavours.
+TEST(CgaExecTierAbc, ConfigOverloadDelegatesToPlan) {
   const std::vector<KernelCase> cases = tableTwoKernelCases();
   const KernelCase& c = cases.front();
-  const AbSnapshot direct = runCase(c, c.trips, [&](Fabric& f, u32 t) {
+  const AbSnapshot viaDefault = runCase(c, c.trips, [&](Fabric& f, u32 t) {
     return f.array.run(c.config, t);
   });
-  const KernelPlan plan = buildKernelPlan(c.config);
+  const AbSnapshot viaTier = runCase(c, c.trips, [&](Fabric& f, u32 t) {
+    return f.array.run(c.config, t, defaultExecTier());
+  });
+  const KernelPlan plan = buildKernelPlan(c.config, defaultExecTier());
   const AbSnapshot viaPlan = runCase(c, c.trips, [&](Fabric& f, u32 t) {
     return f.array.run(plan, t);
   });
-  expectEqual(direct, viaPlan);
+  expectEqual(viaDefault, viaTier);
+  expectEqual(viaDefault, viaPlan);
+}
+
+// Tier selection fails loudly at plan build, never silently at launch.
+TEST(CgaExecTierAbc, UnknownTierThrowsAtPlanBuild) {
+  const std::vector<KernelCase> cases = tableTwoKernelCases();
+  EXPECT_THROW(buildKernelPlan(cases.front().config, static_cast<ExecTier>(7)),
+               SimError);
+  EXPECT_THROW(parseExecTier("turbo"), SimError);
+  EXPECT_EQ(parseExecTier("reference"), ExecTier::kReference);
+  EXPECT_EQ(parseExecTier("interpreted"), ExecTier::kInterpreted);
+  EXPECT_EQ(parseExecTier("native"), ExecTier::kNative);
 }
 
 }  // namespace

@@ -2,9 +2,14 @@
 // per-kernel CgaRunResult rows (cycles/ops/stalls plus a state checksum)
 // and the Table 2 modem run (region profiles, total cycles, decoded bits,
 // counter hash) — is locked into tests/core/timing_golden.inc.  Hot-loop
-// refactors (pre-decode, commit wheel, ...) must reproduce every value
-// bit-for-bit; an intentional timing-model change must regenerate the
-// fixture with timing_golden_dump and justify the diff.
+// refactors (pre-decode, commit wheel, native tier, ...) must reproduce
+// every value bit-for-bit; an intentional timing-model change must
+// regenerate the fixture with timing_golden_dump and justify the diff.
+//
+// The fixture is tier-independent: every ExecTier (DESIGN.md §14) is swept
+// against the SAME committed values, so the reference loop, the
+// interpreted plan loop and the native specialized loop are all pinned to
+// one timing model.
 #include <gtest/gtest.h>
 
 #include "support/timing_golden_common.hpp"
@@ -14,26 +19,31 @@ namespace {
 
 #include "timing_golden.inc"
 
-TEST(TimingGolden, KernelRowsMatchFixture) {
-  const std::vector<KernelGoldenRow> rows = collectKernelGolden();
-  const std::size_t n = sizeof(kKernelGolden) / sizeof(kKernelGolden[0]);
-  ASSERT_EQ(rows.size(), n) << "kernel set changed; regenerate the fixture";
-  for (std::size_t i = 0; i < n; ++i) {
-    const KernelGoldenRow& got = rows[i];
-    const KernelGoldenRow& want = kKernelGolden[i];
-    SCOPED_TRACE("kernel: " + want.name);
-    EXPECT_EQ(got.name, want.name);
-    EXPECT_EQ(got.cycles, want.cycles);
-    EXPECT_EQ(got.arrayCycles, want.arrayCycles);
-    EXPECT_EQ(got.stallCycles, want.stallCycles);
-    EXPECT_EQ(got.ops, want.ops);
-    EXPECT_EQ(got.routeMoves, want.routeMoves);
-    EXPECT_EQ(got.checksum, want.checksum);
+constexpr ExecTier kAllTiers[] = {ExecTier::kReference, ExecTier::kInterpreted,
+                                  ExecTier::kNative};
+
+TEST(TimingGolden, KernelRowsMatchFixtureOnEveryTier) {
+  for (ExecTier tier : kAllTiers) {
+    SCOPED_TRACE(std::string("tier: ") + execTierName(tier));
+    const std::vector<KernelGoldenRow> rows = collectKernelGolden(tier);
+    const std::size_t n = sizeof(kKernelGolden) / sizeof(kKernelGolden[0]);
+    ASSERT_EQ(rows.size(), n) << "kernel set changed; regenerate the fixture";
+    for (std::size_t i = 0; i < n; ++i) {
+      const KernelGoldenRow& got = rows[i];
+      const KernelGoldenRow& want = kKernelGolden[i];
+      SCOPED_TRACE("kernel: " + want.name);
+      EXPECT_EQ(got.name, want.name);
+      EXPECT_EQ(got.cycles, want.cycles);
+      EXPECT_EQ(got.arrayCycles, want.arrayCycles);
+      EXPECT_EQ(got.stallCycles, want.stallCycles);
+      EXPECT_EQ(got.ops, want.ops);
+      EXPECT_EQ(got.routeMoves, want.routeMoves);
+      EXPECT_EQ(got.checksum, want.checksum);
+    }
   }
 }
 
-TEST(TimingGolden, ModemRunMatchesFixture) {
-  const ModemGolden m = collectModemGolden();
+void expectModemMatchesFixture(const ModemGolden& m) {
   EXPECT_EQ(m.detected, kModemDetected);
   EXPECT_EQ(m.ltfStart, kModemLtfStart);
   EXPECT_EQ(m.cycles, kModemCycles);
@@ -53,6 +63,20 @@ TEST(TimingGolden, ModemRunMatchesFixture) {
     EXPECT_EQ(got.ops, want.ops);
     EXPECT_EQ(got.entries, want.entries);
   }
+}
+
+// One test per tier (the modem run dominates suite wall time; keep the
+// three sweeps schedulable in parallel by ctest).
+TEST(TimingGolden, ModemRunMatchesFixtureReference) {
+  expectModemMatchesFixture(collectModemGolden(ExecTier::kReference));
+}
+
+TEST(TimingGolden, ModemRunMatchesFixtureInterpreted) {
+  expectModemMatchesFixture(collectModemGolden(ExecTier::kInterpreted));
+}
+
+TEST(TimingGolden, ModemRunMatchesFixtureNative) {
+  expectModemMatchesFixture(collectModemGolden(ExecTier::kNative));
 }
 
 }  // namespace

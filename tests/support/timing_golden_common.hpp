@@ -49,14 +49,17 @@ inline u64 fnv1a(u64 h, u64 v) {
 }
 inline constexpr u64 kFnvSeed = 1469598103934665603ull;
 
-/// Runs every fixture kernel on a fresh fabric; one row per kernel.
-inline std::vector<KernelGoldenRow> collectKernelGolden() {
+/// Runs every fixture kernel on a fresh fabric at `tier`; one row per
+/// kernel.  The fixture is tier-independent: all exec tiers must reproduce
+/// the identical rows (the golden test sweeps them).
+inline std::vector<KernelGoldenRow> collectKernelGolden(
+    ExecTier tier = defaultExecTier()) {
   std::vector<KernelGoldenRow> rows;
   for (const KernelCase& c : tableTwoKernelCases()) {
     Fabric f;
     prepareFabric(f);
     c.setup(f);
-    const CgaRunResult r = f.array.run(c.config, c.trips);
+    const CgaRunResult r = f.array.run(c.config, c.trips, tier);
     KernelGoldenRow row;
     row.name = c.name;
     row.cycles = r.cycles;
@@ -84,7 +87,7 @@ inline std::vector<KernelGoldenRow> collectKernelGolden() {
 
 /// The bench_table2 scenario: QAM-64, 16 symbols, flat 40 dB channel with
 /// 6 ppm CFO — the run whose region profile reproduces Table 2.
-inline ModemGolden collectModemGolden() {
+inline ModemGolden collectModemGolden(ExecTier tier = defaultExecTier()) {
   dsp::ModemConfig cfg;
   cfg.mod = dsp::Modulation::kQam64;
   cfg.numSymbols = 16;
@@ -99,7 +102,9 @@ inline ModemGolden collectModemGolden() {
 
   const sdr::ModemOnProcessor m = sdr::buildModemProgram(cfg);
   Processor proc;
-  const sdr::ProcessorRxResult res = sdr::runModemOnProcessor(proc, m, rx);
+  sdr::RxRunOptions opts;
+  opts.exec.tier = tier;
+  const sdr::ProcessorRxResult res = sdr::runModemOnProcessor(proc, m, rx, opts);
 
   ModemGolden g;
   g.detected = res.detected;
