@@ -38,6 +38,12 @@ struct Row {
   double p50Us = 0, p99Us = 0, avgPowerMw = 0, ber = 0;
   double queueWaitP50Us = 0, queueWaitP99Us = 0;
   double queueWaitShare = 0;  ///< queue wait / (queue wait + decode time)
+  // Producer/consumer split: the submit side timed separately from the
+  // decode side, plus how long submitters sat blocked on a full queue.
+  double submitMs = 0;             ///< wall time of the submit loop alone
+  double submitPps = 0;            ///< submit-side throughput (jobs/s)
+  double backpressureMs = 0;       ///< submitter time blocked, queue full
+  double backpressureShare = 0;    ///< blocked time / submit wall time
   bool bitExact = true;  ///< per-packet results identical to the 1-worker run
 };
 
@@ -143,12 +149,22 @@ int main(int argc, char** argv) {
     const auto t0 = std::chrono::steady_clock::now();
     for (int i = 0; i < numPackets; ++i)
       (void)farm->submit(waves[static_cast<std::size_t>(i)]);
+    const double submitUs = bench::msSince(t0) * 1000.0;
     const std::vector<platform::RxOutcome> outs = farm->finish();
     const double wallUs = bench::msSince(t0) * 1000.0;
 
     Row r;
     r.workers = w;
     r.wallMs = wallUs / 1000.0;
+    // Submit-side throughput vs decode-side throughput: when the submitter
+    // outruns the workers it blocks on the bounded queue, and that blocked
+    // time is the backpressure term — decode-limited when the share is
+    // high, producer-limited when ~0.
+    r.submitMs = submitUs / 1000.0;
+    r.submitPps = static_cast<double>(numPackets) / (submitUs / 1e6);
+    r.backpressureMs =
+        static_cast<double>(farm->stats().submitBackpressureNs) / 1e6;
+    r.backpressureShare = submitUs > 0 ? r.backpressureMs / r.submitMs : 0;
     r.pps = static_cast<double>(numPackets) / (wallUs / 1e6);
     r.mbps = static_cast<double>(totalBits) / wallUs;  // bits/us == Mbps
     long errBits = 0;
@@ -197,6 +213,10 @@ int main(int argc, char** argv) {
            100.0 * r.efficiency, r.p50Us, r.p99Us, r.queueWaitP50Us,
            r.queueWaitP99Us, 100.0 * r.queueWaitShare, r.ber,
            r.bitExact ? "bit-exact" : "MISMATCH vs 1-worker baseline");
+    printf("            submit %8.1f ms  %7.0f jobs/s  backpressure %.1f ms "
+           "(%.0f%% of submit)\n",
+           r.submitMs, r.submitPps, r.backpressureMs,
+           100.0 * r.backpressureShare);
     for (const obs::HealthEvent& ev : farm->healthEvents())
       printf("   health[%s]: %s\n", obs::healthEventKindName(ev.kind),
              ev.detail.c_str());
@@ -227,6 +247,10 @@ int main(int argc, char** argv) {
          << ", \"queue_wait_p50_us\": " << r.queueWaitP50Us
          << ", \"queue_wait_p99_us\": " << r.queueWaitP99Us
          << ", \"queue_wait_share\": " << r.queueWaitShare
+         << ", \"submit_ms\": " << r.submitMs
+         << ", \"submit_jobs_per_sec\": " << r.submitPps
+         << ", \"submit_backpressure_ms\": " << r.backpressureMs
+         << ", \"submit_backpressure_share\": " << r.backpressureShare
          << ", \"avg_power_mw\": " << r.avgPowerMw << ", \"ber\": " << r.ber
          << ", \"bit_exact\": " << (r.bitExact ? "true" : "false") << "}";
     }

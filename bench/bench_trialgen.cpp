@@ -1,0 +1,293 @@
+// Trial-generation pipeline: scalar reference vs the vectorized SoA
+// frontend (src/dsp/frontend, DESIGN.md §15), per stage and end-to-end.
+//
+// Stage rows time the TX synthesis (transmit vs transmitInto), the channel
+// (MimoChannel::run vs runInto) and the full generateTrial loop over the
+// same counter-derived seeds, verifying the vectorized bytes match the
+// scalar reference as they go.  The e2e rows run a fixed-trial QAM-64
+// waterfall cell through the whole campaign engine (producer -> farm ->
+// fold) once per frontend and report campaign trials/s — the number the
+// PR-8 ">= 1.5x" acceptance target is stated against.  Emits a
+// machine-readable BENCH_trialgen.json.
+//
+//   $ ./bench_trialgen [stageTrials] [e2eTrials] [workers] [jsonPath] \
+//         [--producers N] [--snr DB]
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_args.hpp"
+#include "campaign/runner.hpp"
+#include "dsp/frontend.hpp"
+#include "platform/rx_session.hpp"
+
+using namespace adres;
+
+namespace {
+
+struct StageRow {
+  const char* stage;
+  double scalarUs = 0, vectorUs = 0;  ///< per trial
+  double speedup = 0;
+  bool identical = true;  ///< vectorized bytes == scalar reference
+};
+
+struct E2eRow {
+  const char* label;
+  const char* frontend;
+  bool coldReload = false;
+  int producers = 0;
+  double wallMs = 0, trialsPerSec = 0;
+};
+
+double msSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// The committed waterfall cell: QAM-64, 4 OFDM symbols, 3-tap channel,
+/// 10 ppm CFO, mid-waterfall SNR.
+campaign::SweepSpec waterfallCell(double snrDb, u64 trials, u64 batch) {
+  campaign::SweepSpec s;
+  s.mods = {dsp::Modulation::kQam64};
+  s.snrDb = {snrDb};
+  s.cfoPpm = {10};
+  s.taps = {3};
+  s.numSymbols = {4};
+  s.seed = 1;
+  s.batchSize = batch;
+  s.stop.minTrials = trials;
+  s.stop.maxTrials = trials;  // fixed workload: stop rule can't fire early
+  s.stop.errorBudget = trials + 1;
+  s.stop.ciHalfWidth = 0.0;
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int stageTrials = 512;
+  int e2eTrials = 128;
+  int workers = 1;
+  std::string jsonPath = "BENCH_trialgen.json";
+  int producers = 1;
+  double snrDb = 26;
+
+  bench::Args args("bench_trialgen",
+                   "scalar vs vectorized trial-generation pipeline");
+  args.positional("stageTrials", "trials per stage microbench", &stageTrials);
+  args.positional("e2eTrials", "trials in the e2e campaign cell", &e2eTrials);
+  args.positional("workers", "farm workers for the e2e rows", &workers);
+  args.positional("jsonPath", "BENCH_trialgen.json path ('-' = skip)",
+                  &jsonPath);
+  args.flag("producers", "N", "producer shards for the vectorized e2e row",
+            &producers);
+  args.flag("snr", "DB", "waterfall-cell SNR", &snrDb);
+  if (!args.parse(argc, argv)) return args.parseError() ? 1 : 0;
+
+  dsp::ModemConfig modem;
+  modem.mod = dsp::Modulation::kQam64;
+  modem.numSymbols = 4;
+  dsp::ChannelConfig chBase;
+  chBase.taps = 3;
+  chBase.snrDb = snrDb;
+  chBase.cfoPpm = 10;
+
+  printf("=== trial generation: %d stage trials, %d-trial e2e cell "
+         "(qam64 s4 t3 cfo10 snr%g), %d worker(s) ===\n",
+         stageTrials, e2eTrials, snrDb, workers);
+
+  std::vector<StageRow> stages;
+
+  // --- TX synthesis -------------------------------------------------------
+  {
+    StageRow r{"tx"};
+    dsp::TxScratch scratch;
+    std::vector<u8> bits;
+    std::array<std::vector<cint16>, dsp::kNumTx> wave;
+    auto t0 = std::chrono::steady_clock::now();
+    for (int t = 0; t < stageTrials; ++t) {
+      Rng rng(100 + static_cast<u64>(t));
+      const dsp::TxPacket pkt = dsp::transmit(modem, rng);
+      (void)pkt;
+    }
+    r.scalarUs = msSince(t0) * 1000.0 / stageTrials;
+    t0 = std::chrono::steady_clock::now();
+    for (int t = 0; t < stageTrials; ++t) {
+      Rng rng(100 + static_cast<u64>(t));
+      dsp::transmitInto(modem, rng, bits, wave, scratch);
+    }
+    r.vectorUs = msSince(t0) * 1000.0 / stageTrials;
+    {  // byte identity, outside the timed loops
+      Rng ra(7), rb(7);
+      const dsp::TxPacket pkt = dsp::transmit(modem, ra);
+      dsp::transmitInto(modem, rb, bits, wave, scratch);
+      r.identical = pkt.bits == bits && pkt.waveform == wave;
+    }
+    stages.push_back(r);
+  }
+
+  // --- Channel (taps + CFO + AWGN) ---------------------------------------
+  {
+    StageRow r{"channel"};
+    Rng rng(42);
+    const dsp::TxPacket pkt = dsp::transmit(modem, rng);
+    dsp::ChannelScratch scratch;
+    std::array<std::vector<cint16>, dsp::kNumRx> rx;
+    auto t0 = std::chrono::steady_clock::now();
+    for (int t = 0; t < stageTrials; ++t) {
+      dsp::ChannelConfig cc = chBase;
+      cc.seed = 1000 + static_cast<u64>(t);
+      dsp::MimoChannel ch(cc);
+      (void)ch.run(pkt.waveform);
+    }
+    r.scalarUs = msSince(t0) * 1000.0 / stageTrials;
+    t0 = std::chrono::steady_clock::now();
+    for (int t = 0; t < stageTrials; ++t) {
+      dsp::ChannelConfig cc = chBase;
+      cc.seed = 1000 + static_cast<u64>(t);
+      dsp::MimoChannel ch(cc);
+      ch.runInto(pkt.waveform, rx, scratch);
+    }
+    r.vectorUs = msSince(t0) * 1000.0 / stageTrials;
+    {
+      dsp::ChannelConfig cc = chBase;
+      cc.seed = 77;
+      dsp::MimoChannel a(cc), b(cc);
+      r.identical = a.run(pkt.waveform) == (b.runInto(pkt.waveform, rx, scratch), rx);
+    }
+    stages.push_back(r);
+  }
+
+  // --- Full trial (TX + channel, the producer's unit of work) -------------
+  {
+    StageRow r{"trial"};
+    dsp::TrialScratch scratch;
+    std::vector<u8> bits;
+    std::array<std::vector<cint16>, dsp::kNumRx> rx;
+    for (const dsp::FrontendKind kind :
+         {dsp::FrontendKind::kScalar, dsp::FrontendKind::kVectorized}) {
+      dsp::FrontendConfig fe;
+      fe.kind = kind;
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int t = 0; t < stageTrials; ++t) {
+        Rng txRng(500 + static_cast<u64>(t));
+        dsp::ChannelConfig cc = chBase;
+        cc.seed = 9000 + static_cast<u64>(t);
+        dsp::generateTrial(modem, cc, txRng, bits, rx, scratch, fe);
+      }
+      const double us = msSince(t0) * 1000.0 / stageTrials;
+      (kind == dsp::FrontendKind::kScalar ? r.scalarUs : r.vectorUs) = us;
+    }
+    {
+      std::vector<u8> bitsB;
+      std::array<std::vector<cint16>, dsp::kNumRx> rxB;
+      Rng ra(31), rb(31);
+      dsp::ChannelConfig cc = chBase;
+      cc.seed = 13;
+      dsp::FrontendConfig feS, feV;
+      feS.kind = dsp::FrontendKind::kScalar;
+      dsp::generateTrial(modem, cc, ra, bits, rx, scratch, feS);
+      dsp::generateTrial(modem, cc, rb, bitsB, rxB, scratch, feV);
+      r.identical = bits == bitsB && rx == rxB;
+    }
+    stages.push_back(r);
+  }
+
+  bool allIdentical = true;
+  for (StageRow& r : stages) {
+    r.speedup = r.vectorUs > 0 ? r.scalarUs / r.vectorUs : 0;
+    allIdentical = allIdentical && r.identical;
+    printf("stage %-8s scalar %8.2f us/trial   vectorized %8.2f us/trial   "
+           "%.2fx  %s\n",
+           r.stage, r.scalarUs, r.vectorUs, r.speedup,
+           r.identical ? "bit-identical" : "MISMATCH");
+  }
+
+  // --- End-to-end: the campaign engine on the waterfall cell --------------
+  // Pay the one-time program build AND the exec-tier plan build before any
+  // timed row: a short untimed campaign warms every shared cache.
+  (void)platform::modemProgramFor(modem);
+  {
+    campaign::CampaignConfig cfg;
+    cfg.sweep = waterfallCell(snrDb, 8, 8);
+    campaign::CampaignRunner(cfg).run();
+  }
+  // Row 0 reproduces the pre-PR-8 baseline inside this binary: the scalar
+  // per-trial frontend and the cold full program load per decode.  The
+  // last row is the shipped configuration.  All rows decode identical
+  // trials (same counter-derived seeds), so trials/s is the only delta.
+  struct E2eCfg {
+    const char* label;
+    dsp::FrontendKind kind;
+    bool coldReload;
+    int producers;
+  };
+  const E2eCfg cfgs[] = {
+      {"before (scalar + cold reload)", dsp::FrontendKind::kScalar, true, 1},
+      {"scalar + warm reload", dsp::FrontendKind::kScalar, false, 1},
+      {"after (vectorized + warm reload)", dsp::FrontendKind::kVectorized,
+       false, producers},
+  };
+  std::vector<E2eRow> e2e;
+  for (const E2eCfg& ec : cfgs) {
+    campaign::CampaignConfig cfg;
+    cfg.sweep = waterfallCell(snrDb, static_cast<u64>(e2eTrials), 16);
+    cfg.workers = workers;
+    cfg.producers = ec.producers;
+    cfg.frontend.kind = ec.kind;
+    cfg.run.coldReload = ec.coldReload;
+    campaign::CampaignRunner runner(cfg);
+    const auto t0 = std::chrono::steady_clock::now();
+    const campaign::CampaignResult res = runner.run();
+    E2eRow r;
+    r.label = ec.label;
+    r.frontend = dsp::frontendKindName(ec.kind);
+    r.coldReload = ec.coldReload;
+    r.producers = ec.producers;
+    r.wallMs = msSince(t0);
+    r.trialsPerSec = static_cast<double>(res.trialsRun) / (r.wallMs / 1000.0);
+    e2e.push_back(r);
+    printf("e2e %-34s producers %d: %8.1f ms  %7.1f trials/s\n", r.label,
+           r.producers, r.wallMs, r.trialsPerSec);
+  }
+  const double e2eSpeedup = e2e.front().trialsPerSec > 0
+                                ? e2e.back().trialsPerSec /
+                                      e2e.front().trialsPerSec
+                                : 0;
+  printf("e2e after/before: %.2fx (target >= 1.5x)\n", e2eSpeedup);
+
+  if (jsonPath != "-") {
+    std::ofstream os(jsonPath);
+    os << "{\n  \"schema\": \"adres.bench_trialgen.v1\",\n"
+       << "  \"cell\": \"qam64 s4 t3 cfo10 snr" << snrDb << "\",\n"
+       << "  \"stage_trials\": " << stageTrials << ",\n"
+       << "  \"e2e_trials\": " << e2eTrials << ",\n"
+       << "  \"workers\": " << workers << ",\n  \"stages\": [";
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+      const StageRow& r = stages[i];
+      os << (i ? ",\n" : "\n") << "    {\"stage\": \"" << r.stage
+         << "\", \"scalar_us_per_trial\": " << r.scalarUs
+         << ", \"vectorized_us_per_trial\": " << r.vectorUs
+         << ", \"speedup\": " << r.speedup
+         << ", \"bit_identical\": " << (r.identical ? "true" : "false") << "}";
+    }
+    os << "\n  ],\n  \"e2e\": [";
+    for (std::size_t i = 0; i < e2e.size(); ++i) {
+      const E2eRow& r = e2e[i];
+      os << (i ? ",\n" : "\n") << "    {\"label\": \"" << r.label
+         << "\", \"frontend\": \"" << r.frontend
+         << "\", \"cold_reload\": " << (r.coldReload ? "true" : "false")
+         << ", \"producers\": " << r.producers
+         << ", \"wall_ms\": " << r.wallMs
+         << ", \"trials_per_sec\": " << r.trialsPerSec << "}";
+    }
+    os << "\n  ],\n  \"e2e_speedup\": " << e2eSpeedup << "\n}\n";
+    printf("wrote %s\n", jsonPath.c_str());
+  }
+
+  return allIdentical ? 0 : 1;
+}

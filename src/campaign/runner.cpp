@@ -16,7 +16,9 @@ double decodeEnergyNj(double avgPowerMw, u64 cycles) {
 
 }  // namespace
 
-CampaignRunner::CampaignRunner(CampaignConfig cfg) : cfg_(std::move(cfg)) {
+CampaignRunner::CampaignRunner(CampaignConfig cfg)
+    : cfg_(std::move(cfg)),
+      producer_(TrialProducerConfig{cfg_.producers, cfg_.frontend}) {
   ADRES_CHECK(cfg_.workers >= 1, "campaign needs at least one worker");
   cells_ = expand(cfg_.sweep);
   results_.resize(cells_.size());
@@ -90,6 +92,7 @@ void CampaignRunner::runCell(const CellSpec& cell, CellResult& result) {
   fc.modem = cell.modem;
   fc.numWorkers = cfg_.workers;
   fc.queueCapacity = cfg_.queueCapacity;
+  fc.run = cfg_.run;
   fc.ordered = true;  // trial-order folding requires id-sorted outcomes
   platform::PacketFarm farm(fc);
 
@@ -98,35 +101,26 @@ void CampaignRunner::runCell(const CellSpec& cell, CellResult& result) {
     const u64 batch =
         std::min(cfg_.sweep.batchSize, stop.maxTrials - nextTrial);
     ADRES_CHECK(batch >= 1, "stopping rule failed to fire by maxTrials");
-    // Generate + submit the batch; payload bits keyed by trial index.
-    std::vector<std::vector<u8>> txBits(batch);
-    for (u64 b = 0; b < batch; ++b) {
-      const u64 trial = nextTrial + b;
-      Rng txRng(cell.trialSeed(trial, CellSpec::kTxStream));
-      dsp::TxPacket pkt = dsp::transmit(cell.modem, txRng);
-      dsp::ChannelConfig cc = cell.channel;
-      cc.seed = cell.trialSeed(trial, CellSpec::kChannelStream);
-      dsp::MimoChannel ch(cc);
-      platform::RxJob job;
-      job.id = trial;
-      // Cell-tagged so per-packet trace ids and spans name their campaign
-      // cell even when several cells share one metrics endpoint.
-      job.tag = static_cast<u32>(currentCell_.load(std::memory_order_relaxed));
-      job.rx = ch.run(pkt.waveform);
-      txBits[b] = std::move(pkt.bits);
-      farm.submit(std::move(job));
-    }
+    // Generate + submit the batch (sharded across the producer threads);
+    // payload bits land in txBits_ keyed by trial index.  Jobs are
+    // cell-tagged so per-packet trace ids and spans name their campaign
+    // cell even when several cells share one metrics endpoint.
+    producer_.produceBatch(
+        cell, static_cast<u32>(currentCell_.load(std::memory_order_relaxed)),
+        nextTrial, batch, farm, txBits_);
     // Fold ordered outcomes in trial order; stop checks after each trial.
-    const std::vector<platform::RxOutcome> outcomes = farm.collect();
-    ADRES_CHECK(outcomes.size() == batch, "farm lost a batch outcome");
-    for (std::size_t k = 0; k < outcomes.size(); ++k) {
-      const platform::RxOutcome& o = outcomes[k];
+    // collectInto + recycleOutcomes cycle the outcome storage and decoded-bit
+    // buffers between the runner and the farm's pools (no per-batch heap).
+    farm.collectInto(outcomes_);
+    ADRES_CHECK(outcomes_.size() == batch, "farm lost a batch outcome");
+    for (std::size_t k = 0; k < outcomes_.size(); ++k) {
+      const platform::RxOutcome& o = outcomes_[k];
       if (result.done) {
         // Decoded past the stop point: report, never fold.
-        result.discardedTrials += outcomes.size() - k;
+        result.discardedTrials += outcomes_.size() - k;
         break;
       }
-      const std::vector<u8>& bits = txBits[o.id - nextTrial];
+      const std::vector<u8>& bits = txBits_[o.id - nextTrial];
       const u64 nBits = bits.size();
       const bool lost = !o.result.detected || o.result.bits.size() != nBits;
       const u64 errs = lost ? nBits
@@ -155,6 +149,7 @@ void CampaignRunner::runCell(const CellSpec& cell, CellResult& result) {
         result.stopReason = "maxTrials";
       }
     }
+    farm.recycleOutcomes(outcomes_);
     nextTrial += batch;
   }
   (void)farm.finish();

@@ -19,7 +19,9 @@
 #include "campaign/checkpoint.hpp"
 #include "campaign/spec.hpp"
 #include "campaign/stats.hpp"
+#include "campaign/trial_producer.hpp"
 #include "obs/metrics.hpp"
+#include "platform/packet_farm.hpp"
 
 namespace adres::campaign {
 
@@ -27,6 +29,18 @@ struct CampaignConfig {
   SweepSpec sweep;
   int workers = 1;
   std::size_t queueCapacity = 32;
+  /// Trial-generation shards feeding the farm concurrently (1 generates
+  /// inline on the runner thread).  Counter-based per-trial seeding plus
+  /// trial-order folding make results — and checkpoint bytes — identical
+  /// for any producer count.
+  int producers = 1;
+  /// TX + channel frontend implementation (scalar reference or the
+  /// vectorized default); bit-identical either way.
+  dsp::FrontendConfig frontend;
+  /// Per-decode run options forwarded to every cell's farm (exec tier,
+  /// coldReload A/B switch, cycle budget).  All settings keep results
+  /// bit-exact; they steer host speed and observability only.
+  sdr::RxRunOptions run;
   /// Checkpoint file rewritten (atomically) after every completed cell;
   /// empty disables checkpointing.
   std::string checkpointPath;
@@ -67,6 +81,9 @@ class CampaignRunner {
   CampaignConfig cfg_;
   std::vector<CellSpec> cells_;
   std::vector<CellResult> results_;
+  TrialProducer producer_;  ///< persistent generator shards, reused per cell
+  std::vector<std::vector<u8>> txBits_;  ///< batch payloads, capacity reused
+  std::vector<platform::RxOutcome> outcomes_;  ///< batch fold buffer, reused
   mutable std::mutex mu_;  ///< guards results_ against metric scrapes
 
   std::atomic<u64> cellsDone_{0};

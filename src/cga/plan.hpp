@@ -137,6 +137,14 @@ std::shared_ptr<const ProgramPlans> buildProgramPlans(
 struct ExecPolicy {
   ExecTier tier = defaultExecTier();
   std::shared_ptr<const ProgramPlans> plans;
+  /// Allow the warm-reload fast path: when the SAME Program object (by
+  /// address) is re-loaded with the same shared plans and tier, the loader
+  /// skips re-validating and re-encoding the unchanged image and only
+  /// replays the load-time DMA transfers (identical bookings, identical
+  /// memory bytes) and the state reset.  Callers must guarantee the Program
+  /// is immutable between loads — RxSession's resident modem program is;
+  /// default off for ad-hoc loads where the object may have been edited.
+  bool warmReload = false;
 };
 
 }  // namespace adres

@@ -38,6 +38,25 @@ void Processor::load(const Program& prog,
 }
 
 void Processor::load(const Program& prog, ExecPolicy policy) {
+  // Warm-reload fast path (ExecPolicy::warmReload): the same immutable
+  // Program with the same shared plans was loaded before, so the expensive
+  // validate/encode/decode image work would reproduce byte-identical state.
+  // Only the load-time DMA transfers are replayed — same addresses, same
+  // bytes, same bookings — so DMA stats, power accounting, and post-load
+  // memory contents are exactly those of a cold load.
+  if (policy.warmReload && warmProg_ == &prog && policy.plans != nullptr &&
+      warmPlans_ == policy.plans) {
+    for (const DataSegment& seg : prog_.data) dma_.toL1(seg.addr, seg.bytes);
+    for (std::size_t i = 0; i < warmKernelImages_.size(); ++i)
+      dma_.toConfig(warmKernelOffsets_[i], warmKernelImages_[i]);
+    resetLoadedState();
+    return;
+  }
+  warmProg_ = nullptr;
+  warmPlans_.reset();
+  warmKernelImages_.clear();
+  warmKernelOffsets_.clear();
+
   prog.validate();
   prog_ = prog;
 
@@ -52,10 +71,15 @@ void Processor::load(const Program& prog, ExecPolicy policy) {
   u32 cfgOffset = 0;
   std::vector<std::pair<u32, u32>> spans;
   for (const KernelConfig& k : prog.kernels) {
-    const std::vector<u8> img = encodeKernel(k);
+    std::vector<u8> img = encodeKernel(k);
+    const std::size_t imgSize = img.size();
     dma_.toConfig(cfgOffset, img);
-    spans.emplace_back(cfgOffset, static_cast<u32>(img.size()));
-    cfgOffset += static_cast<u32>((img.size() + 3) & ~std::size_t{3});
+    spans.emplace_back(cfgOffset, static_cast<u32>(imgSize));
+    if (policy.warmReload) {
+      warmKernelOffsets_.push_back(cfgOffset);
+      warmKernelImages_.push_back(std::move(img));
+    }
+    cfgOffset += static_cast<u32>((imgSize + 3) & ~std::size_t{3});
   }
   // Round-trip kernels out of configuration memory (what the sequencer sees).
   for (std::size_t i = 0; i < prog_.kernels.size(); ++i) {
@@ -79,6 +103,17 @@ void Processor::load(const Program& prog, ExecPolicy policy) {
     plans_ = buildProgramPlans(prog_.kernels, policy.tier);
   }
 
+  // Arm the warm-reload identity only when the caller vouched for the
+  // Program's immutability AND shared plans pin the decoded kernels.
+  if (policy.warmReload && plans_ != nullptr && !plans_->kernels.empty()) {
+    warmProg_ = &prog;
+    warmPlans_ = plans_;
+  }
+
+  resetLoadedState();
+}
+
+void Processor::resetLoadedState() {
   // Reset architectural and pipeline state.
   crf_.clear();
   cga_.clearState();
@@ -113,7 +148,11 @@ void Processor::resetStats() {
   cfgMem_.resetStats();
   crf_.resetStats();
   for (int f = 0; f < kCgaFus; ++f) cga_.localRf(f).resetStats();
-  profiles_.clear();
+  // Extract (don't free) the region-profile nodes: the next decode of the
+  // same program revisits the same region ids, so regionProfile() recycles
+  // these and the per-packet stats reset allocates nothing.
+  while (!profiles_.empty())
+    profileNodePool_.push_back(profiles_.extract(profiles_.begin()));
   kernelProfiles_.clear();
   currentRegion_ = -1;
   regionStartCycle_ = cycle_;
@@ -248,9 +287,25 @@ u64 Processor::operandReadyCycle(const Instr& in) const {
   return ready;
 }
 
+RegionProfile& Processor::regionProfile(int id) {
+  auto it = profiles_.lower_bound(id);
+  if (it == profiles_.end() || it->first != id) {
+    if (!profileNodePool_.empty()) {
+      auto node = std::move(profileNodePool_.back());
+      profileNodePool_.pop_back();
+      node.key() = id;
+      node.mapped() = RegionProfile{};
+      it = profiles_.insert(it, std::move(node));
+    } else {
+      it = profiles_.emplace_hint(it, id, RegionProfile{});
+    }
+  }
+  return it->second;
+}
+
 void Processor::switchRegion(int id) {
   if (currentRegion_ >= 0) {
-    RegionProfile& p = profiles_[currentRegion_];
+    RegionProfile& p = regionProfile(currentRegion_);
     p.cycles += cycle_ - regionStartCycle_;
     p.vliwCycles += act_.vliwCycles - regionStartAct_.vliwCycles;
     p.cgaCycles += act_.cgaCycles - regionStartAct_.cgaCycles;
@@ -276,7 +331,7 @@ void Processor::switchRegion(int id) {
   regionStartCycle_ = cycle_;
   regionStartAct_ = act_;
   if (id >= 0) {
-    ++profiles_[id].entries;
+    ++regionProfile(id).entries;
     if (trace_)
       trace_->event({cycle_, 0, TraceEventKind::kRegionEnter, 0,
                      static_cast<u32>(id), 0});

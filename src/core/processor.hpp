@@ -228,7 +228,23 @@ class Processor {
   std::array<u64, kCprfRegs> predReady_ = {};
   std::array<u64, kVliwSlots> divBusyUntil_ = {};
 
+  /// Returns the profile slot for a region, recycling extracted map nodes
+  /// (profileNodePool_) so steady-state re-entry allocates nothing.
+  RegionProfile& regionProfile(int id);
+
+  /// The architectural/pipeline reset shared by cold and warm loads.
+  void resetLoadedState();
+
   std::map<int, RegionProfile> profiles_;
+  /// Nodes extracted (not freed) by resetStats(): every decode of the same
+  /// program revisits the same region ids, so recycling the nodes makes the
+  /// per-packet stats reset allocation-free.
+  std::vector<std::map<int, RegionProfile>::node_type> profileNodePool_;
+  /// Warm-reload identity of the last cold load (ExecPolicy::warmReload).
+  const Program* warmProg_ = nullptr;
+  std::shared_ptr<const ProgramPlans> warmPlans_;
+  std::vector<std::vector<u8>> warmKernelImages_;  ///< encoded per kernel
+  std::vector<u32> warmKernelOffsets_;             ///< config-mem placement
   std::map<std::pair<int, u32>, KernelLaunchProfile> kernelProfiles_;
   bool kernelProfiling_ = false;
   std::vector<RegionSpan>* regionLog_ = nullptr;

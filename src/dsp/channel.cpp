@@ -43,9 +43,8 @@ MimoChannel::MimoChannel(const ChannelConfig& cfg) : cfg_(cfg) {
   for (int rx = 0; rx < kNumRx; ++rx) {
     for (int tx = 0; tx < kNumTx; ++tx) {
       auto& t = taps_[static_cast<std::size_t>(rx)][static_cast<std::size_t>(tx)];
-      t.resize(static_cast<std::size_t>(cfg.taps));
+      t.fill({0.0, 0.0});
       if (cfg.flat) {
-        t.assign(static_cast<std::size_t>(cfg.taps), {0.0, 0.0});
         t[0] = rx == tx ? std::complex<double>{1.0, 0.0}
                         : std::complex<double>{0.0, 0.0};
         continue;
@@ -72,7 +71,7 @@ MimoChannel::gainAt(int k) const {
     for (int tx = 0; tx < kNumTx; ++tx) {
       std::complex<double> g{0.0, 0.0};
       const auto& t = taps_[static_cast<std::size_t>(rx)][static_cast<std::size_t>(tx)];
-      for (std::size_t tap = 0; tap < t.size(); ++tap) {
+      for (std::size_t tap = 0; tap < static_cast<std::size_t>(cfg_.taps); ++tap) {
         const double ang = -2.0 * 3.14159265358979323846 * k *
                            static_cast<double>(tap) / kNfft;
         g += t[tap] * std::complex<double>{std::cos(ang), std::sin(ang)};
@@ -112,7 +111,7 @@ std::array<std::vector<cint16>, kNumRx> MimoChannel::run(
       std::complex<double> acc{0.0, 0.0};
       for (int txa = 0; txa < kNumTx; ++txa) {
         const auto& taps = taps_[static_cast<std::size_t>(rx)][static_cast<std::size_t>(txa)];
-        for (std::size_t tap = 0; tap < taps.size(); ++tap) {
+        for (std::size_t tap = 0; tap < static_cast<std::size_t>(cfg_.taps); ++tap) {
           if (i < tap) break;
           const cint16 s = tx[static_cast<std::size_t>(txa)][i - tap];
           acc += taps[tap] *
@@ -129,6 +128,107 @@ std::array<std::vector<cint16>, kNumRx> MimoChannel::run(
     }
   }
   return out;
+}
+
+void MimoChannel::runInto(const std::array<std::vector<cint16>, kNumTx>& tx,
+                          std::array<std::vector<cint16>, kNumRx>& out,
+                          ChannelScratch& scratch, int lanes) {
+  ADRES_CHECK(lanes >= 1, "channel lane width must be >= 1");
+  const std::size_t n = tx[0].size();
+  for (const auto& w : tx) ADRES_CHECK(w.size() == n, "tx length mismatch");
+  const std::size_t L = static_cast<std::size_t>(lanes);
+
+  // Reference signal power — the accumulation order matches run() exactly
+  // (antenna-major, sample-minor), so the noise scaling is the same double.
+  double sigPower = 0.0;
+  std::size_t cnt = 0;
+  for (const auto& w : tx) {
+    for (const cint16& s : w) {
+      sigPower += (double(s.re) * s.re + double(s.im) * s.im) / (32768.0 * 32768.0);
+      ++cnt;
+    }
+  }
+  sigPower = cnt ? sigPower / static_cast<double>(cnt) : 0.0;
+  const double noiseStd =
+      std::sqrt(sigPower / std::pow(10.0, cfg_.snrDb / 10.0) / 2.0);
+
+  const double cfoStep = cfoTurnsPerSample(cfg_) * 2.0 * 3.14159265358979323846;
+
+  // Structure-of-arrays conversion: each tx sample becomes a double complex
+  // once, instead of once per (rx, tap) in the scalar MAC.  Q15 -> double is
+  // exact, so the converted values are the ones run() computes inline.
+  for (int txa = 0; txa < kNumTx; ++txa) {
+    auto& xw = scratch.txWave[static_cast<std::size_t>(txa)];
+    const auto& w = tx[static_cast<std::size_t>(txa)];
+    xw.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+      xw[i] = {w[i].re / 32768.0, w[i].im / 32768.0};
+  }
+
+  // CFO phasor table: rot[i] = cis(cfoStep * i), the exact pair of libm
+  // values run() evaluates per (rx, sample).  The table is shared across
+  // both receive antennas and cached across trials with the same step —
+  // every trial of a campaign cell — so in steady state the sincos cost
+  // per trial is zero.
+  if (!scratch.rotValid || scratch.rotStep != cfoStep) {
+    scratch.rot.clear();
+    scratch.rotStep = cfoStep;
+    scratch.rotValid = true;
+  }
+  if (scratch.rot.size() < n) {
+    const std::size_t from = scratch.rot.size();
+    scratch.rot.resize(n);
+    for (std::size_t i = from; i < n; ++i) {
+      const double ang = cfoStep * static_cast<double>(i);
+      scratch.rot[i] = {std::cos(ang), std::sin(ang)};
+    }
+  }
+
+  for (int rx = 0; rx < kNumRx; ++rx) {
+    auto& o = out[static_cast<std::size_t>(rx)];
+    o.resize(n);
+
+    // Lane-parallel AWGN: the whole antenna's noise realization is drawn
+    // up front from its independent sub-stream (forked off the seed in the
+    // constructor), in the same sample-major re-then-im order the scalar
+    // path consumes — one Box-Muller pair per sample, identical doubles.
+    Rng& noise = noiseRng_[static_cast<std::size_t>(rx)];
+    scratch.noiseRe.resize(n);
+    scratch.noiseIm.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      scratch.noiseRe[i] = noise.gaussian();
+      scratch.noiseIm[i] = noise.gaussian();
+    }
+
+    // Lane-batched tap MAC.  Within each sample block the loops run
+    // antenna-major, tap-minor — the per-element accumulation order of the
+    // scalar path — so every acc[i] sees the same additions in the same
+    // order and the result is bit-identical for any block width.
+    auto& acc = scratch.acc;
+    acc.assign(n, {0.0, 0.0});
+    for (std::size_t i0 = 0; i0 < n; i0 += L) {
+      const std::size_t iEnd = std::min(n, i0 + L);
+      for (int txa = 0; txa < kNumTx; ++txa) {
+        const auto& taps = taps_[static_cast<std::size_t>(rx)][static_cast<std::size_t>(txa)];
+        const auto& xw = scratch.txWave[static_cast<std::size_t>(txa)];
+        for (std::size_t tap = 0; tap < static_cast<std::size_t>(cfg_.taps); ++tap) {
+          const std::complex<double> t = taps[tap];
+          for (std::size_t i = std::max(i0, tap); i < iEnd; ++i)
+            acc[i] += t * xw[i - tap];
+        }
+      }
+    }
+
+    // Rotate, add noise, quantize — the same expressions as run().
+    for (std::size_t i = 0; i < n; ++i) {
+      std::complex<double> a = acc[i];
+      a *= scratch.rot[i];
+      a += std::complex<double>{scratch.noiseRe[i] * noiseStd,
+                                scratch.noiseIm[i] * noiseStd};
+      o[i] = {sat16(static_cast<i32>(std::lround(a.real() * 32768.0))),
+              sat16(static_cast<i32>(std::lround(a.imag() * 32768.0)))};
+    }
+  }
 }
 
 }  // namespace adres::dsp

@@ -35,6 +35,27 @@ u64 stableHash(const ChannelConfig& cfg);
 /// Carrier offset in Q16 turns per 20 MHz sample.
 double cfoTurnsPerSample(const ChannelConfig& cfg);
 
+/// Default sample-block width of the vectorized tap MAC (runInto): the
+/// per-antenna accumulator is processed in blocks of this many samples so
+/// the inner tap loops stream over contiguous, cache-resident spans.  Any
+/// width >= 1 produces bit-identical output (tested across widths).
+inline constexpr int kChannelLanes = 16;
+
+/// Reusable buffers for MimoChannel::runInto — the vectorized frontend's
+/// structure-of-arrays working set (DESIGN.md §15).  One instance per
+/// producer thread, reused across trials: all vectors retain capacity, and
+/// the CFO rotation table persists across trials sharing one cfo step (all
+/// trials of a campaign cell), so its per-sample cos/sin pair is paid once
+/// per cell instead of once per trial per antenna.
+struct ChannelScratch {
+  std::array<std::vector<std::complex<double>>, kNumTx> txWave;  ///< SoA tx
+  std::vector<std::complex<double>> acc;       ///< per-sample accumulator
+  std::vector<double> noiseRe, noiseIm;        ///< pre-drawn Gaussian pairs
+  std::vector<std::complex<double>> rot;       ///< CFO phasor table
+  double rotStep = 0.0;                        ///< step the table was built at
+  bool rotValid = false;
+};
+
 class MimoChannel {
  public:
   explicit MimoChannel(const ChannelConfig& cfg);
@@ -43,6 +64,18 @@ class MimoChannel {
   /// (same length, plus tail clipped).
   std::array<std::vector<cint16>, kNumRx> run(
       const std::array<std::vector<cint16>, kNumTx>& tx);
+
+  /// Vectorized run(): bit-identical output into reused buffers.  The tap
+  /// convolution runs as a lane-batched structure-of-arrays MAC (tx samples
+  /// converted to doubles once, per-element accumulation order preserved),
+  /// the CFO phasors come from the scratch's cached table, and the AWGN is
+  /// pre-drawn per receive antenna from the same independent noise
+  /// sub-streams the scalar path consumes.  `lanes` is the sample-block
+  /// width (>= 1); every width yields the same bytes.  run() is retained
+  /// verbatim as the scalar reference and A/B-tested against this path.
+  void runInto(const std::array<std::vector<cint16>, kNumTx>& tx,
+               std::array<std::vector<cint16>, kNumRx>& out,
+               ChannelScratch& scratch, int lanes = kChannelLanes);
 
   /// True frequency-domain channel gain H[rx][tx] at subcarrier k
   /// (double precision — for test assertions, not available to the modem).
@@ -56,8 +89,10 @@ class MimoChannel {
   /// of the tap streams: the noise realization for a given seed is the same
   /// whatever the tap count or construction order.
   std::array<Rng, kNumRx> noiseRng_;
-  /// taps_[rx][tx][tap]
-  std::array<std::array<std::vector<std::complex<double>>, kNumTx>, kNumRx> taps_;
+  /// taps_[rx][tx][0..cfg_.taps): fixed capacity (taps <= 16, checked at
+  /// construction) so building a per-trial channel costs no heap traffic.
+  std::array<std::array<std::array<std::complex<double>, 16>, kNumTx>, kNumRx>
+      taps_;
 };
 
 }  // namespace adres::dsp

@@ -25,10 +25,28 @@ std::vector<int> bitReverseTable(int n) {
   return t;
 }
 
+namespace {
+
+/// Per-thread memo of the last bitReverseTable(n): transforms repeat one
+/// length (the 64-point OFDM symbol), and the packet hot path must not
+/// allocate per call (alloc_gate).  Thread-local because producer shards
+/// and farm workers transform concurrently.
+const std::vector<int>& cachedBitReverseTable(int n) {
+  thread_local std::vector<int> table;
+  thread_local int tableN = 0;
+  if (tableN != n) {
+    table = bitReverseTable(n);
+    tableN = n;
+  }
+  return table;
+}
+
+}  // namespace
+
 void fftScaled(std::vector<cint16>& x) {
   const int n = static_cast<int>(x.size());
   ADRES_CHECK(n >= 2 && (n & (n - 1)) == 0, "FFT length must be a power of two");
-  const auto rev = bitReverseTable(n);
+  const std::vector<int>& rev = cachedBitReverseTable(n);
   for (int i = 0; i < n; ++i) {
     const int r = rev[static_cast<std::size_t>(i)];
     if (r > i) std::swap(x[static_cast<std::size_t>(i)], x[static_cast<std::size_t>(r)]);

@@ -1,5 +1,7 @@
 #include "dsp/modem.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 #include "common/hash.hpp"
 #include "dsp/fft.hpp"
@@ -54,6 +56,51 @@ TxPacket transmit(const ModemConfig& cfg, Rng& rng) {
     }
   }
   return pkt;
+}
+
+void transmitInto(const ModemConfig& cfg, Rng& rng, std::vector<u8>& bits,
+                  std::array<std::vector<cint16>, kNumTx>& waveform,
+                  TxScratch& scratch) {
+  const int bitsPerSym = bitsPerOfdmSymbol(cfg);
+  bits.resize(static_cast<std::size_t>(cfg.numSymbols * bitsPerSym));
+  for (u8& b : bits) b = rng.bit() ? 1 : 0;
+
+  // The preamble is the same bytes for every packet: build it once per
+  // process and memcpy it into place instead of re-running its IFFTs.
+  static const std::array<std::vector<cint16>, kNumTx> pre = mimoPreamble();
+
+  const int bps = bitsPerSymbol(cfg.mod);
+  const i16 pilotAmp = kLtfAmpQ15;
+  const std::size_t total =
+      static_cast<std::size_t>(kPreambleLen + cfg.numSymbols * kSymbolLen);
+  for (int tx = 0; tx < kNumTx; ++tx) {
+    auto& w = waveform[static_cast<std::size_t>(tx)];
+    w.resize(total);
+    const auto& p = pre[static_cast<std::size_t>(tx)];
+    std::copy(p.begin(), p.end(), w.begin());
+  }
+
+  std::array<cint16, kDataCarriers> data;
+  auto& spec = scratch.spec;
+  for (int sym = 0; sym < cfg.numSymbols; ++sym) {
+    for (int tx = 0; tx < kNumTx; ++tx) {
+      // Stream `tx` takes the tx-th block of 48*bps bits of this symbol.
+      const std::size_t base =
+          static_cast<std::size_t>(sym * bitsPerSym + tx * kDataCarriers * bps);
+      qamMapBlock(cfg.mod, bits.data() + base, kDataCarriers, data.data());
+      mapSubcarriersInto(data.data(), sym, pilotAmp, spec);
+      ifftScaled(spec);
+      for (cint16& v : spec) {
+        v.re = satX8(v.re);
+        v.im = satX8(v.im);
+      }
+      // In-place cyclic-prefix append: CP = last kCpLen samples, then body.
+      cint16* dst = waveform[static_cast<std::size_t>(tx)].data() +
+                    kPreambleLen + sym * kSymbolLen;
+      std::copy(spec.end() - kCpLen, spec.end(), dst);
+      std::copy(spec.begin(), spec.end(), dst + kCpLen);
+    }
+  }
 }
 
 std::vector<cint16> rxFft(const std::vector<cint16>& time64) {

@@ -53,6 +53,21 @@ struct TxPacket {
 /// Builds a packet with random payload bits from `rng`.
 TxPacket transmit(const ModemConfig& cfg, Rng& rng);
 
+/// Reused buffers for transmitInto (one per producer thread).
+struct TxScratch {
+  std::vector<cint16> spec;  ///< 64-bin spectrum, reused per OFDM symbol
+};
+
+/// transmit() into reused buffers: payload bits and per-antenna waveforms
+/// are resized in place (capacity retained across packets), the MIMO
+/// preamble is copied from a process-wide cache instead of being rebuilt,
+/// QAM mapping goes through the batched table lookup (qamMapBlock), and the
+/// cyclic prefix is appended in place.  Bit-identical to transmit() for the
+/// same rng state; transmit() is retained as the scalar reference.
+void transmitInto(const ModemConfig& cfg, Rng& rng, std::vector<u8>& bits,
+                  std::array<std::vector<cint16>, kNumTx>& waveform,
+                  TxScratch& scratch);
+
 /// Saturating x8 (three doublings) — the shared TX/RX scaling primitive.
 inline i16 satX8(i16 v) {
   i16 r = satAdd16(v, v);

@@ -52,17 +52,23 @@ i16 pilotPolarity(int symbolIndex) {
 std::vector<cint16> mapSubcarriers(const std::vector<cint16>& data,
                                    int symbolIndex, i16 pilotAmp) {
   ADRES_CHECK(data.size() == kDataCarriers, "need 48 data symbols");
-  std::vector<cint16> spec(kNfft, cint16{});
+  std::vector<cint16> spec;
+  mapSubcarriersInto(data.data(), symbolIndex, pilotAmp, spec);
+  return spec;
+}
+
+void mapSubcarriersInto(const cint16* data, int symbolIndex, i16 pilotAmp,
+                        std::vector<cint16>& spec) {
+  spec.assign(kNfft, cint16{});
   const auto& didx = dataCarrierIdx();
   for (int i = 0; i < kDataCarriers; ++i)
     spec[static_cast<std::size_t>(binOf(didx[static_cast<std::size_t>(i)]))] =
-        data[static_cast<std::size_t>(i)];
+        data[i];
   const i16 pol = pilotPolarity(symbolIndex);
   for (int p = 0; p < kPilotCarriers; ++p) {
     const i16 v = static_cast<i16>(kPilotBase[static_cast<std::size_t>(p)] * pol * pilotAmp);
     spec[static_cast<std::size_t>(binOf(kPilotIdx[static_cast<std::size_t>(p)]))] = {v, 0};
   }
-  return spec;
 }
 
 std::vector<cint16> gatherDataCarriers(const std::vector<cint16>& spectrum) {

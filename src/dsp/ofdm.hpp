@@ -43,6 +43,12 @@ inline constexpr std::array<i16, kPilotCarriers> kPilotBase = {1, 1, 1, -1};
 std::vector<cint16> mapSubcarriers(const std::vector<cint16>& data,
                                    int symbolIndex, i16 pilotAmp);
 
+/// mapSubcarriers into a reused buffer (resized to kNfft, capacity kept) —
+/// the batched TX path's allocation-free variant.  `data` must point at
+/// kDataCarriers symbols.
+void mapSubcarriersInto(const cint16* data, int symbolIndex, i16 pilotAmp,
+                        std::vector<cint16>& spec);
+
 /// Gathers the 48 data bins out of a 64-bin spectrum in transmission order
 /// (the "remove zero carriers" + "data shuffle" operation).
 std::vector<cint16> gatherDataCarriers(const std::vector<cint16>& spectrum);

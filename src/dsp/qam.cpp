@@ -115,6 +115,42 @@ void qamDemap(Modulation m, cint16 s, std::vector<u8>& bits,
     bits[offset + static_cast<std::size_t>(i)] = static_cast<u8>((v >> i) & 1);
 }
 
+const QamMapTable& qamMapTable(Modulation m) {
+  static const std::array<QamMapTable, 4> tables = [] {
+    std::array<QamMapTable, 4> all{};
+    for (const Modulation mod : {Modulation::kBpsk, Modulation::kQpsk,
+                                 Modulation::kQam16, Modulation::kQam64}) {
+      QamMapTable& t = all[static_cast<std::size_t>(mod)];
+      t.bps = bitsPerSymbol(mod);
+      const i16 unit = qamUnit(mod);
+      const int ab = axisBits(mod);
+      for (u32 v = 0; v < (1u << t.bps); ++v) {
+        if (mod == Modulation::kBpsk) {
+          t.point[v] = {static_cast<i16>(bitsToLevel(mod, v) * unit), 0};
+        } else {
+          const int li = bitsToLevel(mod, v & ((1u << ab) - 1));
+          const int lq = bitsToLevel(mod, v >> ab);
+          t.point[v] = {static_cast<i16>(li * unit),
+                        static_cast<i16>(lq * unit)};
+        }
+      }
+    }
+    return all;
+  }();
+  return tables[static_cast<std::size_t>(m)];
+}
+
+void qamMapBlock(Modulation m, const u8* bits, int count, cint16* out) {
+  const QamMapTable& tbl = qamMapTable(m);
+  const int bps = tbl.bps;
+  for (int s = 0; s < count; ++s) {
+    u32 v = 0;
+    for (int i = 0; i < bps; ++i)
+      v |= static_cast<u32>(bits[s * bps + i] & 1) << i;
+    out[s] = tbl.point[v];
+  }
+}
+
 std::vector<cint16> qamModulate(Modulation m, const std::vector<u8>& bits) {
   const int n = bitsPerSymbol(m);
   ADRES_CHECK(bits.size() % static_cast<std::size_t>(n) == 0,

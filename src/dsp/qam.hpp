@@ -7,6 +7,7 @@
 // equalizer on the 16-bit datapath.
 #pragma once
 
+#include <array>
 #include <vector>
 
 #include "common/types.hpp"
@@ -28,6 +29,22 @@ cint16 qamMap(Modulation m, const std::vector<u8>& bits, std::size_t offset);
 /// Hard-decision demap: writes `bitsPerSymbol` bits at `offset`.
 void qamDemap(Modulation m, cint16 symbol, std::vector<u8>& bits,
               std::size_t offset);
+
+/// Precomputed constellation lookup: the symbol for every LSB-first bit
+/// word of one modulated symbol.  Entries are the identical integer
+/// products qamMap computes, so table-driven mapping is bit-exact.
+struct QamMapTable {
+  std::array<cint16, 64> point{};  ///< indexed by the LSB-first bit word
+  int bps = 0;                     ///< bits per symbol (table occupancy)
+};
+
+/// Cached per-modulation table (the batched modulator's inner lookup).
+const QamMapTable& qamMapTable(Modulation m);
+
+/// Batched qamMap: maps `count` consecutive symbols starting at bits[0]
+/// (count * bitsPerSymbol bits consumed) into out[0..count).  Bit-identical
+/// to calling qamMap per symbol.
+void qamMapBlock(Modulation m, const u8* bits, int count, cint16* out);
 
 /// Convenience: modulate a whole bit vector (size must divide evenly).
 std::vector<cint16> qamModulate(Modulation m, const std::vector<u8>& bits);

@@ -34,9 +34,16 @@ class DmaEngine {
 
   /// Host/external memory -> L1.
   u64 toL1(u32 l1Addr, const std::vector<u8>& bytes) {
-    ADRES_CHECK(bytes.size() % 4 == 0, "DMA moves whole words");
-    l1_.loadBytes(l1Addr, bytes);
-    return book(bytes.size() / 4, DmaDirection::kHostToL1);
+    return toL1(l1Addr, bytes.data(), bytes.size());
+  }
+
+  /// Raw-buffer variant (identical booking): the packet hot path DMAs
+  /// waveforms straight out of the submitter's sample buffers, with no
+  /// per-packet staging vector.
+  u64 toL1(u32 l1Addr, const u8* data, std::size_t n) {
+    ADRES_CHECK(n % 4 == 0, "DMA moves whole words");
+    l1_.loadBytes(l1Addr, data, n);
+    return book(n / 4, DmaDirection::kHostToL1);
   }
 
   /// L1 -> host/external memory.

@@ -118,9 +118,15 @@ class Scratchpad {
 
   /// Bulk initialization used by program loaders and the DMA engine.
   void loadBytes(u32 addr, const std::vector<u8>& bytes) {
-    ADRES_CHECK(static_cast<u64>(addr) + bytes.size() <= kL1Bytes,
-                "L1 load overruns: addr=" << addr << " n=" << bytes.size());
-    for (std::size_t i = 0; i < bytes.size(); ++i) mem_[addr + i] = bytes[i];
+    loadBytes(addr, bytes.data(), bytes.size());
+  }
+
+  /// Raw-buffer variant: lets the DMA engine move payloads straight from a
+  /// caller-owned buffer with no staging copy.
+  void loadBytes(u32 addr, const u8* data, std::size_t n) {
+    ADRES_CHECK(static_cast<u64>(addr) + n <= kL1Bytes,
+                "L1 load overruns: addr=" << addr << " n=" << n);
+    for (std::size_t i = 0; i < n; ++i) mem_[addr + i] = data[i];
   }
 
   const ScratchpadStats& stats() const { return stats_; }

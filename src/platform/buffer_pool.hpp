@@ -1,0 +1,53 @@
+// BufferPool<T>: a mutex-guarded LIFO of recycled std::vector<T> buffers —
+// the farm's antidote to per-packet heap traffic.  Payload buffers (rx
+// waveforms, decoded bit vectors) are acquired from the pool (reusing the
+// capacity of a previously released buffer when one is available), travel
+// through submit → queue → worker → outcome by move, and return via
+// release() once the consumer is done.  LIFO order keeps the hottest
+// buffer — the one most recently touched, still warm in cache — first out.
+//
+// The pool never shrinks and never frees until destruction; steady state is
+// a closed loop of a bounded number of buffers (queue capacity + workers +
+// in-flight outcomes), so sustained operation performs no allocation.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace adres::platform {
+
+template <typename T>
+class BufferPool {
+ public:
+  /// A recycled buffer (cleared, capacity kept) or a fresh empty one.
+  std::vector<T> acquire() {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (free_.empty()) return {};
+    std::vector<T> out = std::move(free_.back());
+    free_.pop_back();
+    out.clear();
+    return out;
+  }
+
+  /// Returns a buffer's storage to the pool.  Empty vectors (moved-from or
+  /// never filled) carry no capacity worth keeping and are dropped.
+  void release(std::vector<T>&& buf) {
+    if (buf.capacity() == 0) return;
+    std::lock_guard<std::mutex> lk(mu_);
+    free_.push_back(std::move(buf));
+  }
+
+  /// Buffers currently resting in the pool (telemetry/tests).
+  std::size_t idle() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return free_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::vector<T>> free_;
+};
+
+}  // namespace adres::platform

@@ -45,7 +45,13 @@ PacketFarm::~PacketFarm() { (void)finish(); }
 
 void PacketFarm::submit(RxJob job) {
   ADRES_CHECK(!finished_, "submit after finish()");
-  nextId_ = std::max(nextId_, job.id + 1);
+  // Advance the id watermark to max(nextId_, job.id + 1); CAS loop because
+  // sharded producers submit concurrently with explicit ids.
+  u64 seen = nextId_.load(std::memory_order_relaxed);
+  while (seen < job.id + 1 &&
+         !nextId_.compare_exchange_weak(seen, job.id + 1,
+                                        std::memory_order_relaxed)) {
+  }
   job.enqueueUs = std::chrono::duration<double, std::micro>(
                       std::chrono::steady_clock::now() - startTime_)
                       .count();
@@ -56,7 +62,7 @@ void PacketFarm::submit(RxJob job) {
 
 u64 PacketFarm::submit(std::array<std::vector<cint16>, 2> rx) {
   RxJob job;
-  job.id = nextId_;
+  job.id = nextId_.fetch_add(1, std::memory_order_relaxed);
   job.rx = std::move(rx);
   const u64 id = job.id;
   submit(std::move(job));
@@ -64,20 +70,34 @@ u64 PacketFarm::submit(std::array<std::vector<cint16>, 2> rx) {
 }
 
 std::vector<RxOutcome> PacketFarm::collect() {
+  std::vector<RxOutcome> out;
+  collectInto(out);
+  return out;
+}
+
+void PacketFarm::collectInto(std::vector<RxOutcome>& out) {
   ADRES_CHECK(!finished_, "collect after finish()");
-  // Only the submitting thread calls collect(), so submitted_ is stable here.
+  out.clear();
+  // Only the submitting side calls collect, after its submits, so
+  // submitted_ is stable here.
   const u64 want = submitted_.load(std::memory_order_relaxed) - collected_;
   std::unique_lock<std::mutex> lk(mu_);
   outcomeCv_.wait(lk, [&] { return outcomes_.size() >= want; });
   collected_ += outcomes_.size();
-  std::vector<RxOutcome> out = std::move(outcomes_);
-  outcomes_.clear();
+  // Swap storage instead of moving it away: the caller's previous-round
+  // capacity becomes the farm's next outcome buffer (closed loop, no
+  // steady-state growth allocations).
+  std::swap(out, outcomes_);
   lk.unlock();
   if (cfg_.ordered) {
     std::sort(out.begin(), out.end(),
               [](const RxOutcome& a, const RxOutcome& b) { return a.id < b.id; });
   }
-  return out;
+}
+
+void PacketFarm::recycleOutcomes(std::vector<RxOutcome>& outs) {
+  for (RxOutcome& o : outs) bitPool_.release(std::move(o.result.bits));
+  outs.clear();
 }
 
 std::vector<RxOutcome> PacketFarm::finish() {
@@ -98,6 +118,7 @@ std::vector<RxOutcome> PacketFarm::finish() {
   stats_.latencyNs = latencySnapshot();
   stats_.packetCycles = cycleSnapshot();
   stats_.queueWaitNs = queueWaitSnapshot();
+  stats_.submitBackpressureNs = queue_.fullWaitNs();
   stats_.profile = std::move(merged.profile);
 
   if (cfg_.ordered) {
@@ -158,6 +179,11 @@ void PacketFarm::registerMetrics(obs::MetricsRegistry& reg) const {
                  [this] { return static_cast<double>(submitted()); });
   reg.addCounter("adres_farm_packets_done_total", "decodes completed",
                  [this] { return static_cast<double>(packetsDone()); });
+  reg.addCounter("adres_farm_submit_backpressure_us_total",
+                 "host µs submitters spent blocked on a full queue",
+                 [this] {
+                   return static_cast<double>(submitBackpressureNs()) * 1e-3;
+                 });
   reg.addCounter("adres_farm_health_events_total",
                  "watchdog health events (stalls, budget overruns)",
                  [this] { return static_cast<double>(watchdog_->eventCount()); });
@@ -325,6 +351,7 @@ void PacketFarm::workerMain(int idx) {
                std::chrono::steady_clock::now() - startTime_)
         .count();
   };
+  u64 decoded = 0;
   while (std::optional<RxJob> job = queue_.pop()) {
     health.beginJob(job->id);
     const double dispatchUs = epochUs();
@@ -334,14 +361,19 @@ void PacketFarm::workerMain(int idx) {
     RxOutcome out;
     out.id = job->id;
     out.worker = idx;
+    out.result.bits = bitPool_.acquire();  // recycled decoded-bit capacity
     const double decodeStartUs = epochUs();
     const auto t0 = Clock::now();
-    out.result = session.decode(job->rx);
+    session.decodeInto(job->rx, out.result);
     const double ns =
         std::chrono::duration<double, std::nano>(Clock::now() - t0).count();
+    // The rx payloads are dead once the decode's DMA has read them; hand
+    // their storage back for the producer's next trial.
+    samplePool_.release(std::move(job->rx[0]));
+    samplePool_.release(std::move(job->rx[1]));
     const double decodeEndUs = decodeStartUs + ns / 1000.0;
     out.hostUs = ns / 1000.0;
-    out.avgPowerMw = power::analyze(session.processor()).averageActiveMw;
+    out.avgPowerMw = power::averageActiveMw(session.processor());
     out.traceId = trace::packetTraceId(job->id, job->tag);
     out.queueWaitUs = std::max(0.0, dispatchUs - job->enqueueUs);
 
@@ -353,7 +385,13 @@ void PacketFarm::workerMain(int idx) {
     tele.latencyNs.record(static_cast<u64>(ns));
     tele.packetCycles.record(out.result.cycles);
     tele.queueWaitNs.record(static_cast<u64>(out.queueWaitUs * 1000.0));
-    tele.setPublished(std::make_shared<const SessionStats>(session.stats()));
+    // Publishing copies the session's stat maps — throttled off the
+    // per-packet path (final totals merge exactly at finish()).
+    ++decoded;
+    if (cfg_.statsPublishInterval != 0 &&
+        decoded % cfg_.statsPublishInterval == 0) {
+      tele.setPublished(std::make_shared<const SessionStats>(session.stats()));
+    }
 
     trace::PacketSpans spans;
     if (wantSpans) {
@@ -389,6 +427,9 @@ void PacketFarm::workerMain(int idx) {
   }
   health.state.store(static_cast<u32>(obs::WorkerState::kDone),
                      std::memory_order_release);
+  // Final publish so live readers (metrics scrapes after the drain, the
+  // post-run exposition check) converge on the exact totals.
+  tele.setPublished(std::make_shared<const SessionStats>(session.stats()));
   std::lock_guard<std::mutex> lk(mu_);
   workerStats_[static_cast<std::size_t>(idx)] = session.stats();
 }

@@ -37,6 +37,7 @@
 #include "obs/histogram.hpp"
 #include "obs/metrics.hpp"
 #include "obs/watchdog.hpp"
+#include "platform/buffer_pool.hpp"
 #include "platform/packet_queue.hpp"
 #include "platform/rx_session.hpp"
 #include "trace/span.hpp"
@@ -93,6 +94,12 @@ struct FarmConfig {
   /// marks itself busy with the job and before the decode.  Observation
   /// must stay observation: the hook must not touch simulator state.
   std::function<void(int worker, const RxJob&)> preDecodeHook;
+  /// Every how many packets a worker publishes its session-stat totals for
+  /// live metrics scrapes (liveCounters / adres_sim_counter).  Publishing
+  /// copies the session's counter maps, so the hot path throttles it; 0
+  /// publishes only when the worker exits.  Final stats are exact at any
+  /// setting — finish() merges the sessions directly.
+  u64 statsPublishInterval = 16;
 };
 
 /// Aggregate statistics merged from every worker's session after finish().
@@ -104,6 +111,10 @@ struct FarmStats {
   obs::HistogramSnapshot latencyNs;     ///< host decode latency, nanoseconds
   obs::HistogramSnapshot packetCycles;  ///< simulated cycles per packet
   obs::HistogramSnapshot queueWaitNs;   ///< submit-to-dispatch wait
+  /// Host ns submitters spent blocked on a full queue (backpressure toward
+  /// the traffic source — producer-limited when ~0, decode-limited when
+  /// large; bench_farm reports it next to decode throughput).
+  u64 submitBackpressureNs = 0;
   /// Merged cycle-attribution summary (empty unless kernelProfile).
   trace::ProfileSummary profile;
 
@@ -119,18 +130,34 @@ class PacketFarm {
   PacketFarm(const PacketFarm&) = delete;
   PacketFarm& operator=(const PacketFarm&) = delete;
 
-  /// Enqueues a job; blocks while the queue is full.  Must not be called
-  /// after finish().
+  /// Enqueues a job; blocks while the queue is full.  Thread-safe: multiple
+  /// producer threads may submit concurrently (sharded trial producers).
+  /// Must not be called after finish().
   void submit(RxJob job);
 
   /// Convenience: submits with the next sequential id; returns that id.
   u64 submit(std::array<std::vector<cint16>, 2> rx);
+
+  /// A recycled waveform buffer (capacity from a previously decoded
+  /// packet's rx payload) for producers to fill — submit → decode →
+  /// recycle forms a closed, allocation-free loop in steady state.
+  std::vector<cint16> acquireSampleBuffer() { return samplePool_.acquire(); }
 
   /// Blocks until every submitted job has an outcome, then returns and
   /// clears the outcome buffer (sorted by id in ordered mode).  The workers
   /// stay alive, so a submit/collect cycle can repeat — campaign batches
   /// reuse one farm instead of paying construction per batch.
   std::vector<RxOutcome> collect();
+
+  /// Allocation-free collect: swaps the pending outcomes into `out`
+  /// (cleared first, capacity kept), so the farm inherits the caller's
+  /// storage for the next round.  Pair with recycleOutcomes().
+  void collectInto(std::vector<RxOutcome>& out);
+
+  /// Returns collected outcomes' payload buffers (decoded bits) to the
+  /// farm's pools and clears `outs`, keeping its storage for the caller's
+  /// next collectInto() round.
+  void recycleOutcomes(std::vector<RxOutcome>& outs);
 
   /// Closes the queue, drains and joins the workers, merges their stats,
   /// and returns every outcome not already collect()ed.  A second call
@@ -161,6 +188,8 @@ class PacketFarm {
 
   std::size_t queueDepth() const { return queue_.size(); }
   u64 submitted() const { return submitted_.load(std::memory_order_relaxed); }
+  /// Host ns submitters have spent blocked on a full queue so far (live).
+  u64 submitBackpressureNs() const { return queue_.fullWaitNs(); }
   u64 packetsDone() const;
   /// Merged host-latency histogram (nanoseconds) across workers, live.
   obs::HistogramSnapshot latencySnapshot() const;
@@ -214,12 +243,17 @@ class PacketFarm {
 
   FarmConfig cfg_;
   BoundedQueue<RxJob> queue_;
+  /// Recycled payload storage: rx waveforms return here after the decode's
+  /// DMA (workers release, producers acquire); decoded-bit buffers cycle
+  /// through recycleOutcomes().  Both loops are allocation-free once warm.
+  BufferPool<cint16> samplePool_;
+  BufferPool<u8> bitPool_;
   std::unique_ptr<obs::WorkerWatchdog> watchdog_;
   std::unique_ptr<obs::ExemplarStore> exemplars_;
   std::vector<std::unique_ptr<WorkerTelemetry>> telemetry_;
   std::vector<std::thread> threads_;
   std::chrono::steady_clock::time_point startTime_;
-  u64 nextId_ = 0;
+  std::atomic<u64> nextId_{0};  ///< monotone watermark; submit() is MT-safe
   std::atomic<u64> submitted_{0};
   bool finished_ = false;
 

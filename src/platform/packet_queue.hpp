@@ -5,32 +5,54 @@
 // is close-then-drain: after close() every push is rejected, but pop keeps
 // returning queued items until the queue is empty and only then reports
 // end-of-stream — so no accepted job is ever lost.
+//
+// Storage is a fixed ring of default-constructed slots allocated once at
+// construction (T must be default-constructible and move-assignable):
+// steady-state push/pop moves items in and out of slots without touching
+// the heap, so the farm hot path stays allocation-free.  Time producers
+// spend blocked on a full queue accumulates in fullWaitNs() — the
+// backpressure signal bench_farm reports separately from decode throughput.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "common/check.hpp"
+#include "common/types.hpp"
 
 namespace adres::platform {
 
 template <typename T>
 class BoundedQueue {
  public:
-  explicit BoundedQueue(std::size_t capacity) : cap_(capacity) {
+  explicit BoundedQueue(std::size_t capacity)
+      : ring_(capacity), cap_(capacity) {
     ADRES_CHECK(capacity > 0, "queue capacity must be positive");
   }
 
   /// Blocks while full; returns false (dropping `item`) once closed.
   bool push(T item) {
     std::unique_lock<std::mutex> lk(mu_);
-    notFull_.wait(lk, [&] { return closed_ || q_.size() < cap_; });
+    if (!closed_ && count_ == cap_) {
+      // Timed only when actually blocked: the uncontended path costs one
+      // branch, and fullWaitNs() measures genuine backpressure stalls.
+      const auto t0 = std::chrono::steady_clock::now();
+      notFull_.wait(lk, [&] { return closed_ || count_ < cap_; });
+      fullWaitNs_.fetch_add(
+          static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count()),
+          std::memory_order_relaxed);
+    }
     if (closed_) return false;
-    q_.push_back(std::move(item));
+    ring_[(head_ + count_) % cap_] = std::move(item);
+    ++count_;
     notEmpty_.notify_one();
     return true;
   }
@@ -38,8 +60,9 @@ class BoundedQueue {
   /// Non-blocking push; returns false when full or closed.
   bool tryPush(T item) {
     std::lock_guard<std::mutex> lk(mu_);
-    if (closed_ || q_.size() >= cap_) return false;
-    q_.push_back(std::move(item));
+    if (closed_ || count_ >= cap_) return false;
+    ring_[(head_ + count_) % cap_] = std::move(item);
+    ++count_;
     notEmpty_.notify_one();
     return true;
   }
@@ -47,10 +70,11 @@ class BoundedQueue {
   /// Blocks while empty; returns nullopt once closed AND drained.
   std::optional<T> pop() {
     std::unique_lock<std::mutex> lk(mu_);
-    notEmpty_.wait(lk, [&] { return closed_ || !q_.empty(); });
-    if (q_.empty()) return std::nullopt;
-    std::optional<T> out(std::move(q_.front()));
-    q_.pop_front();
+    notEmpty_.wait(lk, [&] { return closed_ || count_ > 0; });
+    if (count_ == 0) return std::nullopt;
+    std::optional<T> out(std::move(ring_[head_]));
+    head_ = (head_ + 1) % cap_;
+    --count_;
     notFull_.notify_one();
     return out;
   }
@@ -65,7 +89,7 @@ class BoundedQueue {
 
   std::size_t size() const {
     std::lock_guard<std::mutex> lk(mu_);
-    return q_.size();
+    return count_;
   }
 
   bool closed() const {
@@ -75,12 +99,19 @@ class BoundedQueue {
 
   std::size_t capacity() const { return cap_; }
 
+  /// Total nanoseconds producers spent blocked in push() on a full queue
+  /// (any thread may read, live).
+  u64 fullWaitNs() const { return fullWaitNs_.load(std::memory_order_relaxed); }
+
  private:
   mutable std::mutex mu_;
   std::condition_variable notFull_, notEmpty_;
-  std::deque<T> q_;
+  std::vector<T> ring_;  ///< fixed slots; [head_, head_+count_) mod cap_ live
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
   std::size_t cap_;
   bool closed_ = false;
+  std::atomic<u64> fullWaitNs_{0};
 };
 
 }  // namespace adres::platform

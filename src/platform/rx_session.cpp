@@ -61,29 +61,71 @@ RxSession::RxSession(const dsp::ModemConfig& cfg, sdr::RxRunOptions opts)
   // Resolve the exec policy's plan set once per session: every decode then
   // loads with the shared per-tier plans instead of consulting the cache.
   if (!opts_.exec.plans) opts_.exec.plans = modem_->plansFor(opts_.exec.tier);
+  // The resident program is shared-const and never mutates between decodes,
+  // so the session satisfies ExecPolicy::warmReload's immutability contract:
+  // from the second decode on, load() only replays the DMA and state reset.
+  // coldReload is the bench/debug opt-out (bit- and cycle-exact, slower).
+  opts_.exec.warmReload = !opts_.coldReload;
   trace::registerProcessorCounters(reg_, proc_);
 }
 
 sdr::ProcessorRxResult RxSession::decode(
     const std::array<std::vector<cint16>, 2>& rx) {
+  sdr::ProcessorRxResult res;
+  decodeInto(rx, res);
+  return res;
+}
+
+void RxSession::decodeInto(const std::array<std::vector<cint16>, 2>& rx,
+                           sdr::ProcessorRxResult& out) {
   // DMA stats deliberately survive Processor::resetStats() (they account
   // the program-load transfers); clear them here so every decode's stats —
   // and the power model reading them — cover exactly one packet, as on a
   // freshly constructed processor.
   proc_.dma().resetStats();
-  sdr::ProcessorRxResult res = sdr::runModemOnProcessor(proc_, *modem_, rx, opts_);
+  sdr::runModemOnProcessor(proc_, *modem_, rx, opts_, out);
   // Stats reset on the next load; fold this packet's into the session total.
-  // publish() doubles as our snapshot: one getter pass fills the fold AND
-  // leaves an immutable copy other threads (live metrics) may read.
+  // Static counters fold in place (key set stable after the first packet);
+  // region profiles fold numerically by id — the registry's "region" group
+  // getter builds key strings per call, so it stays out of the hot path and
+  // stats() materializes the block on demand.
   ++stats_.packets;
   if (opts_.profile) stats_.profile.addProcessor(proc_);
-  const std::shared_ptr<const trace::PublishedCounters> snap = reg_.publish();
-  for (const auto& [name, value] : snap->counters) stats_.counters[name] += value;
-  for (const auto& [prefix, block] : snap->groups) {
-    auto& mine = stats_.groups[prefix];
-    for (const auto& [suffix, value] : block) mine[suffix] += value;
+  reg_.accumulateCountersInto(stats_.counters);
+  for (const auto& [id, rp] : proc_.profiles()) {
+    RegionProfile& t = regionTotals_[id];
+    t.cycles += rp.cycles;
+    t.vliwCycles += rp.vliwCycles;
+    t.cgaCycles += rp.cgaCycles;
+    t.ops += rp.ops;
+    t.vliwOps += rp.vliwOps;
+    t.cgaOps += rp.cgaOps;
+    t.entries += rp.entries;
   }
-  return res;
+  groupsDirty_ = true;
+}
+
+const SessionStats& RxSession::stats() {
+  if (groupsDirty_) {
+    // Same keys registerProcessorCounters' "region" group getter yields:
+    // <region name>.{cycles,ops,vliw_cycles,cga_cycles,entries}.
+    const std::vector<std::string>& names = modem_->program.regionNames;
+    std::map<std::string, u64>& block = stats_.groups["region"];
+    block.clear();
+    for (const auto& [id, rp] : regionTotals_) {
+      const std::string base =
+          (id >= 0 && static_cast<std::size_t>(id) < names.size())
+              ? names[static_cast<std::size_t>(id)]
+              : "region" + std::to_string(id);
+      block[base + ".cycles"] = rp.cycles;
+      block[base + ".ops"] = rp.ops;
+      block[base + ".vliw_cycles"] = rp.vliwCycles;
+      block[base + ".cga_cycles"] = rp.cgaCycles;
+      block[base + ".entries"] = rp.entries;
+    }
+    groupsDirty_ = false;
+  }
+  return stats_;
 }
 
 }  // namespace adres::platform

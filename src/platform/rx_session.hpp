@@ -49,11 +49,21 @@ class RxSession {
   /// Decodes one packet with the resident program.
   sdr::ProcessorRxResult decode(const std::array<std::vector<cint16>, 2>& rx);
 
+  /// Allocation-free variant: decodes into `out`, reusing its capacity.
+  /// Combined with the session's warm program reload and the lazily
+  /// materialized stats fold, a steady-state call performs no heap
+  /// allocation (tools/alloc_gate asserts this) — the packet-farm hot path.
+  void decodeInto(const std::array<std::vector<cint16>, 2>& rx,
+                  sdr::ProcessorRxResult& out);
+
   const dsp::ModemConfig& config() const { return modem_->config; }
   const sdr::ModemOnProcessor& modem() const { return *modem_; }
   Processor& processor() { return proc_; }
   const Processor& processor() const { return proc_; }
-  const SessionStats& stats() const { return stats_; }
+  /// Session totals.  Non-const: the per-packet fold keeps region profiles
+  /// numerically (by id) and this call materializes the string-keyed
+  /// "region" group block on demand, so the hot path never builds strings.
+  const SessionStats& stats();
 
  private:
   std::shared_ptr<const sdr::ModemOnProcessor> modem_;
@@ -61,6 +71,11 @@ class RxSession {
   Processor proc_;
   trace::CounterRegistry reg_;
   SessionStats stats_;
+  /// Numeric per-region totals folded per packet; stats() turns them into
+  /// the published `groups["region"]` block (same keys the registry's
+  /// group getter would have produced, built once instead of per packet).
+  std::map<int, RegionProfile> regionTotals_;
+  bool groupsDirty_ = false;
 };
 
 }  // namespace adres::platform

@@ -32,7 +32,20 @@ EnergyCoefficients EnergyCoefficients::defaultCalibration() {
   return c;
 }
 
-PowerReport analyze(const Processor& proc, const EnergyCoefficients& c) {
+namespace {
+
+/// Per-mode energy sums in pJ; the per-category maps are filled only when
+/// requested (analyze), so the scalar path (averageActiveMw) stays
+/// allocation-free.  One body for both keeps the two views from drifting.
+struct ModeEnergies {
+  double evSum = 0;
+  double egSum = 0;
+};
+
+ModeEnergies accumulateEnergies(const Processor& proc,
+                                const EnergyCoefficients& c,
+                                std::map<std::string, double>* ev,
+                                std::map<std::string, double>* eg) {
   const ActivityCounters& a = proc.activity();
   const auto lrf = proc.cga().localRfTotals();
   const auto& l1 = proc.l1().stats();
@@ -49,46 +62,69 @@ PowerReport analyze(const Processor& proc, const EnergyCoefficients& c) {
   const double cdrfCga = static_cast<double>(a.cdrfCgaAccesses);
   const double cdrfVliw = cdrfTotal > cdrfCga ? cdrfTotal - cdrfCga : 0.0;
 
+  ModeEnergies out;
+  const auto addV = [&](const char* k, double v) {
+    out.evSum += v;
+    if (ev) (*ev)[k] = v;
+  };
+  const auto addG = [&](const char* k, double v) {
+    out.egSum += v;
+    if (eg) (*eg)[k] = v;
+  };
+
   // --- VLIW-mode energy (pJ), by Fig 6a category -------------------------
-  std::map<std::string, double> ev;
-  ev["interconnect"] = 2.0 * static_cast<double>(a.vliwOps) * c.transportPj;
-  ev["vliw FUs"] = static_cast<double>(a.vliwOps) * c.vliwOpPj;
-  ev["global RF"] = cdrfVliw * c.cdrfAccessPj;
-  ev["L1"] = l1Vliw * c.l1AccessPj;
-  ev["I$"] = static_cast<double>(ic.accesses) * c.icacheAccessPj +
-             static_cast<double>(ic.misses) * c.icacheMissPj;
-  ev["idle CGA + clock"] = static_cast<double>(a.vliwCycles) * c.vliwClkPj;
+  addV("interconnect", 2.0 * static_cast<double>(a.vliwOps) * c.transportPj);
+  addV("vliw FUs", static_cast<double>(a.vliwOps) * c.vliwOpPj);
+  addV("global RF", cdrfVliw * c.cdrfAccessPj);
+  addV("L1", l1Vliw * c.l1AccessPj);
+  addV("I$", static_cast<double>(ic.accesses) * c.icacheAccessPj +
+                 static_cast<double>(ic.misses) * c.icacheMissPj);
+  addV("idle CGA + clock", static_cast<double>(a.vliwCycles) * c.vliwClkPj);
 
   // --- CGA-mode energy (pJ), by Fig 6b category ---------------------------
-  std::map<std::string, double> eg;
-  eg["interconnect"] = static_cast<double>(a.transports) * c.transportPj;
-  eg["CGA FUs"] = static_cast<double>(a.cgaOps) * c.cgaOpPj +
-                  static_cast<double>(a.simdOps) * c.simdExtraPj;
-  eg["config memories"] =
-      static_cast<double>(cm.contextFetches) * c.configFetchPj;
-  eg["L1"] = l1Cga * c.l1AccessPj;
-  eg["global RF"] = cdrfCga * c.cdrfAccessPj;
-  eg["distributed RF"] =
-      static_cast<double>(lrf.reads + lrf.writes) * c.lrfAccessPj;
-  eg["idle VLIW + I$"] = static_cast<double>(a.cgaCycles) * c.cgaClkPj;
+  addG("interconnect", static_cast<double>(a.transports) * c.transportPj);
+  addG("CGA FUs", static_cast<double>(a.cgaOps) * c.cgaOpPj +
+                      static_cast<double>(a.simdOps) * c.simdExtraPj);
+  addG("config memories",
+       static_cast<double>(cm.contextFetches) * c.configFetchPj);
+  addG("L1", l1Cga * c.l1AccessPj);
+  addG("global RF", cdrfCga * c.cdrfAccessPj);
+  addG("distributed RF",
+       static_cast<double>(lrf.reads + lrf.writes) * c.lrfAccessPj);
+  addG("idle VLIW + I$", static_cast<double>(a.cgaCycles) * c.cgaClkPj);
+  return out;
+}
 
+constexpr double kPeriodNs = 2.5;  // 400 MHz
+
+}  // namespace
+
+PowerReport analyze(const Processor& proc, const EnergyCoefficients& c) {
+  const ActivityCounters& a = proc.activity();
   PowerReport r;
   r.vliwCycles = a.vliwCycles;
   r.cgaCycles = a.cgaCycles;
-  double evSum = 0, egSum = 0;
-  for (const auto& [k, v] : ev) evSum += v;
-  for (const auto& [k, v] : eg) egSum += v;
-  const double period_ns = 2.5;
+  const ModeEnergies e =
+      accumulateEnergies(proc, c, &r.vliwBreakdown, &r.cgaBreakdown);
   if (a.vliwCycles > 0)
-    r.vliwActiveMw = evSum / (static_cast<double>(a.vliwCycles) * period_ns);
+    r.vliwActiveMw = e.evSum / (static_cast<double>(a.vliwCycles) * kPeriodNs);
   if (a.cgaCycles > 0)
-    r.cgaActiveMw = egSum / (static_cast<double>(a.cgaCycles) * period_ns);
+    r.cgaActiveMw = e.egSum / (static_cast<double>(a.cgaCycles) * kPeriodNs);
   const u64 total = a.vliwCycles + a.cgaCycles;
   if (total > 0)
-    r.averageActiveMw = (evSum + egSum) / (static_cast<double>(total) * period_ns);
-  for (const auto& [k, v] : ev) r.vliwBreakdown[k] = evSum > 0 ? v / evSum : 0;
-  for (const auto& [k, v] : eg) r.cgaBreakdown[k] = egSum > 0 ? v / egSum : 0;
+    r.averageActiveMw =
+        (e.evSum + e.egSum) / (static_cast<double>(total) * kPeriodNs);
+  for (auto& [k, v] : r.vliwBreakdown) v = e.evSum > 0 ? v / e.evSum : 0;
+  for (auto& [k, v] : r.cgaBreakdown) v = e.egSum > 0 ? v / e.egSum : 0;
   return r;
+}
+
+double averageActiveMw(const Processor& proc, const EnergyCoefficients& c) {
+  const ActivityCounters& a = proc.activity();
+  const u64 total = a.vliwCycles + a.cgaCycles;
+  if (total == 0) return 0.0;
+  const ModeEnergies e = accumulateEnergies(proc, c, nullptr, nullptr);
+  return (e.evSum + e.egSum) / (static_cast<double>(total) * kPeriodNs);
 }
 
 }  // namespace adres::power

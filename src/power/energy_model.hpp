@@ -57,4 +57,11 @@ PowerReport analyze(const Processor& proc,
                     const EnergyCoefficients& c =
                         EnergyCoefficients::defaultCalibration());
 
+/// The whole-program average active power (mW) analyze() would report,
+/// without materializing the per-category breakdown maps — allocation-free,
+/// for the packet farm's per-decode call.
+double averageActiveMw(const Processor& proc,
+                       const EnergyCoefficients& c =
+                           EnergyCoefficients::defaultCalibration());
+
 }  // namespace adres::power

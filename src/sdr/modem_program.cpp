@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <fstream>
 #include <mutex>
 
@@ -714,6 +715,20 @@ std::shared_ptr<const ProgramPlans> ModemOnProcessor::plansFor(
 ProcessorRxResult runModemOnProcessor(
     Processor& proc, const ModemOnProcessor& m,
     const std::array<std::vector<cint16>, 2>& rx, const RxRunOptions& opts) {
+  ProcessorRxResult out;
+  runModemOnProcessor(proc, m, rx, opts, out);
+  return out;
+}
+
+void runModemOnProcessor(Processor& proc, const ModemOnProcessor& m,
+                         const std::array<std::vector<cint16>, 2>& rx,
+                         const RxRunOptions& opts, ProcessorRxResult& out) {
+  out.detected = false;
+  out.ltfStart = 0;
+  out.bits.clear();
+  out.cycles = 0;
+  out.elapsedUs = 0.0;
+  out.stop = StopReason::kHalt;
   if (opts.trace) proc.setTrace(opts.trace);
   // Always-set (not guarded) so a baseline run clears a previous attachment.
   proc.setKernelProfiling(opts.profile);
@@ -721,20 +736,29 @@ ProcessorRxResult runModemOnProcessor(
   ExecPolicy pol = opts.exec;
   if (!pol.plans) pol.plans = m.plansFor(pol.tier);
   proc.load(m.program, std::move(pol));
-  // DMA the antenna waveforms into L1.
+  // DMA the antenna waveforms into L1.  A cint16 is two little-endian i16
+  // (re, im) — on a little-endian host its memory image is exactly the
+  // byte order the old staging loop produced, so the samples go straight
+  // from the submitter's buffer with no per-packet staging vector.
+  static_assert(sizeof(cint16) == 4, "cint16 must pack into one DMA word");
   for (int a = 0; a < 2; ++a) {
-    std::vector<u8> bytes;
-    bytes.reserve(rx[static_cast<std::size_t>(a)].size() * 4);
-    for (const cint16& v : rx[static_cast<std::size_t>(a)]) {
-      bytes.push_back(static_cast<u8>(static_cast<u16>(v.re)));
-      bytes.push_back(static_cast<u8>(static_cast<u16>(v.re) >> 8));
-      bytes.push_back(static_cast<u8>(static_cast<u16>(v.im)));
-      bytes.push_back(static_cast<u8>(static_cast<u16>(v.im) >> 8));
+    const std::vector<cint16>& w = rx[static_cast<std::size_t>(a)];
+    const u32 dst = a == 0 ? m.layout.rx0 : m.layout.rx1;
+    if constexpr (std::endian::native == std::endian::little) {
+      proc.dma().toL1(dst, reinterpret_cast<const u8*>(w.data()),
+                      w.size() * sizeof(cint16));
+    } else {
+      std::vector<u8> bytes;
+      bytes.reserve(w.size() * 4);
+      for (const cint16& v : w) {
+        bytes.push_back(static_cast<u8>(static_cast<u16>(v.re)));
+        bytes.push_back(static_cast<u8>(static_cast<u16>(v.re) >> 8));
+        bytes.push_back(static_cast<u8>(static_cast<u16>(v.im)));
+        bytes.push_back(static_cast<u8>(static_cast<u16>(v.im) >> 8));
+      }
+      proc.dma().toL1(dst, bytes);
     }
-    proc.dma().toL1(a == 0 ? m.layout.rx0 : m.layout.rx1, bytes);
   }
-
-  ProcessorRxResult out;
   if (opts.progressCycles == nullptr && opts.cancel == nullptr) {
     out.stop = proc.run(opts.maxCycles);
   } else {
@@ -767,7 +791,7 @@ ProcessorRxResult runModemOnProcessor(
       std::ofstream os(opts.countersJsonPath);
       trace::writeCountersJson(proc, os);
     }
-    return out;
+    return;
   }
   out.detected = proc.l1().read32(m.layout.status) != 0;
   out.ltfStart = proc.l1().read32(m.layout.status + 4);
@@ -802,7 +826,6 @@ ProcessorRxResult runModemOnProcessor(
     std::ofstream os(opts.countersJsonPath);
     trace::writeCountersJson(proc, os);
   }
-  return out;
 }
 
 }  // namespace adres::sdr

@@ -89,6 +89,11 @@ struct RxRunOptions {
   /// every closed region.  Unlike `trace`, both observability hooks keep the
   /// CGA steady-state fast path engaged.
   std::vector<RegionSpan>* regionLog = nullptr;
+  /// Bench/debug A/B reference: force every RxSession decode through the
+  /// cold full program load instead of the warm-reload fast path.  Bit- and
+  /// cycle-exact either way; only host speed differs (bench_trialgen uses
+  /// this to reproduce the pre-warm-reload baseline).
+  bool coldReload = false;
 };
 
 struct ProcessorRxResult {
@@ -112,5 +117,13 @@ ProcessorRxResult runModemOnProcessor(
     Processor& proc, const ModemOnProcessor& m,
     const std::array<std::vector<cint16>, 2>& rx,
     const RxRunOptions& opts = {});
+
+/// Allocation-free variant: decodes into `out`, reusing its bits buffer's
+/// capacity (every field is overwritten).  With warm reload armed in
+/// `opts.exec` and sample buffers DMA'd straight from `rx`, a steady-state
+/// decode performs no heap allocation.
+void runModemOnProcessor(Processor& proc, const ModemOnProcessor& m,
+                         const std::array<std::vector<cint16>, 2>& rx,
+                         const RxRunOptions& opts, ProcessorRxResult& out);
 
 }  // namespace adres::sdr

@@ -81,6 +81,12 @@ std::map<std::string, u64> CounterRegistry::snapshot() const {
   return out;
 }
 
+void CounterRegistry::accumulateCountersInto(
+    std::map<std::string, u64>& into) const {
+  checkOwner();
+  for (const auto& [name, g] : counters_) into[name] += g();
+}
+
 std::map<std::string, std::map<std::string, u64>>
 CounterRegistry::groupSnapshot() const {
   checkOwner();

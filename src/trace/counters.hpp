@@ -68,6 +68,12 @@ class CounterRegistry {
   /// Point-in-time read of every static counter.
   std::map<std::string, u64> snapshot() const;
 
+  /// Owner-thread fold: adds every static counter's current value into
+  /// `into` (group getters are not invoked — they build strings).  After
+  /// the first fold the key set exists, so steady-state calls perform no
+  /// heap allocation — the packet farm's per-packet stats path.
+  void accumulateCountersInto(std::map<std::string, u64>& into) const;
+
   /// Point-in-time read of every group: prefix -> (suffix -> value).
   std::map<std::string, std::map<std::string, u64>> groupSnapshot() const;
 

@@ -117,6 +117,44 @@ TEST(CampaignRunner, KillAndResumeIsByteIdenticalWithUninterruptedRun) {
   std::remove(split.c_str());
 }
 
+TEST(CampaignRunner, CheckpointBytesInvariantAcrossProducersAndFrontend) {
+  const std::string ref = testing::TempDir() + "adres_campaign_p1s.json";
+  const std::string alt = testing::TempDir() + "adres_campaign_p3v.json";
+  std::remove(ref.c_str());
+  std::remove(alt.c_str());
+
+  // Reference: inline generation (1 producer) with the scalar frontend.
+  CampaignConfig a = smallCampaign();
+  a.workers = 2;
+  a.producers = 1;
+  a.frontend.kind = dsp::FrontendKind::kScalar;
+  a.checkpointPath = ref;
+  const CampaignResult ra = CampaignRunner(a).run();
+  EXPECT_TRUE(ra.completed);
+
+  // Sharded generation with the vectorized frontend: counter-derived trial
+  // seeds plus trial-order folding make every accumulator — and the
+  // checkpoint bytes — independent of who generated which trial and how.
+  CampaignConfig b = smallCampaign();
+  b.workers = 2;
+  b.producers = 3;
+  b.frontend.kind = dsp::FrontendKind::kVectorized;
+  b.checkpointPath = alt;
+  const CampaignResult rb = CampaignRunner(b).run();
+  EXPECT_TRUE(rb.completed);
+
+  ASSERT_EQ(ra.results.size(), rb.results.size());
+  for (std::size_t i = 0; i < ra.results.size(); ++i)
+    EXPECT_EQ(ra.results[i], rb.results[i]) << "cell " << i;
+  EXPECT_EQ(ra.trialsRun, rb.trialsRun);
+  const std::string bytesA = fileBytes(ref), bytesB = fileBytes(alt);
+  ASSERT_FALSE(bytesA.empty());
+  EXPECT_EQ(bytesA, bytesB)
+      << "checkpoint bytes must not depend on producers or frontend";
+  std::remove(ref.c_str());
+  std::remove(alt.c_str());
+}
+
 TEST(CampaignRunner, RegistersLiveProgressMetrics) {
   CampaignConfig cfg = smallCampaign();
   cfg.workers = 1;

@@ -6,6 +6,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
@@ -385,6 +386,117 @@ TEST(PacketFarm, DeepObservabilityKeepsDecodesBitAndCycleExact) {
 
   reg.clear();  // teardown barrier before the farm dies
   std::filesystem::remove_all(dir);
+}
+
+TEST(RxSession, WarmReloadIsBitAndCycleExactWithColdReload) {
+  const dsp::ModemConfig cfg = smallConfig();
+  RxSession warm(cfg);  // default: warm reload from the second decode on
+  sdr::RxRunOptions coldOpts;
+  coldOpts.coldReload = true;
+  RxSession cold(cfg, coldOpts);
+
+  for (int i = 0; i < 3; ++i) {
+    const auto [rx, bits] = makePacket(cfg, i);
+    const auto w = warm.decode(rx);
+    const auto c = cold.decode(rx);
+    EXPECT_EQ(w.bits, bits) << "packet " << i;
+    EXPECT_EQ(w.bits, c.bits) << "packet " << i;
+    EXPECT_EQ(w.cycles, c.cycles) << "packet " << i;
+    EXPECT_EQ(w.detected, c.detected);
+    EXPECT_EQ(w.ltfStart, c.ltfStart);
+  }
+  // The whole counter set — not just cycles — must be reload-invariant.
+  EXPECT_EQ(warm.stats().counters, cold.stats().counters);
+  EXPECT_EQ(warm.stats().groups, cold.stats().groups);
+}
+
+TEST(PacketFarm, SubmittedPayloadsAreMovedNeverCopied) {
+  const dsp::ModemConfig cfg = smallConfig();
+  constexpr int kPackets = 6;
+
+  // Record each submitted buffer's storage address; the pre-decode hook
+  // (on the worker thread, after the queue hop) must observe the same
+  // addresses — any copy along submit -> queue -> dispatch would fail this.
+  std::mutex mu;
+  std::map<u64, std::array<const cint16*, 2>> submitted, dispatched;
+
+  FarmConfig fc;
+  fc.modem = cfg;
+  fc.numWorkers = 2;
+  fc.preDecodeHook = [&](int, const RxJob& job) {
+    std::lock_guard<std::mutex> lk(mu);
+    dispatched[job.id] = {job.rx[0].data(), job.rx[1].data()};
+  };
+  PacketFarm farm(fc);
+
+  for (int i = 0; i < kPackets; ++i) {
+    auto [rx, bits] = makePacket(cfg, i);
+    RxJob job;
+    job.id = static_cast<u64>(i);
+    job.rx = std::move(rx);
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      submitted[job.id] = {job.rx[0].data(), job.rx[1].data()};
+    }
+    farm.submit(std::move(job));
+  }
+  const std::vector<RxOutcome> outs = farm.finish();
+  ASSERT_EQ(outs.size(), static_cast<std::size_t>(kPackets));
+
+  ASSERT_EQ(submitted.size(), dispatched.size());
+  for (const auto& [id, ptrs] : submitted) {
+    ASSERT_TRUE(dispatched.count(id)) << "job " << id;
+    EXPECT_EQ(dispatched[id][0], ptrs[0]) << "rx[0] of job " << id
+                                          << " was copied, not moved";
+    EXPECT_EQ(dispatched[id][1], ptrs[1]) << "rx[1] of job " << id
+                                          << " was copied, not moved";
+  }
+}
+
+TEST(PacketFarm, CollectIntoAndRecycleFormClosedBufferLoops) {
+  const dsp::ModemConfig cfg = smallConfig();
+  FarmConfig fc;
+  fc.modem = cfg;
+  fc.numWorkers = 1;
+  PacketFarm farm(fc);
+
+  const auto [rx, bits] = makePacket(cfg, 0);
+  std::vector<RxOutcome> outs;
+  std::set<const cint16*> waveStorage;  // round-0 waveform allocations
+  const u8* bitStorage = nullptr;       // round-0 decoded-bit allocation
+  for (int round = 0; round < 3; ++round) {
+    RxJob job;
+    job.id = static_cast<u64>(round);
+    // Waveform storage comes from the pool: round 0 allocates, later
+    // rounds must reuse the buffers the worker released after decoding
+    // (the pool is LIFO, so the two antenna buffers may swap roles).
+    job.rx[0] = farm.acquireSampleBuffer();
+    job.rx[1] = farm.acquireSampleBuffer();
+    job.rx[0].assign(rx[0].begin(), rx[0].end());
+    job.rx[1].assign(rx[1].begin(), rx[1].end());
+    if (round == 0) {
+      waveStorage = {job.rx[0].data(), job.rx[1].data()};
+    } else {
+      EXPECT_TRUE(waveStorage.count(job.rx[0].data()) &&
+                  waveStorage.count(job.rx[1].data()))
+          << "round " << round << ": sample buffers must cycle via the pool";
+    }
+    farm.submit(std::move(job));
+
+    farm.collectInto(outs);
+    ASSERT_EQ(outs.size(), 1u) << "round " << round;
+    EXPECT_EQ(outs[0].id, static_cast<u64>(round));
+    EXPECT_EQ(outs[0].result.bits, bits) << "round " << round;
+    if (round == 0) {
+      bitStorage = outs[0].result.bits.data();
+    } else {
+      EXPECT_EQ(outs[0].result.bits.data(), bitStorage)
+          << "round " << round << ": decoded bits must cycle via the pool";
+    }
+    farm.recycleOutcomes(outs);
+    EXPECT_TRUE(outs.empty()) << "recycle clears the caller's view";
+  }
+  (void)farm.finish();
 }
 
 }  // namespace

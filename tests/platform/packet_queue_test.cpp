@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "platform/buffer_pool.hpp"
 #include "platform/packet_queue.hpp"
 
 namespace adres::platform {
@@ -98,6 +99,46 @@ TEST(BoundedQueue, MultiProducerMultiConsumerAccountsEveryItem) {
   ASSERT_EQ(seen.size(), static_cast<std::size_t>(kProducers * kPerProducer));
   for (int i = 0; i < kProducers * kPerProducer; ++i)
     EXPECT_EQ(seen.count(i), 1u) << "item " << i << " duplicated or lost";
+}
+
+TEST(BoundedQueue, FullWaitAccumulatesOnlyWhileBlocked) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  EXPECT_EQ(q.fullWaitNs(), 0u) << "uncontended pushes record no wait";
+
+  std::thread t([&] { ASSERT_TRUE(q.push(2)); });  // blocks: queue full
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  EXPECT_EQ(q.pop().value(), 1);
+  t.join();
+  // The producer sat blocked ~25 ms; allow generous scheduling slack but
+  // require the wait to be clearly non-zero and roughly of that order.
+  EXPECT_GE(q.fullWaitNs(), 5'000'000u) << "blocked push must be timed";
+
+  const u64 afterBlocked = q.fullWaitNs();
+  EXPECT_EQ(q.pop().value(), 2);
+  ASSERT_TRUE(q.push(3));
+  EXPECT_EQ(q.fullWaitNs(), afterBlocked)
+      << "non-blocking pushes must not touch the backpressure clock";
+}
+
+TEST(BufferPool, RecyclesReleasedStorage) {
+  BufferPool<int> pool;
+  EXPECT_EQ(pool.idle(), 0u);
+  EXPECT_TRUE(pool.acquire().empty()) << "empty pool hands out a fresh buffer";
+
+  std::vector<int> buf{1, 2, 3, 4};
+  const int* storage = buf.data();
+  pool.release(std::move(buf));
+  EXPECT_EQ(pool.idle(), 1u);
+
+  const std::vector<int> again = pool.acquire();
+  EXPECT_EQ(pool.idle(), 0u);
+  EXPECT_TRUE(again.empty()) << "recycled buffers come back cleared";
+  EXPECT_EQ(again.data(), storage) << "recycled buffer must reuse storage";
+  EXPECT_GE(again.capacity(), 4u);
+
+  pool.release(std::vector<int>{});  // capacity-0: nothing worth keeping
+  EXPECT_EQ(pool.idle(), 0u);
 }
 
 }  // namespace

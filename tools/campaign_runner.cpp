@@ -99,6 +99,8 @@ int main(int argc, char** argv) {
   double ciHalfWidth = 0.05, confidence = 0.95;
   int batch = 16;
   int workers = 1;
+  int producers = 1;
+  std::string frontend = "vectorized";
   std::string checkpoint;
   bool fresh = false;
   int stopAfterCells = -1;
@@ -125,6 +127,11 @@ int main(int argc, char** argv) {
   args.flag("confidence", "X", "CI coverage (default 0.95)", &confidence);
   args.flag("batch", "N", "trials per farm batch (part of the spec)", &batch);
   args.flag("workers", "N", "farm worker threads", &workers);
+  args.flag("producers", "N",
+            "trial-generation threads (results identical for any N)",
+            &producers);
+  args.flag("frontend", "KIND",
+            "trial frontend: scalar|vectorized (bit-identical)", &frontend);
   args.flag("checkpoint", "PATH", "adres.campaign.v1 checkpoint file",
             &checkpoint);
   args.flag("fresh", "ignore an existing checkpoint", &fresh);
@@ -154,6 +161,13 @@ int main(int argc, char** argv) {
   cfg.sweep.stop.ciHalfWidth = ciHalfWidth;
   cfg.sweep.stop.confidence = confidence;
   cfg.workers = workers;
+  cfg.producers = producers;
+  try {
+    cfg.frontend.kind = dsp::parseFrontendKind(frontend);
+  } catch (const SimError& e) {
+    std::fprintf(stderr, "campaign_runner: %s\n", e.what());
+    return 1;
+  }
   cfg.checkpointPath = checkpoint;
   cfg.resume = !fresh;
   cfg.stopAfterCells = stopAfterCells;
