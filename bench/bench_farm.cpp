@@ -7,7 +7,9 @@
 //
 //   $ ./bench_farm [numPackets] [numSymbols] [maxWorkers] [jsonPath] \
 //         [--exec-tier TIER] [--live-metrics PORT] [--linger-ms N] \
-//         [--metrics-json PATH]
+//         [--metrics-json PATH] [--sentinel RATE] [--sentinel-tier TIER] \
+//         [--slo SPECS] [--postmortem-dir DIR] \
+//         [--sentinel-overhead-max-pct PCT]
 //
 // jsonPath defaults to BENCH_farm.json; pass "-" to skip the dump.  With
 // --live-metrics the bench embeds a MetricsServer: while the sweep runs,
@@ -15,6 +17,14 @@
 // the active farm (PORT 0 picks an ephemeral port, printed at startup);
 // --linger-ms keeps serving the final farm's metrics after the sweep so
 // scrapers and the farm_dashboard example can attach.
+//
+// Self-auditing (DESIGN.md §16): --sentinel enables the divergence sentinel
+// at the given sample rate (any divergence makes the bench exit 2); --slo
+// evaluates an SLO spec list against the live registry (served on /slo with
+// --live-metrics; a breach captures a postmortem bundle when
+// --postmortem-dir is set).  --sentinel-overhead-max-pct runs a paired
+// with/without-sentinel comparison at the largest worker count and fails
+// (exit 1) when the sentinel costs more throughput than the given percent.
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -26,6 +36,7 @@
 #include "bench_args.hpp"
 #include "dsp/channel.hpp"
 #include "obs/metrics_server.hpp"
+#include "obs/slo.hpp"
 #include "platform/packet_farm.hpp"
 
 using namespace adres;
@@ -38,6 +49,8 @@ struct Row {
   double p50Us = 0, p99Us = 0, avgPowerMw = 0, ber = 0;
   double queueWaitP50Us = 0, queueWaitP99Us = 0;
   double queueWaitShare = 0;  ///< queue wait / (queue wait + decode time)
+  u64 sentinelSampled = 0;  ///< packets shadow-decoded by the sentinel
+  u64 divergences = 0;      ///< sentinel divergences (must be 0)
   // Producer/consumer split: the submit side timed separately from the
   // decode side, plus how long submitters sat blocked on a full queue.
   double submitMs = 0;             ///< wall time of the submit loop alone
@@ -58,6 +71,11 @@ int main(int argc, char** argv) {
   int metricsPort = -1;
   int lingerMs = 0;
   std::string metricsJsonPath;
+  double sentinelRate = -1.0;  // <0 = sentinel off
+  std::string sentinelTierName = "interpreted";
+  std::string sloSpecsText;
+  std::string postmortemDir;
+  double overheadMaxPct = -1.0;  // <0 = no overhead gate
 
   bench::Args args("bench_farm", "packet-farm throughput sweep");
   args.positional("numPackets", "packets to decode per row", &numPackets);
@@ -72,11 +90,33 @@ int main(int argc, char** argv) {
             &lingerMs);
   args.flag("metrics-json", "PATH", "write the final adres.metrics.v1 snapshot",
             &metricsJsonPath);
+  args.flag("sentinel", "RATE",
+            "divergence-sentinel sample rate in [0,1] (1 audits everything)",
+            &sentinelRate);
+  args.flag("sentinel-tier", "TIER",
+            "held-back shadow tier: reference | interpreted | native",
+            &sentinelTierName);
+  args.flag("slo", "SPECS",
+            "SLO spec list, e.g. 'p99: p99_latency_us < 50000; "
+            "integrity: divergences < 1'",
+            &sloSpecsText);
+  args.flag("postmortem-dir", "DIR",
+            "write adres.postmortem.v1 bundles (SLO breaches, divergences, "
+            "watchdog failures) under DIR",
+            &postmortemDir);
+  args.flag("sentinel-overhead-max-pct", "PCT",
+            "paired-run overhead gate: fail when the sentinel costs more "
+            "than PCT percent packet throughput",
+            &overheadMaxPct);
   bench::ExecTierFlag tierFlag(args);
   if (!args.parse(argc, argv)) return args.parseError() ? 1 : 0;
   ExecTier tier;
+  ExecTier sentinelTier;
+  std::vector<obs::SloSpec> sloSpecs;
   try {
     tier = tierFlag.resolve();
+    sentinelTier = parseExecTier(sentinelTierName);
+    if (!sloSpecsText.empty()) sloSpecs = obs::parseSloSpecList(sloSpecsText);
   } catch (const SimError& e) {
     fprintf(stderr, "bench_farm: %s\n", e.what());
     return 1;
@@ -131,20 +171,58 @@ int main(int argc, char** argv) {
   std::vector<std::vector<u8>> baselineBits;
   std::vector<u64> baselineCycles;
   std::unique_ptr<platform::PacketFarm> farm;  // survives the loop for linger
-  for (const int w : sweep) {
+  std::unique_ptr<obs::SloEngine> slo;
+  u64 totalDivergences = 0;
+  const auto farmConfigFor = [&](int w, double auditRate) {
     platform::FarmConfig fc;
     fc.modem = cfg;
     fc.numWorkers = w;
     fc.queueCapacity = static_cast<std::size_t>(2 * w);
     fc.ordered = true;
-    // Swap the scrape target: clear() is the teardown barrier for the
-    // getters capturing the previous farm.
     fc.spans = true;  // per-packet span trees (region log, fast path kept)
     fc.run.exec.tier = tier;
+    if (auditRate >= 0) {
+      fc.sentinel.enabled = true;
+      fc.sentinel.sampleRate = auditRate;
+      fc.sentinel.shadowTier = sentinelTier;
+      fc.sentinel.bundleOnDivergence = !postmortemDir.empty();
+    }
+    if (!postmortemDir.empty()) {
+      fc.postmortem.enabled = true;
+      fc.postmortem.dir = postmortemDir;
+      fc.postmortem.metrics = &metrics;
+    }
+    return fc;
+  };
+  for (const int w : sweep) {
+    // Swap the scrape target: clear() is the teardown barrier for the
+    // getters capturing the previous farm and SLO engine.
+    if (server) {
+      server->setSloEngine(nullptr);
+      server->setReadiness({});
+    }
     metrics.clear();
-    farm = std::make_unique<platform::PacketFarm>(fc);
+    slo.reset();
+    farm = std::make_unique<platform::PacketFarm>(farmConfigFor(w, sentinelRate));
     farm->registerMetrics(metrics);
     if (server) server->registerSelfMetrics(metrics);
+    if (!sloSpecs.empty()) {
+      slo = std::make_unique<obs::SloEngine>(metrics, sloSpecs);
+      slo->registerMetrics(metrics);
+      slo->setBreachHook([&](const obs::SloStatus& st) {
+        const std::string path = farm->capturePostmortem(
+            "slo_breach", st.spec.name + ": " + obs::sloSpecToString(st.spec));
+        printf("   SLO BREACH [%s]: value %.3f vs threshold %.3f%s%s\n",
+               st.spec.name.c_str(), st.value, st.spec.threshold,
+               path.empty() ? "" : " -> ", path.c_str());
+      });
+      slo->startPeriodic(100);
+    }
+    if (server) {
+      server->setReadiness(
+          [&farm](std::string* reason) { return farm->ready(reason); });
+      if (slo) server->setSloEngine(slo.get());
+    }
 
     const auto t0 = std::chrono::steady_clock::now();
     for (int i = 0; i < numPackets; ++i)
@@ -204,6 +282,11 @@ int main(int argc, char** argv) {
       }
     }
     r.efficiency = r.speedup / static_cast<double>(w);
+    if (const obs::DivergenceSentinel* s = farm->sentinel()) {
+      r.sentinelSampled = s->sampled();
+      r.divergences = s->divergences();
+      totalDivergences += r.divergences;
+    }
     rows.push_back(r);
 
     printf("%2d worker%s: %8.1f ms  %7.2f pkt/s  %7.2f Mbps  speedup %5.2fx "
@@ -217,6 +300,25 @@ int main(int argc, char** argv) {
            "(%.0f%% of submit)\n",
            r.submitMs, r.submitPps, r.backpressureMs,
            100.0 * r.backpressureShare);
+    if (farm->sentinel()) {
+      printf("            sentinel: %llu/%d packets audited, %llu divergence%s\n",
+             static_cast<unsigned long long>(r.sentinelSampled), numPackets,
+             static_cast<unsigned long long>(r.divergences),
+             r.divergences == 1 ? "" : "s");
+      for (const obs::IntegrityEvent& ev : farm->integrityEvents())
+        printf("   DIVERGENCE [%s] job %llu worker %d: %s%s%s\n",
+               obs::integrityEventKindName(ev.kind),
+               static_cast<unsigned long long>(ev.jobId), ev.worker,
+               ev.detail.c_str(), ev.bundlePath.empty() ? "" : " -> ",
+               ev.bundlePath.c_str());
+    }
+    if (slo) {
+      for (const obs::SloStatus& st : slo->evaluate())
+        printf("            slo[%s]: %s = %.3f vs %s %.3f  burn %.2f  %s\n",
+               st.spec.name.c_str(), obs::sloKindName(st.spec.kind), st.value,
+               st.spec.strict ? "<" : "<=", st.spec.threshold, st.burnRate,
+               st.fired ? "BREACHING" : (st.haveValue ? "ok" : "no data"));
+    }
     for (const obs::HealthEvent& ev : farm->healthEvents())
       printf("   health[%s]: %s\n", obs::healthEventKindName(ev.kind),
              ev.detail.c_str());
@@ -232,6 +334,8 @@ int main(int argc, char** argv) {
     std::ofstream os(jsonPath);
     os << "{\n  \"schema\": \"adres.bench_farm.v1\",\n"
        << "  \"exec_tier\": \"" << execTierName(tier) << "\",\n"
+       << "  \"sentinel_rate\": " << (sentinelRate >= 0 ? sentinelRate : 0.0)
+       << ",\n"
        << "  \"packets\": " << numPackets << ",\n"
        << "  \"num_symbols\": " << numSymbols << ",\n"
        << "  \"total_bits\": " << totalBits << ",\n"
@@ -252,10 +356,42 @@ int main(int argc, char** argv) {
          << ", \"submit_backpressure_ms\": " << r.backpressureMs
          << ", \"submit_backpressure_share\": " << r.backpressureShare
          << ", \"avg_power_mw\": " << r.avgPowerMw << ", \"ber\": " << r.ber
+         << ", \"sentinel_sampled\": " << r.sentinelSampled
+         << ", \"divergences\": " << r.divergences
          << ", \"bit_exact\": " << (r.bitExact ? "true" : "false") << "}";
     }
     os << "\n  ]\n}\n";
     printf("wrote %s\n", jsonPath.c_str());
+  }
+
+  // Paired overhead gate: same traffic, same worker count, sentinel off vs
+  // on.  Best-of-two per side to damp host noise; postmortem capture and
+  // bundling are disabled so the comparison isolates the sentinel itself.
+  bool overheadGateFailed = false;
+  if (overheadMaxPct > 0) {
+    const double rate = sentinelRate >= 0 ? sentinelRate : 0.01;
+    const auto timedRun = [&](double auditRate) {
+      platform::FarmConfig fc = farmConfigFor(maxWorkers, auditRate);
+      fc.postmortem = obs::PostmortemConfig{};
+      fc.sentinel.bundleOnDivergence = false;
+      platform::PacketFarm f(fc);
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < numPackets; ++i)
+        (void)f.submit(waves[static_cast<std::size_t>(i)]);
+      (void)f.finish();
+      const double wallUs = bench::msSince(t0) * 1000.0;
+      totalDivergences += f.divergences();
+      return static_cast<double>(numPackets) / (wallUs / 1e6);
+    };
+    const double basePps = std::max(timedRun(-1.0), timedRun(-1.0));
+    const double sentPps = std::max(timedRun(rate), timedRun(rate));
+    const double overheadPct =
+        basePps > 0 ? 100.0 * (1.0 - sentPps / basePps) : 0.0;
+    overheadGateFailed = overheadPct > overheadMaxPct;
+    printf("sentinel overhead @ %d workers, rate %.3f: %.1f%% "
+           "(%.1f -> %.1f pkt/s, budget %.1f%%) %s\n",
+           maxWorkers, rate, overheadPct, basePps, sentPps, overheadMaxPct,
+           overheadGateFailed ? "FAIL" : "ok");
   }
 
   if (server && lingerMs > 0) {
@@ -263,13 +399,23 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(lingerMs));
   }
   if (server) {
+    server->setSloEngine(nullptr);
+    server->setReadiness({});
     server->stop();
     printf("metrics server: %llu scrapes\n",
            static_cast<unsigned long long>(server->requests()));
   }
+  if (slo) slo->stop();
   metrics.clear();
+  slo.reset();
 
+  if (totalDivergences > 0) {
+    printf("FAILED: %llu sentinel divergence%s detected\n",
+           static_cast<unsigned long long>(totalDivergences),
+           totalDivergences == 1 ? "" : "s");
+    return 2;
+  }
   for (const Row& r : rows)
     if (!r.bitExact) return 1;
-  return 0;
+  return overheadGateFailed ? 1 : 0;
 }

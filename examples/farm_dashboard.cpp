@@ -21,6 +21,7 @@
 #include "bench/bench_args.hpp"
 #include "dsp/channel.hpp"
 #include "obs/metrics_server.hpp"
+#include "obs/slo.hpp"
 #include "platform/packet_farm.hpp"
 
 using namespace adres;
@@ -141,6 +142,32 @@ void drawFrame(const std::vector<Sample>& samples, int frame, bool ansi) {
          value(samples, "adres_farm_queue_wait_us", "quantile", "0.5"),
          value(samples, "adres_farm_queue_wait_us", "quantile", "0.99"));
 
+  // Self-auditing panel (DESIGN.md §16): readiness, sentinel audit counts
+  // and per-SLO burn rates — all off the same scrape.
+  const double ready = value(samples, "adres_farm_ready");
+  const double audited = value(samples, "adres_farm_sentinel_sampled_total");
+  const double diverged = value(samples, "adres_farm_divergences_total");
+  const double bundles = value(samples, "adres_farm_postmortem_bundles_total");
+  printf("\nself-audit:  %s   sentinel %.0f audited / %.0f diverged   "
+         "postmortems %.0f\n",
+         ready >= 1 ? "READY" : "warming", audited, diverged, bundles);
+  bool anySlo = false;
+  for (const Sample& s : samples) {
+    if (s.name != "adres_slo_burn_rate") continue;
+    const auto it = s.labels.find("slo");
+    const std::string name = it != s.labels.end() ? it->second : "?";
+    const double breaching =
+        value(samples, "adres_slo_breaching", "slo", name);
+    const double val = value(samples, "adres_slo_value", "slo", name);
+    const double total = value(samples, "adres_slo_breaches_total", "slo", name);
+    printf("  slo %-16s value %10.2f  burn [%s] %5.2f  breaches %.0f  %s\n",
+           name.c_str(), val, bar(s.value, 12).c_str(), s.value, total,
+           breaching >= 1 ? "BREACHING" : "ok");
+    anySlo = true;
+  }
+  if (!anySlo)
+    printf("  (no SLO engine attached — run bench_farm --slo '...')\n");
+
   // Slowest-packet breakdown: which packet hit the tail, where it waited,
   // and (when span recording is on) which modem regions its decode spent
   // simulated cycles in.
@@ -195,6 +222,7 @@ int main(int argc, char** argv) {
   std::unique_ptr<obs::MetricsRegistry> reg;
   std::unique_ptr<obs::MetricsServer> server;
   std::unique_ptr<platform::PacketFarm> farm;
+  std::unique_ptr<obs::SloEngine> slo;
   std::thread feeder;
   std::atomic<bool> feederDone{false};
   if (demo) {
@@ -206,11 +234,23 @@ int main(int argc, char** argv) {
     fc.numWorkers = std::max(
         1, std::min(4, static_cast<int>(std::thread::hardware_concurrency())));
     fc.spans = true;  // feeds the slowest-packet region breakdown panel
+    // Exercise the self-audit panel: shadow-decode a quarter of the demo
+    // traffic and track two permissive SLOs live.
+    fc.sentinel.enabled = true;
+    fc.sentinel.sampleRate = 0.25;
     reg = std::make_unique<obs::MetricsRegistry>();
     farm = std::make_unique<platform::PacketFarm>(fc);
     farm->registerMetrics(*reg);
+    slo = std::make_unique<obs::SloEngine>(
+        *reg, obs::parseSloSpecList(
+                  "p99: p99_latency_us < 1000000; integrity: divergences < 1"));
+    slo->registerMetrics(*reg);
+    slo->startPeriodic(250);
     server = std::make_unique<obs::MetricsServer>(*reg, 0);
     server->registerSelfMetrics(*reg);
+    server->setReadiness(
+        [&farm](std::string* reason) { return farm->ready(reason); });
+    server->setSloEngine(slo.get());
     port = server->port();
     host = "127.0.0.1";
     if (frames == 0) frames = 6;
@@ -254,6 +294,7 @@ int main(int argc, char** argv) {
     feeder.join();
     (void)farm->finish();
     server->stop();
+    slo->stop();
     reg->clear();
   }
   return misses >= 3 ? 1 : 0;

@@ -7,6 +7,8 @@
 #include <fstream>
 #include <limits>
 
+#include "trace/export.hpp"
+
 namespace adres::obs {
 namespace {
 
@@ -14,16 +16,6 @@ std::string fmt(double v) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.10g", std::isfinite(v) ? v : 0.0);
   return buf;
-}
-
-std::string jsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
-  }
-  return out;
 }
 
 void writeExemplarFile(std::ostream& os, const trace::PacketSpans& spans,
@@ -39,26 +31,11 @@ void writeExemplarFile(std::ostream& os, const trace::PacketSpans& spans,
      << "  \"latency_us\": " << fmt(latencyUs) << ",\n"
      << "  \"queue_wait_us\": " << fmt(queueWaitUs) << ",\n"
      << "  \"sim_cycles\": " << simCycles << ",\n  \"spans\": [";
-  for (std::size_t i = 0; i < spans.spans.size(); ++i) {
-    const trace::Span& s = spans.spans[i];
-    os << (i ? ",\n" : "\n") << "    {\"kind\": \""
-       << trace::spanKindName(s.kind) << "\", \"name\": \""
-       << jsonEscape(s.name) << "\", \"start_us\": " << fmt(s.startUs)
-       << ", \"dur_us\": " << fmt(s.durUs)
-       << ", \"start_cycle\": " << s.startCycle << ", \"cycles\": " << s.cycles
-       << ", \"ops\": " << s.ops << '}';
-  }
+  trace::writeSpanJsonEntries(spans.spans, os, 4);
   os << "\n  ],\n  \"ring\": {\n    \"capacity\": " << ringCapacity
      << ",\n    \"accepted\": " << ringAccepted
      << ",\n    \"dropped\": " << ringDropped << ",\n    \"events\": [";
-  for (std::size_t i = 0; i < ringEvents.size(); ++i) {
-    const TraceEvent& e = ringEvents[i];
-    os << (i ? ",\n" : "\n") << "      {\"cycle\": " << e.cycle
-       << ", \"dur\": " << e.dur << ", \"kind\": \""
-       << traceEventKindName(e.kind)
-       << "\", \"track\": " << static_cast<int>(e.track) << ", \"a\": " << e.a
-       << ", \"b\": " << e.b << '}';
-  }
+  trace::writeTraceEventJsonEntries(ringEvents, os, 6);
   os << "\n    ]\n  }\n}\n";
 }
 

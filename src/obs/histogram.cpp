@@ -40,6 +40,13 @@ double HistogramSnapshot::quantile(double q) const {
   return static_cast<double>(max);
 }
 
+u64 HistogramSnapshot::countAbove(u64 v) const {
+  const std::size_t first = LogLinearHistogram::bucketIndex(v) + 1;
+  u64 n = 0;
+  for (std::size_t i = first; i < buckets.size(); ++i) n += buckets[i];
+  return n;
+}
+
 std::size_t LogLinearHistogram::bucketIndex(u64 v) {
   if (v < kSubBuckets) return static_cast<std::size_t>(v);
   const int e = 63 - std::countl_zero(v);

@@ -39,6 +39,12 @@ struct HistogramSnapshot {
   /// rank-floor(q*(count-1)) sample — within one bucket width of the exact
   /// sorted-sample percentile, clamped to the recorded min/max.
   double quantile(double q) const;
+
+  /// Samples recorded above `v`: the count in every bucket strictly after
+  /// the one holding `v`.  Bucketized, so samples sharing v's bucket are
+  /// counted as <= v — the estimate errs low by at most one bucket's worth
+  /// (<= 6.25% relative bucket width).  The SLO deadline-miss source.
+  u64 countAbove(u64 v) const;
 };
 
 class LogLinearHistogram {

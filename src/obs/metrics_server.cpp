@@ -7,6 +7,7 @@
 
 #include "common/check.hpp"
 #include "obs/buildinfo.hpp"
+#include "obs/slo.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <arpa/inet.h>
@@ -115,6 +116,16 @@ void MetricsServer::serveLoop() {
   }
 }
 
+void MetricsServer::setReadiness(ReadinessFn fn) {
+  std::lock_guard<std::mutex> lk(hookMu_);
+  readiness_ = std::move(fn);
+}
+
+void MetricsServer::setSloEngine(SloEngine* engine) {
+  std::lock_guard<std::mutex> lk(hookMu_);
+  slo_ = engine;
+}
+
 void MetricsServer::registerSelfMetrics(MetricsRegistry& reg) {
   reg.addCounter("adres_metrics_scrapes_total",
                  "HTTP requests served by the metrics endpoint",
@@ -160,6 +171,35 @@ void MetricsServer::handleConnection(int fd) {
     sendAll(fd, httpResponse("200 OK", "application/json", body.str()));
   } else if (path == "/healthz") {
     sendAll(fd, httpResponse("200 OK", "text/plain", "ok\n"));
+  } else if (path == "/readyz") {
+    ReadinessFn check;
+    {
+      std::lock_guard<std::mutex> lk(hookMu_);
+      check = readiness_;
+    }
+    std::string reason;
+    if (!check || check(&reason)) {
+      sendAll(fd, httpResponse("200 OK", "text/plain", "ready\n"));
+    } else {
+      if (reason.empty()) reason = "warming up";
+      sendAll(fd, httpResponse("503 Service Unavailable", "text/plain",
+                               "not ready: " + reason + "\n"));
+    }
+  } else if (path == "/slo") {
+    SloEngine* engine;
+    {
+      std::lock_guard<std::mutex> lk(hookMu_);
+      engine = slo_;
+    }
+    if (engine) {
+      engine->evaluate();
+      std::ostringstream body;
+      engine->writeJson(body);
+      sendAll(fd, httpResponse("200 OK", "application/json", body.str()));
+    } else {
+      sendAll(fd, httpResponse("404 Not Found", "text/plain",
+                               "no SLO engine attached\n"));
+    }
   } else if (path == "/" || path == "/index.html") {
     sendAll(fd, httpResponse(
                     "200 OK", "text/html",
@@ -168,6 +208,8 @@ void MetricsServer::handleConnection(int fd) {
                     "<li><a href=\"/metrics.json\">/metrics.json</a></li>"
                     "<li><a href=\"/buildinfo\">/buildinfo</a></li>"
                     "<li><a href=\"/healthz\">/healthz</a></li>"
+                    "<li><a href=\"/readyz\">/readyz</a></li>"
+                    "<li><a href=\"/slo\">/slo</a></li>"
                     "</ul></body></html>\n"));
   } else {
     sendAll(fd, httpResponse("404 Not Found", "text/plain", "not found\n"));
@@ -230,6 +272,8 @@ MetricsServer::MetricsServer(const MetricsRegistry& reg, int, const std::string&
 MetricsServer::~MetricsServer() = default;
 void MetricsServer::stop() {}
 void MetricsServer::registerSelfMetrics(MetricsRegistry&) {}
+void MetricsServer::setReadiness(ReadinessFn) {}
+void MetricsServer::setSloEngine(SloEngine*) {}
 void MetricsServer::serveLoop() {}
 void MetricsServer::handleConnection(int) {}
 

@@ -6,7 +6,11 @@
 //   GET /metrics       -> Prometheus text exposition (format 0.0.4)
 //   GET /metrics.json  -> adres.metrics.v1 JSON snapshot
 //   GET /buildinfo     -> adres.buildinfo.v1 (version, git, build flags)
-//   GET /healthz       -> "ok" liveness probe
+//   GET /healthz       -> "ok" liveness probe (the process serves requests)
+//   GET /readyz        -> readiness probe: 200 once the registered readiness
+//                         check passes (farm workers warm, program cache
+//                         populated), 503 with the blocking reason before
+//   GET /slo           -> adres.slo.v1 burn-rate state (404 with no engine)
 //   GET /              -> tiny HTML index
 //
 // Not a general web server: no keep-alive, no TLS, no request body — a
@@ -17,12 +21,16 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
+#include <mutex>
 #include <string>
 #include <thread>
 
 #include "obs/metrics.hpp"
 
 namespace adres::obs {
+
+class SloEngine;
 
 class MetricsServer {
  public:
@@ -52,11 +60,28 @@ class MetricsServer {
   /// registrations (clear() the registry before destroying the server).
   void registerSelfMetrics(MetricsRegistry& reg);
 
+  /// Readiness probe for /readyz.  The check runs on the serve thread per
+  /// request: return true when the process can take traffic; on false,
+  /// optionally describe what is still warming via `reason`.  Liveness
+  /// (/healthz) stays unconditional.  Without a check, /readyz mirrors
+  /// /healthz.  The callable must stay valid until stop() (or a
+  /// setReadiness({}) reset).
+  using ReadinessFn = std::function<bool(std::string* reason)>;
+  void setReadiness(ReadinessFn fn);
+
+  /// Attaches the SLO engine behind /slo (each request evaluates and
+  /// returns adres.slo.v1).  Null detaches; the engine must outlive its
+  /// attachment.
+  void setSloEngine(SloEngine* engine);
+
  private:
   void serveLoop();
   void handleConnection(int fd);
 
   const MetricsRegistry& reg_;
+  mutable std::mutex hookMu_;  ///< guards readiness_ / slo_ vs the serve thread
+  ReadinessFn readiness_;
+  SloEngine* slo_ = nullptr;
   int listenFd_ = -1;
   int port_ = -1;
   std::atomic<bool> stopping_{false};

@@ -1,0 +1,118 @@
+// Replayable postmortem bundles (`adres.postmortem.v1`, DESIGN.md §16).
+//
+// When the self-auditing runtime trips — a sentinel divergence, a watchdog
+// cancellation/budget exhaustion, or an SLO breach — the farm freezes the
+// whole incident into one atomic JSON file: the exact rx payload and modem
+// configuration needed to re-run the packet (the black box *and* the
+// flight), both decode results with their per-region counter partitions,
+// the span tree, the shadow decode's flight-recorder ring, a metrics
+// snapshot and the build identity.  `tools/postmortem_replay` re-decodes a
+// bundle standalone and confirms (or refutes) the recorded failure.
+//
+// Writes are atomic (tmp file + rename) and the store is bounded
+// (oldest-evicted), mirroring the exemplar store's contract.  64-bit values
+// that do not survive a double round-trip (trace id, fault seed) are
+// serialized as 16-hex-digit strings.
+#pragma once
+
+#include <array>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/processor.hpp"
+#include "obs/metrics.hpp"
+#include "trace/span.hpp"
+#include "trace/trace.hpp"
+
+namespace adres::obs {
+
+struct PostmortemConfig {
+  bool enabled = false;
+  std::string dir = "postmortems";  ///< store directory (created on demand)
+  std::size_t maxBundles = 16;      ///< bound on retained bundle files
+  /// Registry whose snapshot is embedded in each bundle ("metrics" block);
+  /// null skips the block.  Must outlive the writer.
+  const MetricsRegistry* metrics = nullptr;
+};
+
+/// One decode result as recorded in a bundle.
+struct ResultRecord {
+  bool valid = false;  ///< false: this side was not recorded (no shadow)
+  bool detected = false;
+  u32 ltfStart = 0;
+  std::string stop;  ///< stopReasonName of the stop reason
+  u64 cycles = 0;
+  u64 totalOps = 0;
+  std::vector<u8> bits;  ///< one 0/1 byte per payload bit
+  std::map<int, RegionProfile> regions;  ///< per-region counter partition
+};
+
+struct PostmortemBundle {
+  std::string trigger;  ///< "divergence" | "watchdog" | "slo_breach" | ...
+  std::string reason;   ///< human-readable cause
+  u64 jobId = 0;
+  u32 tag = 0;
+  int worker = -1;
+  u64 traceId = 0;
+
+  // The exact re-run recipe: modem config, tiers, budget, fault seed and
+  // the raw rx payload.  Everything replayPostmortem needs.
+  int modulation = 0;  ///< dsp::Modulation as its underlying integer
+  int numSymbols = 0;
+  std::string execTier;    ///< primary decode's tier label
+  std::string shadowTier;  ///< "" when no shadow decode was recorded
+  u64 maxCycles = 0;
+  u64 faultInjectSeed = 0;  ///< RxRunOptions::faultInjectBitFlipSeed (0 = off)
+  std::array<std::vector<cint16>, 2> rx;
+
+  ResultRecord primary;  ///< the serving-path decode
+  ResultRecord shadow;   ///< the sentinel's shadow decode (valid=false if none)
+
+  trace::PacketSpans spans;      ///< span tree (may be empty)
+  std::vector<TraceEvent> ring;  ///< flight-recorder ring of the shadow redo
+  u64 ringAccepted = 0;
+  u64 ringDropped = 0;
+  std::size_t ringCapacity = 0;
+};
+
+/// Serializes a bundle as adres.postmortem.v1.  `metrics`, when non-null,
+/// embeds a fresh registry snapshot; the build identity is always embedded.
+void writePostmortemJson(const PostmortemBundle& b, std::ostream& os,
+                         const MetricsRegistry* metrics = nullptr);
+
+/// Parses an adres.postmortem.v1 file back into a bundle (via
+/// common/json_min).  The embedded "metrics" and "buildinfo" blocks are
+/// diagnostic context only and are not re-materialized.  Throws SimError on
+/// a missing file, wrong schema, or malformed content.
+PostmortemBundle loadPostmortemBundle(const std::string& path);
+
+/// Bounded, thread-safe bundle store with atomic writes.
+class PostmortemWriter {
+ public:
+  explicit PostmortemWriter(PostmortemConfig cfg);
+
+  /// Persists the bundle (tmp + rename); evicts the oldest bundle when the
+  /// store is full.  Returns the file path.
+  std::string write(const PostmortemBundle& b);
+
+  /// Paths currently retained, oldest first.
+  std::vector<std::string> paths() const;
+  u64 written() const;  ///< total writes (including later-evicted ones)
+  u64 evicted() const;
+
+  const PostmortemConfig& config() const { return cfg_; }
+
+ private:
+  PostmortemConfig cfg_;
+  mutable std::mutex mu_;
+  std::vector<std::string> paths_;  ///< retained files, oldest first
+  u64 written_ = 0;
+  u64 evicted_ = 0;
+  u64 fileSeq_ = 0;
+};
+
+}  // namespace adres::obs

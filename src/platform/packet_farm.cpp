@@ -4,10 +4,32 @@
 #include <chrono>
 #include <utility>
 
+#include "cga/exec_tier.hpp"
 #include "power/energy_model.hpp"
 #include "trace/counters.hpp"
 
 namespace adres::platform {
+namespace {
+
+/// A worker's audit call and the sentinel's bundle closure run on the same
+/// thread (the closure fires inside audit()), so the span tree of the packet
+/// under audit rides across the obs-layer boundary in a thread-local.
+thread_local const trace::PacketSpans* tlAuditSpans = nullptr;
+
+obs::ResultRecord toRecord(const obs::DecodeSummary& s) {
+  obs::ResultRecord r;
+  r.valid = true;
+  r.detected = s.detected;
+  r.ltfStart = s.ltfStart;
+  r.stop = s.stop;
+  r.cycles = s.cycles;
+  r.totalOps = s.totalOps;
+  r.bits = s.bits;
+  r.regions = s.regions;
+  return r;
+}
+
+}  // namespace
 
 void FarmStats::writeJson(std::ostream& os) const {
   trace::writeCountersJson(os, counters, groups, workers);
@@ -25,6 +47,12 @@ PacketFarm::PacketFarm(FarmConfig cfg)
   cfg_.run.regionLog = nullptr;  // per-worker logs are wired in workerMain
   if (cfg_.exemplars.enabled)
     exemplars_ = std::make_unique<obs::ExemplarStore>(cfg_.exemplars);
+  // The bundle store exists for explicit postmortem capture AND for
+  // sentinel-only setups (divergence bundles go through the same store).
+  if (cfg_.postmortem.enabled ||
+      (cfg_.sentinel.enabled && cfg_.sentinel.bundleOnDivergence)) {
+    postmortems_ = std::make_unique<obs::PostmortemWriter>(cfg_.postmortem);
+  }
   workerStats_.resize(static_cast<std::size_t>(cfg_.numWorkers));
   watchdog_ = std::make_unique<obs::WorkerWatchdog>(cfg_.numWorkers,
                                                     cfg_.watchdog);
@@ -35,6 +63,40 @@ PacketFarm::PacketFarm(FarmConfig cfg)
   // Build (or fetch) the shared program before spawning so workers never
   // race on the expensive first build and startup cost is paid once.
   (void)modemProgramFor(cfg_.modem);
+  if (cfg_.sentinel.enabled) {
+    shadowModem_ = modemProgramFor(cfg_.modem);
+    shadowProc_ = std::make_unique<Processor>();
+    sentinel_ = std::make_unique<obs::DivergenceSentinel>(
+        cfg_.sentinel,
+        [this](const std::array<std::vector<cint16>, 2>& rx,
+               std::vector<TraceEvent>* ringOut) {
+          return shadowDecode(rx, ringOut);
+        });
+    if (cfg_.sentinel.bundleOnDivergence && postmortems_) {
+      sentinel_->setBundleFn(
+          [this](const obs::IntegrityEvent& ev,
+                 const std::array<std::vector<cint16>, 2>& rx,
+                 const obs::DecodeSummary& primary,
+                 const obs::DecodeSummary& shadow,
+                 const std::vector<TraceEvent>& ring) {
+            obs::PostmortemBundle b = bundleSkeleton("divergence", ev.detail);
+            b.jobId = ev.jobId;
+            b.tag = ev.tag;
+            b.worker = ev.worker;
+            b.traceId = ev.traceId;
+            b.shadowTier = ev.shadowTier;
+            b.rx = rx;
+            b.primary = toRecord(primary);
+            b.shadow = toRecord(shadow);
+            if (tlAuditSpans) b.spans = *tlAuditSpans;
+            b.ring = ring;
+            b.ringAccepted = shadowRingAccepted_;
+            b.ringDropped = shadowRingDropped_;
+            b.ringCapacity = cfg_.sentinel.ringCapacity;
+            return postmortems_->write(b);
+          });
+    }
+  }
   watchdog_->start();
   threads_.reserve(static_cast<std::size_t>(cfg_.numWorkers));
   for (int i = 0; i < cfg_.numWorkers; ++i)
@@ -158,6 +220,80 @@ PacketFarm::SlowestPacket PacketFarm::slowestPacket() const {
   return slowest_;
 }
 
+obs::DecodeSummary PacketFarm::shadowDecode(
+    const std::array<std::vector<cint16>, 2>& rx,
+    std::vector<TraceEvent>* ringOut) {
+  sdr::RxRunOptions opts;
+  opts.maxCycles = cfg_.run.maxCycles;
+  opts.exec.tier = cfg_.sentinel.shadowTier;
+  opts.exec.plans = shadowModem_->plansFor(cfg_.sentinel.shadowTier);
+  opts.exec.warmReload = true;
+  std::unique_ptr<RingBufferSink> ring;
+  if (ringOut) {
+    ring = std::make_unique<RingBufferSink>(cfg_.sentinel.ringCapacity);
+    opts.trace = ring.get();
+  }
+  sdr::ProcessorRxResult res;
+  sdr::runModemOnProcessor(*shadowProc_, *shadowModem_, rx, opts, res);
+  obs::DecodeSummary s;
+  s.detected = res.detected;
+  s.ltfStart = res.ltfStart;
+  s.stop = stopReasonName(res.stop);
+  s.cycles = res.cycles;
+  s.totalOps = shadowProc_->activity().totalOps();
+  s.bits = std::move(res.bits);
+  s.regions = shadowProc_->profiles();
+  if (ringOut) {
+    *ringOut = ring->events();
+    shadowRingAccepted_ = ring->accepted();
+    shadowRingDropped_ = ring->dropped();
+  }
+  return s;
+}
+
+obs::PostmortemBundle PacketFarm::bundleSkeleton(
+    const std::string& trigger, const std::string& reason) const {
+  obs::PostmortemBundle b;
+  b.trigger = trigger;
+  b.reason = reason;
+  b.modulation = static_cast<int>(cfg_.modem.mod);
+  b.numSymbols = cfg_.modem.numSymbols;
+  b.execTier = execTierName(cfg_.run.exec.tier);
+  b.maxCycles = cfg_.run.maxCycles;
+  b.faultInjectSeed = cfg_.run.faultInjectBitFlipSeed;
+  return b;
+}
+
+std::string PacketFarm::capturePostmortem(const std::string& trigger,
+                                          const std::string& reason) {
+  if (!postmortems_ || !cfg_.postmortem.enabled) return "";
+  SlowestPacket slow;
+  {
+    std::lock_guard<std::mutex> lk(slowMu_);
+    slow = slowest_;
+  }
+  if (slow.rx[0].empty()) return "";  // no packet retained yet
+  obs::PostmortemBundle b = bundleSkeleton(trigger, reason);
+  b.jobId = slow.id;
+  b.tag = slow.tag;
+  b.worker = slow.worker;
+  b.traceId = slow.traceId;
+  b.rx = slow.rx;
+  b.primary = toRecord(slow.summary);
+  b.spans = slow.spans;
+  return postmortems_->write(b);
+}
+
+bool PacketFarm::ready(std::string* reason) const {
+  const int warm = workersReady_.load(std::memory_order_acquire);
+  if (warm >= cfg_.numWorkers) return true;
+  if (reason) {
+    *reason = std::to_string(warm) + "/" + std::to_string(cfg_.numWorkers) +
+              " workers warm";
+  }
+  return false;
+}
+
 std::map<std::string, u64> PacketFarm::liveCounters() const {
   std::map<std::string, u64> out;
   for (const auto& t : telemetry_) {
@@ -187,6 +323,29 @@ void PacketFarm::registerMetrics(obs::MetricsRegistry& reg) const {
   reg.addCounter("adres_farm_health_events_total",
                  "watchdog health events (stalls, budget overruns)",
                  [this] { return static_cast<double>(watchdog_->eventCount()); });
+  // Self-auditing series.  The sentinel/divergence counters are registered
+  // unconditionally (0 with the sentinel off) so SLO specs and dashboards
+  // can rely on the series existing.
+  reg.addCounter("adres_farm_sentinel_sampled_total",
+                 "packets shadow-decoded by the divergence sentinel",
+                 [this] {
+                   return sentinel_
+                              ? static_cast<double>(sentinel_->sampled())
+                              : 0.0;
+                 });
+  reg.addCounter("adres_farm_divergences_total",
+                 "primary/shadow decode divergences detected by the sentinel",
+                 [this] { return static_cast<double>(divergences()); });
+  reg.addCounter("adres_farm_postmortem_bundles_total",
+                 "adres.postmortem.v1 bundles written",
+                 [this] {
+                   return postmortems_
+                              ? static_cast<double>(postmortems_->written())
+                              : 0.0;
+                 });
+  reg.addGauge("adres_farm_ready",
+               "1 once every worker is warm (the /readyz source)",
+               [this] { return ready() ? 1.0 : 0.0; });
   reg.addGauge("adres_farm_uptime_seconds", "host seconds since farm start",
                [this] {
                  return std::chrono::duration<double>(
@@ -346,6 +505,9 @@ void PacketFarm::workerMain(int idx) {
     opts.trace = ring.get();
   }
   RxSession session(cfg_.modem, opts);
+  // Session built: program fetched from the cache, plans resolved — this
+  // worker can take traffic (the /readyz source).
+  workersReady_.fetch_add(1, std::memory_order_release);
   const auto epochUs = [this] {
     return std::chrono::duration<double, std::micro>(
                std::chrono::steady_clock::now() - startTime_)
@@ -367,15 +529,25 @@ void PacketFarm::workerMain(int idx) {
     session.decodeInto(job->rx, out.result);
     const double ns =
         std::chrono::duration<double, std::nano>(Clock::now() - t0).count();
-    // The rx payloads are dead once the decode's DMA has read them; hand
-    // their storage back for the producer's next trial.
-    samplePool_.release(std::move(job->rx[0]));
-    samplePool_.release(std::move(job->rx[1]));
     const double decodeEndUs = decodeStartUs + ns / 1000.0;
     out.hostUs = ns / 1000.0;
     out.avgPowerMw = power::averageActiveMw(session.processor());
     out.traceId = trace::packetTraceId(job->id, job->tag);
     out.queueWaitUs = std::max(0.0, dispatchUs - job->enqueueUs);
+    // The rx payloads are dead once the decode's DMA has read them — UNLESS
+    // the self-auditing layer still needs them (sentinel shadow decode,
+    // failure bundle, slowest-packet retention).  The common path releases
+    // here so the producer recycle loop keeps its allocation-free timing.
+    const bool failedStop = out.result.stop != StopReason::kHalt;
+    const bool auditThis = sentinel_ && sentinel_->shouldSample(out.traceId);
+    const bool retainPayload =
+        auditThis ||
+        (postmortems_ && cfg_.postmortem.enabled) ||
+        (postmortems_ && failedStop);
+    if (!retainPayload) {
+      samplePool_.release(std::move(job->rx[0]));
+      samplePool_.release(std::move(job->rx[1]));
+    }
 
     tele.packetsDone.fetch_add(1, std::memory_order_relaxed);
     tele.simCycles.fetch_add(out.result.cycles, std::memory_order_relaxed);
@@ -406,13 +578,60 @@ void PacketFarm::workerMain(int idx) {
                                out.queueWaitUs, out.result.cycles,
                                latencySnapshot());
     }
+    // Self-auditing: summarize the primary decode once for whichever of the
+    // sentinel audit / failure bundle / slowest-packet retention needs it.
+    obs::DecodeSummary primary;
+    if (retainPayload) {
+      primary.detected = out.result.detected;
+      primary.ltfStart = out.result.ltfStart;
+      primary.stop = stopReasonName(out.result.stop);
+      primary.cycles = out.result.cycles;
+      primary.totalOps = session.processor().activity().totalOps();
+      primary.bits = out.result.bits;
+      primary.regions = session.processor().profiles();
+    }
+    if (auditThis) {
+      tlAuditSpans = &spans;  // rides into the bundle closure (same thread)
+      (void)sentinel_->audit(job->id, job->tag, idx, out.traceId, job->rx,
+                             primary);
+      tlAuditSpans = nullptr;
+    }
+    if (postmortems_ && failedStop) {
+      obs::PostmortemBundle b = bundleSkeleton(
+          "watchdog", std::string("decode stopped without halting (") +
+                          primary.stop + ")");
+      b.jobId = job->id;
+      b.tag = job->tag;
+      b.worker = idx;
+      b.traceId = out.traceId;
+      b.rx = job->rx;
+      b.primary = toRecord(primary);
+      b.spans = spans;
+      (void)postmortems_->write(b);
+    }
     {
       std::lock_guard<std::mutex> lk(slowMu_);
       if (out.hostUs > slowest_.latencyUs) {
-        slowest_ = {out.id,          out.traceId, idx,
-                    out.hostUs,      out.queueWaitUs,
-                    out.result.cycles, spans};
+        slowest_.id = out.id;
+        slowest_.tag = job->tag;
+        slowest_.traceId = out.traceId;
+        slowest_.worker = idx;
+        slowest_.latencyUs = out.hostUs;
+        slowest_.queueWaitUs = out.queueWaitUs;
+        slowest_.cycles = out.result.cycles;
+        slowest_.spans = spans;
+        if (postmortems_ && cfg_.postmortem.enabled) {
+          slowest_.rx = job->rx;  // payload copy for capturePostmortem()
+          slowest_.summary = primary;
+        } else {
+          slowest_.rx = {};
+          slowest_.summary = {};
+        }
       }
+    }
+    if (retainPayload) {
+      samplePool_.release(std::move(job->rx[0]));
+      samplePool_.release(std::move(job->rx[1]));
     }
     if (cfg_.spans) out.spans = std::move(spans);
 

@@ -35,7 +35,9 @@
 
 #include "obs/exemplar.hpp"
 #include "obs/histogram.hpp"
+#include "obs/integrity.hpp"
 #include "obs/metrics.hpp"
+#include "obs/postmortem.hpp"
 #include "obs/watchdog.hpp"
 #include "platform/buffer_pool.hpp"
 #include "platform/packet_queue.hpp"
@@ -90,6 +92,18 @@ struct FarmConfig {
   /// disables the CGA steady-state fast path — decodes stay bit- and
   /// cycle-exact, but host throughput drops, so this is opt-in.
   obs::ExemplarConfig exemplars;
+  /// Online divergence sentinel: deterministically sampled packets are
+  /// shadow-decoded on a held-back tier and compared bit/cycle/counter-wise
+  /// (DESIGN.md §16).  The shadow decoder is farm-private and serialized,
+  /// so primary decode results are unaffected; sampled packets pay one
+  /// extra (shadow-tier) decode of host time.
+  obs::SentinelConfig sentinel;
+  /// Postmortem bundle capture: when enabled, the farm retains the slowest
+  /// packet's payload and writes adres.postmortem.v1 bundles on watchdog
+  /// failures (non-halt stops) and on capturePostmortem() calls (the SLO
+  /// breach hook).  Sentinel divergences write bundles through the same
+  /// store whenever it exists, i.e. also when only the sentinel is on.
+  obs::PostmortemConfig postmortem;
   /// Test/fault-injection hook, run on the worker thread after the worker
   /// marks itself busy with the job and before the decode.  Observation
   /// must stay observation: the hook must not touch simulator state.
@@ -175,14 +189,48 @@ class PacketFarm {
   /// indistinguishable from job 0 — check latencyUs > 0).
   struct SlowestPacket {
     u64 id = 0;
+    u32 tag = 0;
     u64 traceId = 0;
     int worker = -1;
     double latencyUs = 0;
     double queueWaitUs = 0;
     u64 cycles = 0;
     trace::PacketSpans spans;  ///< populated when span recording is on
+    /// Retained only with postmortem capture on: the payload and decode
+    /// summary needed to freeze this packet into a bundle after the fact.
+    std::array<std::vector<cint16>, 2> rx;
+    obs::DecodeSummary summary;
   };
   SlowestPacket slowestPacket() const;
+
+  // -- Self-auditing runtime (DESIGN.md §16) ---------------------------------
+
+  /// The divergence sentinel; null unless cfg.sentinel.enabled.
+  const obs::DivergenceSentinel* sentinel() const { return sentinel_.get(); }
+  /// Divergences detected so far (0 with the sentinel off) — the source of
+  /// adres_farm_divergences_total and the `divergences` SLO metric.
+  u64 divergences() const { return sentinel_ ? sentinel_->divergences() : 0; }
+  /// Structured divergence events recorded so far (empty with sentinel off).
+  std::vector<obs::IntegrityEvent> integrityEvents() const {
+    return sentinel_ ? sentinel_->events() : std::vector<obs::IntegrityEvent>{};
+  }
+  /// The bundle store; null unless postmortem capture or sentinel bundling
+  /// is active.
+  const obs::PostmortemWriter* postmortemWriter() const {
+    return postmortems_.get();
+  }
+
+  /// Freezes the current slowest packet into an adres.postmortem.v1 bundle
+  /// (the SLO-breach hook calls this).  Returns the bundle path, or "" when
+  /// capture is off or no packet has been retained yet.  Safe from any
+  /// thread.
+  std::string capturePostmortem(const std::string& trigger,
+                                const std::string& reason);
+
+  /// Readiness: true once every worker has built its session (program cache
+  /// populated, plans resolved) — the /readyz source.  On false, `reason`
+  /// (when non-null) describes what is still warming.
+  bool ready(std::string* reason = nullptr) const;
 
   // -- Live telemetry (safe from any thread, mid-flight) ---------------------
 
@@ -240,6 +288,13 @@ class PacketFarm {
   };
 
   void workerMain(int idx);
+  /// The sentinel's ShadowDecodeFn target: one serialized decode on the
+  /// held-back tier (callers hold the sentinel lock).
+  obs::DecodeSummary shadowDecode(const std::array<std::vector<cint16>, 2>& rx,
+                                  std::vector<TraceEvent>* ringOut);
+  /// Builds the non-payload bundle skeleton shared by every trigger path.
+  obs::PostmortemBundle bundleSkeleton(const std::string& trigger,
+                                       const std::string& reason) const;
 
   FarmConfig cfg_;
   BoundedQueue<RxJob> queue_;
@@ -250,6 +305,16 @@ class PacketFarm {
   BufferPool<u8> bitPool_;
   std::unique_ptr<obs::WorkerWatchdog> watchdog_;
   std::unique_ptr<obs::ExemplarStore> exemplars_;
+  std::unique_ptr<obs::PostmortemWriter> postmortems_;
+  /// Held-back shadow decoder (farm-private; calls serialized by the
+  /// sentinel).  The ring stats of the last divergence re-decode are stashed
+  /// here for the bundle closure — both run under the sentinel's lock.
+  std::shared_ptr<const sdr::ModemOnProcessor> shadowModem_;
+  std::unique_ptr<Processor> shadowProc_;
+  std::unique_ptr<obs::DivergenceSentinel> sentinel_;
+  u64 shadowRingAccepted_ = 0;
+  u64 shadowRingDropped_ = 0;
+  std::atomic<int> workersReady_{0};  ///< workers whose session is built
   std::vector<std::unique_ptr<WorkerTelemetry>> telemetry_;
   std::vector<std::thread> threads_;
   std::chrono::steady_clock::time_point startTime_;

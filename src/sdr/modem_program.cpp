@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "common/check.hpp"
+#include "common/hash.hpp"
 #include "dsp/lanes.hpp"
 #include "dsp/ofdm.hpp"
 #include "dsp/preamble.hpp"
@@ -729,8 +730,9 @@ void runModemOnProcessor(Processor& proc, const ModemOnProcessor& m,
   out.cycles = 0;
   out.elapsedUs = 0.0;
   out.stop = StopReason::kHalt;
-  if (opts.trace) proc.setTrace(opts.trace);
-  // Always-set (not guarded) so a baseline run clears a previous attachment.
+  // Always-set (not guarded) so a baseline run clears a previous attachment;
+  // a sink left dangling from an earlier traced run would otherwise be used.
+  proc.setTrace(opts.trace);
   proc.setKernelProfiling(opts.profile);
   proc.setRegionLog(opts.regionLog);
   ExecPolicy pol = opts.exec;
@@ -821,6 +823,13 @@ void runModemOnProcessor(Processor& proc, const ModemOnProcessor& m,
         }
       }
     }
+  }
+  if (opts.faultInjectBitFlipSeed != 0 && !out.bits.empty()) {
+    // Seeded single-bit corruption of the *decoded* payload: the simulator
+    // state, cycle count and counters stay exact, so only a bit-level
+    // shadow comparison can notice.
+    out.bits[static_cast<std::size_t>(mix64(opts.faultInjectBitFlipSeed) %
+                                      out.bits.size())] ^= 1;
   }
   if (!opts.countersJsonPath.empty()) {
     std::ofstream os(opts.countersJsonPath);

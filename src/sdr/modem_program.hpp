@@ -94,6 +94,12 @@ struct RxRunOptions {
   /// cycle-exact either way; only host speed differs (bench_trialgen uses
   /// this to reproduce the pre-warm-reload baseline).
   bool coldReload = false;
+  /// Test-only fault injection: when non-zero, one deterministically chosen
+  /// payload bit (SplitMix64 of the seed, modulo the bit count) is flipped
+  /// AFTER the gray-word decode — the simulated hardware is untouched, only
+  /// the returned bits lie.  This is the planted divergence the sentinel
+  /// tests (and postmortem replay) must catch; 0 in production.
+  u64 faultInjectBitFlipSeed = 0;
 };
 
 struct ProcessorRxResult {

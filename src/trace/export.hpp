@@ -10,8 +10,10 @@
 
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "trace/span.hpp"
 #include "trace/trace.hpp"
 
 namespace adres::trace {
@@ -42,5 +44,25 @@ void writeChromeTrace(const std::vector<TraceEvent>& events, std::ostream& os,
 /// Writes one JSON object per line, schema-stable:
 /// {"cycle":N,"dur":N,"kind":"...","track":N,"a":N,"b":N}
 void writeJsonl(const std::vector<TraceEvent>& events, std::ostream& os);
+
+// -- Shared artifact-harvest fragments --------------------------------------
+// The span-array and flight-recorder-ring JSON bodies are shared verbatim
+// between adres.exemplar.v1 and adres.postmortem.v1: one object per line at
+// `indent` spaces, emitted between the caller's '[' and ']' (a leading
+// newline before the first entry, nothing after the last).
+
+/// {"kind": "...", "name": "...", "start_us": .., "dur_us": ..,
+///  "start_cycle": N, "cycles": N, "ops": N}
+void writeSpanJsonEntries(const std::vector<Span>& spans, std::ostream& os,
+                          int indent);
+
+/// {"cycle": N, "dur": N, "kind": "...", "track": N, "a": N, "b": N}
+void writeTraceEventJsonEntries(const std::vector<TraceEvent>& events,
+                                std::ostream& os, int indent);
+
+/// Reverse lookups for the artifact loaders (postmortem_replay); throw
+/// SimError on an unknown label.
+SpanKind spanKindFromName(std::string_view name);
+TraceEventKind traceEventKindFromName(std::string_view name);
 
 }  // namespace adres::trace

@@ -213,6 +213,37 @@ TEST(Histogram, QuantilesOnEmptyHistogramAreZero) {
   EXPECT_DOUBLE_EQ(none.quantile(0.5), 0.0);
 }
 
+TEST(Histogram, CountAboveIsExactForSmallValuesAndBucketBoundedOtherwise) {
+  // countAbove feeds the SLO deadline-miss rate: exact for sub-2^kSubBits
+  // values (one bucket each) and errs low by at most one bucket's count for
+  // larger thresholds (values sharing the threshold's bucket read as <=).
+  H h;
+  for (u64 v = 1; v <= 10; ++v) h.record(v);  // exact region
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.countAbove(0), 10u);
+  EXPECT_EQ(s.countAbove(5), 5u) << "6..10 are strictly above 5";
+  EXPECT_EQ(s.countAbove(10), 0u);
+  EXPECT_EQ(s.countAbove(~0ull), 0u);
+
+  // Bucketized region: a threshold inside a populated bucket may undercount,
+  // but never by more than that single bucket's population, and thresholds
+  // on bucket boundaries between clusters are exact.
+  H big;
+  for (int i = 0; i < 90; ++i) big.record(1000);
+  for (int i = 0; i < 10; ++i) big.record(1'000'000);
+  const HistogramSnapshot b = big.snapshot();
+  EXPECT_EQ(b.countAbove(500'000), 10u)
+      << "clusters decades apart separate exactly";
+  EXPECT_EQ(b.countAbove(2'000'000), 0u);
+  // Threshold inside the low cluster's bucket: its 90 samples count as <=.
+  const u64 lowLo = H::bucketLo(H::bucketIndex(1000));
+  EXPECT_EQ(b.countAbove(lowLo), 10u) << "errs low, bounded by one bucket";
+
+  // Empty / bucketless snapshots are zero everywhere.
+  EXPECT_EQ(H().snapshot().countAbove(0), 0u);
+  EXPECT_EQ(HistogramSnapshot{}.countAbove(123), 0u);
+}
+
 TEST(Histogram, ConcurrentRecordingLosesNothing) {
   // Lock-free recording from many threads while a reader snapshots; the
   // final snapshot must account for every record (TSan validates the

@@ -11,6 +11,7 @@
 #include "obs/buildinfo.hpp"
 #include "obs/metrics.hpp"
 #include "obs/metrics_server.hpp"
+#include "obs/slo.hpp"
 
 namespace adres::obs {
 namespace {
@@ -177,6 +178,73 @@ TEST(MetricsExport, HistogramBucketsAreCumulativeWithExemplars) {
   // clear() drops histograms along with everything else.
   reg.clear();
   EXPECT_TRUE(reg.snapshot().histograms.empty());
+}
+
+TEST(MetricsServer, ReadyzReflectsTheInstalledReadinessCheck) {
+  MetricsRegistry reg;
+  MetricsServer server(reg, 0);
+  ASSERT_GT(server.port(), 0);
+
+  // No check installed: optimistically ready (bare scrape targets).
+  std::string status;
+  EXPECT_EQ(httpGet("127.0.0.1", server.port(), "/readyz", &status), "ready\n");
+  EXPECT_NE(status.find("200"), std::string::npos);
+
+  bool ready = false;
+  server.setReadiness([&ready](std::string* reason) {
+    if (!ready && reason) *reason = "1/2 workers warm";
+    return ready;
+  });
+  const std::string body =
+      httpGet("127.0.0.1", server.port(), "/readyz", &status);
+  EXPECT_NE(status.find("503"), std::string::npos)
+      << "liveness (/healthz) and readiness (/readyz) must split";
+  EXPECT_EQ(body, "not ready: 1/2 workers warm\n");
+  EXPECT_EQ(httpGet("127.0.0.1", server.port(), "/healthz"), "ok\n")
+      << "a warming process is alive, just not ready";
+
+  ready = true;
+  EXPECT_EQ(httpGet("127.0.0.1", server.port(), "/readyz", &status), "ready\n");
+  EXPECT_NE(status.find("200"), std::string::npos);
+
+  server.setReadiness({});  // detach: back to optimistic
+  EXPECT_EQ(httpGet("127.0.0.1", server.port(), "/readyz"), "ready\n");
+  server.stop();
+  reg.clear();
+}
+
+TEST(MetricsServer, SloEndpointServesEngineJsonOr404) {
+  MetricsRegistry reg;
+  u64 divergences = 0;
+  reg.addCounter("adres_farm_divergences_total", "t", [&] {
+    return static_cast<double>(divergences);
+  });
+  MetricsServer server(reg, 0);
+  ASSERT_GT(server.port(), 0);
+
+  std::string status;
+  EXPECT_EQ(httpGet("127.0.0.1", server.port(), "/slo", &status),
+            "no SLO engine attached\n");
+  EXPECT_NE(status.find("404"), std::string::npos);
+
+  SloEngine engine(reg, parseSloSpecList("integrity: divergences < 1"));
+  server.setSloEngine(&engine);
+  divergences = 2;
+  const std::string body = httpGet("127.0.0.1", server.port(), "/slo", &status);
+  EXPECT_NE(status.find("200"), std::string::npos);
+  const JsonValue root = JsonParser(body).parse();
+  EXPECT_EQ(root.at("schema").str, "adres.slo.v1");
+  ASSERT_EQ(root.at("slos").array.size(), 1u);
+  const JsonValue& st = root.at("slos").array[0];
+  EXPECT_EQ(st.at("name").str, "integrity");
+  EXPECT_EQ(st.at("value").number, 2.0) << "/slo evaluates live per request";
+  EXPECT_TRUE(st.at("breaching").boolean);
+
+  server.setSloEngine(nullptr);  // detach before the engine dies
+  EXPECT_EQ(httpGet("127.0.0.1", server.port(), "/slo", &status),
+            "no SLO engine attached\n");
+  server.stop();
+  reg.clear();
 }
 
 TEST(BuildInfo, JsonSchemaCarriesVersionAndToolchain) {
