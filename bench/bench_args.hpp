@@ -69,8 +69,11 @@ class Args {
   }
 
   /// Returns false when the program should exit: after printing --help
-  /// (parseError() == false) or on a bad argument (parseError() == true,
-  /// usage printed to stderr).
+  /// (parseError() == false) or on a bad argument (parseError() == true, a
+  /// one-line error + `--help` hint printed to stderr; callers exit 1).
+  /// Strict by construction: unknown flags (single- or double-dash) and
+  /// non-numeric values for numeric bindings all fail loudly — a typo'd
+  /// sweep axis must never silently benchmark the defaults.
   bool parse(int argc, char** argv) {
     std::size_t nextPositional = 0;
     for (int i = 1; i < argc; ++i) {
@@ -79,7 +82,7 @@ class Args {
         usage(stdout);
         return false;
       }
-      if (arg.rfind("--", 0) == 0) {
+      if (arg.rfind("--", 0) == 0 && arg.size() > 2) {
         std::string name = arg.substr(2);
         std::string value;
         bool hasValue = false;
@@ -90,38 +93,28 @@ class Args {
           hasValue = true;
         }
         Flag* f = findFlag(name);
-        if (f == nullptr) {
-          std::fprintf(stderr, "%s: unknown flag --%s\n", prog_.c_str(),
-                       name.c_str());
-          usage(stderr);
-          error_ = true;
-          return false;
-        }
+        if (f == nullptr) return fail("unknown flag --" + name);
         if (f->outBool != nullptr) {
           *f->outBool = hasValue ? (value != "0" && value != "false") : true;
           continue;
         }
         if (!hasValue) {
-          if (i + 1 >= argc) {
-            std::fprintf(stderr, "%s: --%s needs a value\n", prog_.c_str(),
-                         name.c_str());
-            usage(stderr);
-            error_ = true;
-            return false;
-          }
+          if (i + 1 >= argc) return fail("--" + name + " needs a value");
           value = argv[++i];
         }
-        bind(*f, value);
+        if (!bind(*f, value))
+          return fail("--" + name + " expects a number, got '" + value + "'");
         continue;
       }
-      if (nextPositional >= positionals_.size()) {
-        std::fprintf(stderr, "%s: unexpected argument '%s'\n", prog_.c_str(),
-                     arg.c_str());
-        usage(stderr);
-        error_ = true;
-        return false;
-      }
-      bind(positionals_[nextPositional++], arg);
+      // A single-dash token is a flag typo ("-foo" for "--foo"), not a
+      // positional — unless it parses as a (negative) number.
+      if (arg.size() > 1 && arg[0] == '-' && !isNumber(arg))
+        return fail("unknown flag " + arg + " (flags take two dashes)");
+      if (nextPositional >= positionals_.size())
+        return fail("unexpected argument '" + arg + "'");
+      const Binding& b = positionals_[nextPositional++];
+      if (!bind(b, arg))
+        return fail(b.name + " expects a number, got '" + arg + "'");
     }
     return true;
   }
@@ -171,10 +164,38 @@ class Args {
     return nullptr;
   }
 
-  static void bind(const Binding& b, const std::string& value) {
-    if (b.outInt != nullptr) *b.outInt = std::atoi(value.c_str());
-    if (b.outDouble != nullptr) *b.outDouble = std::atof(value.c_str());
+  /// One-line error + `--help` hint; sets the exit-1 state.  Returns false
+  /// so `parse` can `return fail(...)`.
+  bool fail(const std::string& msg) {
+    std::fprintf(stderr, "%s: %s (try '%s --help')\n", prog_.c_str(),
+                 msg.c_str(), prog_.c_str());
+    error_ = true;
+    return false;
+  }
+
+  static bool isNumber(const std::string& value) {
+    char* end = nullptr;
+    (void)std::strtod(value.c_str(), &end);
+    return end != value.c_str() && *end == '\0';
+  }
+
+  /// Binds a value; false when a numeric binding got a non-number (atoi's
+  /// silent garbage-to-0 was how a typo'd value used to vanish).
+  static bool bind(const Binding& b, const std::string& value) {
+    if (b.outInt != nullptr) {
+      char* end = nullptr;
+      const long v = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') return false;
+      *b.outInt = static_cast<int>(v);
+    }
+    if (b.outDouble != nullptr) {
+      char* end = nullptr;
+      const double v = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') return false;
+      *b.outDouble = v;
+    }
     if (b.outString != nullptr) *b.outString = value;
+    return true;
   }
 
   std::string prog_, description_;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bench/bench_args.hpp"
+#include "cell/scheduler.hpp"
 #include "dsp/channel.hpp"
 #include "obs/metrics_server.hpp"
 #include "obs/slo.hpp"
@@ -168,6 +169,49 @@ void drawFrame(const std::vector<Sample>& samples, int frame, bool ansi) {
   if (!anySlo)
     printf("  (no SLO engine attached — run bench_farm --slo '...')\n");
 
+  // Per-flow QoS panel (cell simulation layer): shown whenever a
+  // CellScheduler has registered its series on the scraped registry.
+  const double cellFlows = value(samples, "adres_cell_flows");
+  if (cellFlows > 0) {
+    const double servers = value(samples, "adres_cell_servers");
+    const double offered = value(samples, "adres_cell_packets_total");
+    const double delivered = value(samples, "adres_cell_delivered_total");
+    const double errors = value(samples, "adres_cell_errors_total");
+    const double missed = value(samples, "adres_cell_deadline_miss_total");
+    const double missRate = value(samples, "adres_cell_deadline_miss_rate");
+    const double goodput = value(samples, "adres_cell_goodput_mbps");
+    const double simT = value(samples, "adres_cell_sim_time_us");
+    printf("\ncell: %.0f flows on %.0f sim processors (400 MHz)   "
+           "sim t %.0f us\n",
+           cellFlows, servers, simT);
+    printf("  packets %5.0f offered  %5.0f delivered  %4.0f errors  "
+           "%4.0f missed   miss [%s] %5.1f%%   goodput %.1f Mbps\n",
+           offered, delivered, errors, missed, bar(missRate, 12).c_str(),
+           100 * missRate, goodput);
+    printf("  sim latency (us):  p50 %.0f   p90 %.0f   p99 %.0f\n",
+           value(samples, "adres_cell_latency_us", "quantile", "0.5"),
+           value(samples, "adres_cell_latency_us", "quantile", "0.9"),
+           value(samples, "adres_cell_latency_us", "quantile", "0.99"));
+    printf("  flow  class         snr dB   offered   missed  miss%%         "
+           "goodput kbps\n");
+    for (const Sample& s : samples) {
+      if (s.name != "adres_cell_flow_offered") continue;
+      const auto fit = s.labels.find("flow");
+      const auto cit = s.labels.find("class");
+      const std::string flow = fit != s.labels.end() ? fit->second : "?";
+      const double fm = value(samples, "adres_cell_flow_missed", "flow", flow);
+      const double fr =
+          value(samples, "adres_cell_flow_miss_rate", "flow", flow);
+      const double fg =
+          value(samples, "adres_cell_flow_goodput_kbps", "flow", flow);
+      const double fsnr = value(samples, "adres_cell_flow_snr_db", "flow", flow);
+      printf("  %4s  %-12s  %5.1f   %7.0f  %7.0f  [%s] %3.0f%%  %10.1f\n",
+             flow.c_str(),
+             cit != s.labels.end() ? cit->second.c_str() : "?", fsnr, s.value,
+             fm, bar(fr, 8).c_str(), 100 * fr, fg);
+    }
+  }
+
   // Slowest-packet breakdown: which packet hit the tail, where it waited,
   // and (when span recording is on) which modem regions its decode spent
   // simulated cycles in.
@@ -213,6 +257,11 @@ int main(int argc, char** argv) {
             &frames);
   args.flag("demo", "run a self-hosted farm + metrics server and watch it",
             &demo);
+  bool demoCell = false;
+  args.flag("demo-cell",
+            "self-hosted multi-user cell scenario (flows, deadlines, per-flow "
+            "QoS panel)",
+            &demoCell);
   args.flag("no-ansi", "plain append-only output (no cursor control)",
             &noAnsi);
   if (!args.parse(argc, argv)) return args.parseError() ? 1 : 0;
@@ -222,13 +271,18 @@ int main(int argc, char** argv) {
   std::unique_ptr<obs::MetricsRegistry> reg;
   std::unique_ptr<obs::MetricsServer> server;
   std::unique_ptr<platform::PacketFarm> farm;
+  std::unique_ptr<cell::CellScheduler> scheduler;
   std::unique_ptr<obs::SloEngine> slo;
   std::thread feeder;
   std::atomic<bool> feederDone{false};
-  if (demo) {
+  if (demo && demoCell) {
+    fprintf(stderr, "farm_dashboard: pick one of --demo / --demo-cell\n");
+    return 1;
+  }
+  if (demo || demoCell) {
     dsp::ModemConfig cfg;
-    cfg.mod = dsp::Modulation::kQam64;
-    cfg.numSymbols = 4;
+    cfg.mod = demoCell ? dsp::Modulation::kQam16 : dsp::Modulation::kQam64;
+    cfg.numSymbols = demoCell ? 2 : 4;
     platform::FarmConfig fc;
     fc.modem = cfg;
     fc.numWorkers = std::max(
@@ -241,9 +295,26 @@ int main(int argc, char** argv) {
     reg = std::make_unique<obs::MetricsRegistry>();
     farm = std::make_unique<platform::PacketFarm>(fc);
     farm->registerMetrics(*reg);
-    slo = std::make_unique<obs::SloEngine>(
-        *reg, obs::parseSloSpecList(
-                  "p99: p99_latency_us < 1000000; integrity: divergences < 1"));
+    std::string sloSpec =
+        "p99: p99_latency_us < 1000000; integrity: divergences < 1";
+    if (demoCell) {
+      // A small cell: four users on two simulated processors, generous
+      // frame budget — the per-flow QoS panel fills as the DES folds.
+      cell::CellScenario sc;
+      sc.seed = 42;
+      sc.modem = cfg;
+      sc.numServers = 2;
+      sc.durationUs = 100'000.0;
+      sc.classes[0].users = 4;
+      sc.classes[0].packetsPerSec = 120.0;
+      sc.classes[0].deadlineUs = 20'000.0;
+      scheduler = std::make_unique<cell::CellScheduler>(std::move(sc));
+      scheduler->registerMetrics(*reg);
+      sloSpec = "miss: deadline_miss_rate(20000) <= 0.9; integrity: "
+                "divergences < 1";
+    }
+    slo = std::make_unique<obs::SloEngine>(*reg,
+                                           obs::parseSloSpecList(sloSpec));
     slo->registerMetrics(*reg);
     slo->startPeriodic(250);
     server = std::make_unique<obs::MetricsServer>(*reg, 0);
@@ -254,22 +325,36 @@ int main(int argc, char** argv) {
     port = server->port();
     host = "127.0.0.1";
     if (frames == 0) frames = 6;
-    // cfg dies with this block — the thread must copy it, not reference it.
-    feeder = std::thread([&farm, &feederDone, cfg] {
-      for (int i = 0; i < 48 && !feederDone.load(); ++i) {
-        Rng rng(1000 + static_cast<u64>(i));
-        const dsp::TxPacket pkt = dsp::transmit(cfg, rng);
-        dsp::ChannelConfig cc;
-        cc.taps = 2;
-        cc.snrDb = 38;
-        cc.seed = static_cast<u64>(i + 1);
-        dsp::MimoChannel ch(cc);
-        farm->submit(ch.run(pkt.waveform));
-      }
-      feederDone.store(true);
-    });
-    printf("demo farm up: %d workers, metrics on http://127.0.0.1:%d/metrics\n",
-           fc.numWorkers, port);
+    if (demoCell) {
+      // The scheduler drives the whole scenario (one-shot, blocking): the
+      // dashboard scrapes the per-flow series live while the DES folds.
+      feeder = std::thread([&farm, &scheduler, &feederDone] {
+        (void)scheduler->run(*farm);
+        feederDone.store(true);
+      });
+      printf("demo cell up: %zu flows on %d sim servers, %d host workers, "
+             "metrics on http://127.0.0.1:%d/metrics\n",
+             scheduler->flows().size(), scheduler->scenario().numServers,
+             fc.numWorkers, port);
+    } else {
+      // cfg dies with this block — the thread must copy it, not reference it.
+      feeder = std::thread([&farm, &feederDone, cfg] {
+        for (int i = 0; i < 48 && !feederDone.load(); ++i) {
+          Rng rng(1000 + static_cast<u64>(i));
+          const dsp::TxPacket pkt = dsp::transmit(cfg, rng);
+          dsp::ChannelConfig cc;
+          cc.taps = 2;
+          cc.snrDb = 38;
+          cc.seed = static_cast<u64>(i + 1);
+          dsp::MimoChannel ch(cc);
+          farm->submit(ch.run(pkt.waveform));
+        }
+        feederDone.store(true);
+      });
+      printf("demo farm up: %d workers, metrics on "
+             "http://127.0.0.1:%d/metrics\n",
+             fc.numWorkers, port);
+    }
   }
 
   int misses = 0;
@@ -289,7 +374,7 @@ int main(int argc, char** argv) {
       std::this_thread::sleep_for(std::chrono::milliseconds(intervalMs));
   }
 
-  if (demo) {
+  if (demo || demoCell) {
     feederDone.store(true);
     feeder.join();
     (void)farm->finish();

@@ -1,0 +1,187 @@
+#include "cell/flow.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/hash.hpp"
+
+namespace adres::cell {
+
+const char* arrivalKindName(ArrivalKind k) {
+  switch (k) {
+    case ArrivalKind::kPoisson:
+      return "poisson";
+    case ArrivalKind::kCbr:
+      return "cbr";
+  }
+  return "?";
+}
+
+namespace {
+
+u64 stableHash(const FlowClass& c) {
+  u64 h = 0x61647265735F6663ull;  // "adres_fc"
+  h = hashCombine(h, c.name.size());
+  for (char ch : c.name) h = hashCombine(h, static_cast<u8>(ch));
+  h = hashCombine(h, static_cast<u64>(c.users));
+  h = hashCombine(h, static_cast<u64>(c.arrival));
+  h = hashCombine(h, doubleBits(c.packetsPerSec));
+  h = hashCombine(h, doubleBits(c.nearM));
+  h = hashCombine(h, doubleBits(c.farM));
+  h = hashCombine(h, doubleBits(c.speedMps));
+  h = hashCombine(h, static_cast<u64>(c.taps));
+  h = hashCombine(h, doubleBits(c.delaySpread));
+  h = hashCombine(h, doubleBits(c.cfoPpm));
+  h = hashCombine(h, doubleBits(c.deadlineUs));
+  return h;
+}
+
+/// Independent per-flow streams derived from the scenario seed (kTxStream /
+/// kChannelStream are per-packet; these label whole-flow draws).
+constexpr u64 kArrivalStream = 0x10;
+constexpr u64 kMobilityStream = 0x11;
+
+Rng flowRng(const CellScenario& scenario, u32 flowId, u64 stream) {
+  u64 h = mix64(scenario.seed ^ 0x63656C6C5F666C6Full);  // "cell_flo"
+  h = hashCombine(h, flowId);
+  h = hashCombine(h, stream);
+  return Rng(h);
+}
+
+void validate(const CellScenario& scenario) {
+  ADRES_CHECK(scenario.numServers >= 1, "cell: numServers must be >= 1");
+  ADRES_CHECK(scenario.durationUs > 0, "cell: durationUs must be > 0");
+  ADRES_CHECK(!scenario.classes.empty(), "cell: no flow classes");
+  ADRES_CHECK(scenario.submitBatch >= 1, "cell: submitBatch must be >= 1");
+  for (const FlowClass& c : scenario.classes) {
+    ADRES_CHECK(c.users >= 1, "cell: class must have >= 1 user");
+    ADRES_CHECK(c.packetsPerSec > 0, "cell: packetsPerSec must be > 0");
+    ADRES_CHECK(c.nearM > 0 && c.farM >= c.nearM, "cell: bad near/far radii");
+    ADRES_CHECK(c.deadlineUs > 0, "cell: deadlineUs must be > 0");
+  }
+}
+
+}  // namespace
+
+u64 stableHash(const CellScenario& scenario) {
+  u64 h = 0x61647265735F636Cull;  // "adres_cl"
+  h = hashCombine(h, scenario.seed);
+  h = hashCombine(h, dsp::stableHash(scenario.modem));
+  h = hashCombine(h, static_cast<u64>(scenario.numServers));
+  h = hashCombine(h, doubleBits(scenario.durationUs));
+  h = hashCombine(h, scenario.classes.size());
+  for (const FlowClass& c : scenario.classes) h = hashCombine(h, stableHash(c));
+  h = hashCombine(h, doubleBits(scenario.refDistanceM));
+  h = hashCombine(h, doubleBits(scenario.snrAtRefDb));
+  h = hashCombine(h, doubleBits(scenario.pathLossExp));
+  h = hashCombine(h, doubleBits(scenario.minSnrDb));
+  return h;
+}
+
+u64 packetSeed(const CellScenario& scenario, u32 flowId, u32 seq, u64 stream) {
+  u64 h = mix64(scenario.seed ^ 0x63656C6C5F706B74ull);  // "cell_pkt"
+  h = hashCombine(h, flowId);
+  h = hashCombine(h, seq);
+  return hashCombine(h, stream);
+}
+
+std::vector<UserFlow> expandFlows(const CellScenario& scenario) {
+  validate(scenario);
+  std::vector<UserFlow> flows;
+  u32 id = 0;
+  for (size_t ci = 0; ci < scenario.classes.size(); ++ci) {
+    const FlowClass& c = scenario.classes[ci];
+    for (int u = 0; u < c.users; ++u, ++id) {
+      UserFlow f;
+      f.id = id;
+      f.classIdx = static_cast<int>(ci);
+      // Log-spaced radii: equal multiplicative steps cover the near/far
+      // band evenly in dB, so a class's users span the SNR range instead of
+      // clustering at the cell edge (area-uniform placement would).
+      const double frac = (u + 0.5) / c.users;
+      f.distanceM = c.nearM * std::pow(c.farM / c.nearM, frac);
+      if (c.speedMps != 0.0) {
+        Rng rng = flowRng(scenario, id, kMobilityStream);
+        f.driftMps = rng.bit() ? std::abs(c.speedMps) : -std::abs(c.speedMps);
+      }
+      f.deadlineUs = c.deadlineUs;
+      flows.push_back(f);
+    }
+  }
+  return flows;
+}
+
+double flowDistanceAt(const CellScenario& scenario, const UserFlow& flow,
+                      double atUs) {
+  const FlowClass& c = scenario.classes[static_cast<size_t>(flow.classIdx)];
+  const double d = flow.distanceM + flow.driftMps * (atUs * 1e-6);
+  return std::clamp(d, c.nearM * 0.5, c.farM * 2.0);
+}
+
+double flowSnrDbAt(const CellScenario& scenario, const UserFlow& flow,
+                   double atUs) {
+  const double d = flowDistanceAt(scenario, flow, atUs);
+  const double snr = scenario.snrAtRefDb -
+                     10.0 * scenario.pathLossExp *
+                         std::log10(d / scenario.refDistanceM);
+  return std::clamp(snr, scenario.minSnrDb, scenario.snrAtRefDb);
+}
+
+std::vector<PacketEvent> buildFlowSchedule(const CellScenario& scenario,
+                                           const UserFlow& flow) {
+  const FlowClass& c = scenario.classes[static_cast<size_t>(flow.classIdx)];
+  const double meanGapUs = 1e6 / c.packetsPerSec;
+  Rng rng = flowRng(scenario, flow.id, kArrivalStream);
+  std::vector<PacketEvent> events;
+  u32 seq = 0;
+  if (c.arrival == ArrivalKind::kPoisson) {
+    double t = 0.0;
+    for (;;) {
+      // Exponential gap: -mean * ln(U), U in (0, 1].
+      double u = 1.0 - rng.uniform();
+      t += -meanGapUs * std::log(u);
+      if (t >= scenario.durationUs) break;
+      events.push_back({flow.id, seq++, t});
+    }
+  } else {
+    // CBR: fixed period with a random phase so same-rate flows don't all
+    // fire at t=0 in lockstep.
+    const double phase = rng.uniform() * meanGapUs;
+    for (double t = phase; t < scenario.durationUs; t += meanGapUs) {
+      events.push_back({flow.id, seq++, t});
+    }
+  }
+  return events;
+}
+
+std::vector<PacketEvent> buildSchedule(const CellScenario& scenario,
+                                       const std::vector<UserFlow>& flows) {
+  std::vector<PacketEvent> all;
+  for (const UserFlow& f : flows) {
+    std::vector<PacketEvent> ev = buildFlowSchedule(scenario, f);
+    all.insert(all.end(), ev.begin(), ev.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const PacketEvent& a, const PacketEvent& b) {
+              if (a.arrivalUs != b.arrivalUs) return a.arrivalUs < b.arrivalUs;
+              if (a.flowId != b.flowId) return a.flowId < b.flowId;
+              return a.seq < b.seq;
+            });
+  return all;
+}
+
+dsp::ChannelConfig packetChannel(const CellScenario& scenario,
+                                 const UserFlow& flow, const PacketEvent& ev) {
+  const FlowClass& c = scenario.classes[static_cast<size_t>(flow.classIdx)];
+  dsp::ChannelConfig cfg;
+  cfg.taps = c.taps;
+  cfg.delaySpread = c.delaySpread;
+  cfg.cfoPpm = c.cfoPpm;
+  cfg.snrDb = flowSnrDbAt(scenario, flow, ev.arrivalUs);
+  cfg.seed = packetSeed(scenario, ev.flowId, ev.seq, kChannelStream);
+  cfg.flat = false;
+  return cfg;
+}
+
+}  // namespace adres::cell

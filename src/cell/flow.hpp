@@ -1,0 +1,162 @@
+// Multi-user cell traffic model (DESIGN.md §17): the scenario layer that
+// turns the packet farm from "decode N independent packets" into "serve a
+// cell of users", the axis the many-core SDR-RAN and vRAN platform papers
+// evaluate basestations on (sustained users/cell at a deadline-miss target,
+// not single-packet throughput).
+//
+// A CellScenario is a declarative description: user classes (count, arrival
+// process, offered rate, geometry, mobility, frame deadline) over one modem
+// configuration and a simulated pool of `numServers` baseband processors at
+// the paper's 400 MHz clock.  expandFlows() instantiates per-user flows
+// with distance-derived ChannelConfigs; buildSchedule() generates the full
+// packet arrival timeline.  All randomness is counter-seeded with the
+// campaign engine's SplitMix64 / Rng::fork discipline: flow f's arrival
+// stream and packet n's payload/channel seeds are pure functions of
+// (scenario seed, flow id, n, stream), so a scenario is bit-reproducible
+// across farm worker counts, host machines and runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "core/processor.hpp"
+#include "dsp/channel.hpp"
+#include "dsp/modem.hpp"
+
+namespace adres::cell {
+
+/// Simulated microseconds one decode occupies a baseband processor at the
+/// paper's clock (core/processor.hpp kClockMHz, 400 MHz worst case).
+inline constexpr double cyclesToUs(u64 cycles) {
+  return static_cast<double>(cycles) / kClockMHz;
+}
+
+/// Simulated-cycle budget equivalent of a time budget at the paper's clock.
+inline constexpr u64 usToCycles(double us) {
+  return static_cast<u64>(us * kClockMHz) + 1;  // round up: never under-budget
+}
+
+enum class ArrivalKind : u8 {
+  kPoisson,  ///< exponential inter-arrival gaps at `packetsPerSec`
+  kCbr,      ///< constant bit rate: fixed period, per-flow random phase
+};
+
+const char* arrivalKindName(ArrivalKind k);
+
+/// One user class: a population of statistically identical flows.
+struct FlowClass {
+  std::string name = "ue";
+  int users = 1;  ///< flows instantiated from this class
+  ArrivalKind arrival = ArrivalKind::kPoisson;
+  double packetsPerSec = 200.0;  ///< offered rate per user, simulated time
+  /// Users are placed on log-spaced radii in [nearM, farM] (user u of n at
+  /// nearM * (farM/nearM)^((u+0.5)/n)); the path-loss map in the scenario
+  /// turns radius into per-user SNR.
+  double nearM = 10.0;
+  double farM = 120.0;
+  /// Radial mobility: |speedMps| meters/second of drift; each flow draws an
+  /// inward/outward direction from its mobility stream, so a long scenario
+  /// sees per-user SNR walk between the near and far edges.
+  double speedMps = 0.0;
+  /// Channel impairments shared by the class (per-packet realizations come
+  /// from the packet's channel seed).  Defaults are mild (short multipath,
+  /// moderate CFO) so an unloaded cell mostly delivers; crank them to trade
+  /// channel errors against deadline misses.
+  int taps = 2;
+  double delaySpread = 0.3;
+  double cfoPpm = 6.0;
+  /// Frame budget: a packet whose enqueue-to-decode-complete latency on the
+  /// simulated 400 MHz pool exceeds this is a deadline miss and is dropped.
+  double deadlineUs = 4000.0;
+
+  bool operator==(const FlowClass&) const = default;
+};
+
+/// A cell full of users sharing one modem configuration and a simulated
+/// pool of baseband processors.
+struct CellScenario {
+  u64 seed = 1;  ///< master seed: one number reproduces the whole scenario
+  dsp::ModemConfig modem;
+  /// Simulated 400 MHz baseband processors serving the cell (the axis
+  /// bench_cell sweeps).  Independent of the host farm's worker count,
+  /// which only parallelizes the cycle-accurate decodes.
+  int numServers = 1;
+  double durationUs = 50'000.0;  ///< arrival horizon (simulated µs)
+  std::vector<FlowClass> classes{FlowClass{}};
+  /// Log-distance path loss: snrDb(d) = snrAtRefDb - 10*pathLossExp*
+  /// log10(d / refDistanceM), clamped to [minSnrDb, snrAtRefDb].
+  double refDistanceM = 10.0;
+  double snrAtRefDb = 38.0;
+  double pathLossExp = 2.2;
+  double minSnrDb = 4.0;
+  /// Packets submitted to the farm per submit/collect round (bounds host
+  /// memory; no effect on results).
+  int submitBatch = 32;
+
+  bool operator==(const CellScenario&) const = default;
+};
+
+/// Stable (cross-run, cross-platform) hash over every scenario field —
+/// the adres.cell.v1 summary is keyed by it, so two distinct scenarios
+/// must not silently alias.
+u64 stableHash(const CellScenario& scenario);
+
+/// One instantiated user flow.
+struct UserFlow {
+  u32 id = 0;        ///< dense flow index; RxJob::tag carries it
+  int classIdx = 0;  ///< index into CellScenario::classes
+  double distanceM = 0.0;   ///< initial radius
+  double driftMps = 0.0;    ///< signed radial speed (sign from mobility rng)
+  double deadlineUs = 0.0;  ///< frame budget (copied from the class)
+};
+
+/// Distance of `flow` at simulated time `atUs` (drift clamped to the
+/// class's [nearM/2, 2*farM] band so SNR never walks off to +-inf).
+double flowDistanceAt(const CellScenario& scenario, const UserFlow& flow,
+                      double atUs);
+
+/// Per-packet SNR of `flow` at simulated time `atUs` through the scenario's
+/// path-loss map.  Strictly decreasing in distance.
+double flowSnrDbAt(const CellScenario& scenario, const UserFlow& flow,
+                   double atUs);
+
+/// One scheduled packet arrival.
+struct PacketEvent {
+  u32 flowId = 0;
+  u32 seq = 0;           ///< per-flow packet ordinal
+  double arrivalUs = 0;  ///< simulated enqueue time
+};
+
+/// The independent per-packet seed streams (campaign CellSpec::trialSeed
+/// discipline: consumers within one packet never share a stream).
+inline constexpr u64 kTxStream = 0;
+inline constexpr u64 kChannelStream = 1;
+
+/// Counter-based per-packet seed: a pure function of (scenario seed, flow,
+/// seq, stream) — no draw ordering anywhere can shift it.
+u64 packetSeed(const CellScenario& scenario, u32 flowId, u32 seq, u64 stream);
+
+/// Instantiates every class's users as flows (dense ids in class order).
+std::vector<UserFlow> expandFlows(const CellScenario& scenario);
+
+/// Generates every flow's arrivals over [0, durationUs) and merges them
+/// sorted by (arrivalUs, flowId, seq) — a deterministic total order, so the
+/// submit sequence (and thus job ids) is a pure function of the scenario.
+/// Each flow's arrival stream is forked off the scenario seed by flow id,
+/// independent of every other flow's.
+std::vector<PacketEvent> buildSchedule(const CellScenario& scenario,
+                                       const std::vector<UserFlow>& flows);
+
+/// Arrivals of a single flow over [0, durationUs) (buildSchedule merges
+/// these; exposed so tests can pin per-flow independence).
+std::vector<PacketEvent> buildFlowSchedule(const CellScenario& scenario,
+                                           const UserFlow& flow);
+
+/// Per-packet ChannelConfig for `ev`: class impairments, the flow's SNR at
+/// the arrival instant, and the packet's counter-derived channel seed.
+dsp::ChannelConfig packetChannel(const CellScenario& scenario,
+                                 const UserFlow& flow, const PacketEvent& ev);
+
+}  // namespace adres::cell

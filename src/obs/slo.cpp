@@ -14,6 +14,11 @@ namespace {
 // The registry series each SLO kind reads (registered by
 // PacketFarm::registerMetrics).
 constexpr const char* kLatencySummary = "adres_farm_latency_host_us";
+// Simulated enqueue-to-decode latency from the cell layer (CellScheduler::
+// registerMetrics).  deadline_miss_rate prefers it when populated: frame
+// deadlines are a simulated-time contract, and the cell summary counts
+// dropped packets at their give-up latency, so countAbove sees them too.
+constexpr const char* kCellLatencySummary = "adres_cell_latency_us";
 constexpr const char* kQueueWaitSummary = "adres_farm_queue_wait_us";
 constexpr const char* kHealthEventsCounter = "adres_farm_health_events_total";
 constexpr const char* kDivergencesCounter = "adres_farm_divergences_total";
@@ -205,7 +210,11 @@ double SloEngine::extractValue(const MetricsSnapshot& snap,
       return total > 0 ? static_cast<double>(qw->hist.sum) / total : 0.0;
     }
     case SloKind::kDeadlineMissRate: {
-      const SummarySample* lat = findSummary(snap, kLatencySummary);
+      // Prefer the cell layer's simulated-latency summary when it carries
+      // samples; fall back to the farm's host-latency summary (the pre-cell
+      // behavior) so farm-only setups keep their deadline SLOs.
+      const SummarySample* lat = findSummary(snap, kCellLatencySummary);
+      if (!lat || lat->hist.count == 0) lat = findSummary(snap, kLatencySummary);
       if (!lat || lat->hist.count == 0) return 0.0;
       // The deadline is in export units (µs); the histogram records raw
       // units (ns), so divide by the export scale.  The bucketized count is

@@ -21,6 +21,11 @@
 //
 // `for N` arms the breach only after N consecutive breaching evaluations
 // (burn-rate style de-flapping); default 1.
+//
+// deadline_miss_rate reads the cell layer's simulated-latency summary
+// (adres_cell_latency_us) whenever it has samples — frame budgets are a
+// simulated-time contract — and falls back to the farm host-latency summary
+// (adres_farm_latency_host_us) for farm-only setups.
 #pragma once
 
 #include <atomic>

@@ -526,7 +526,7 @@ void PacketFarm::workerMain(int idx) {
     out.result.bits = bitPool_.acquire();  // recycled decoded-bit capacity
     const double decodeStartUs = epochUs();
     const auto t0 = Clock::now();
-    session.decodeInto(job->rx, out.result);
+    session.decodeInto(job->rx, out.result, job->maxCycles);
     const double ns =
         std::chrono::duration<double, std::nano>(Clock::now() - t0).count();
     const double decodeEndUs = decodeStartUs + ns / 1000.0;

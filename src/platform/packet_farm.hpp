@@ -52,6 +52,12 @@ struct RxJob {
   u32 tag = 0;  ///< submitter context (campaign cell index), span-labelled
   std::array<std::vector<cint16>, 2> rx;
   double enqueueUs = 0;  ///< host µs on the farm epoch; set by submit()
+  /// Per-job simulated-cycle budget; 0 = the farm default (FarmConfig::run).
+  /// A decode that exhausts it stops with StopReason::kMaxCycles and flows
+  /// through the watchdog's budget-overrun path (kBudgetExhausted health
+  /// events) — the cell layer's deadline enforcement: cycles the packet may
+  /// not spend are cycles it never simulates.
+  u64 maxCycles = 0;
 };
 
 struct RxOutcome {

@@ -77,13 +77,21 @@ sdr::ProcessorRxResult RxSession::decode(
 }
 
 void RxSession::decodeInto(const std::array<std::vector<cint16>, 2>& rx,
-                           sdr::ProcessorRxResult& out) {
+                           sdr::ProcessorRxResult& out,
+                           u64 maxCyclesOverride) {
   // DMA stats deliberately survive Processor::resetStats() (they account
   // the program-load transfers); clear them here so every decode's stats —
   // and the power model reading them — cover exactly one packet, as on a
   // freshly constructed processor.
   proc_.dma().resetStats();
+  // A per-job budget tightens (never loosens) the session budget for this
+  // decode only.  Swap-in/swap-out keeps the hot path allocation-free — no
+  // RxRunOptions copy, and sessions are single-threaded by contract.
+  const u64 sessionBudget = opts_.maxCycles;
+  if (maxCyclesOverride != 0 && maxCyclesOverride < sessionBudget)
+    opts_.maxCycles = maxCyclesOverride;
   sdr::runModemOnProcessor(proc_, *modem_, rx, opts_, out);
+  opts_.maxCycles = sessionBudget;
   // Stats reset on the next load; fold this packet's into the session total.
   // Static counters fold in place (key set stable after the first packet);
   // region profiles fold numerically by id — the registry's "region" group

@@ -53,8 +53,12 @@ class RxSession {
   /// Combined with the session's warm program reload and the lazily
   /// materialized stats fold, a steady-state call performs no heap
   /// allocation (tools/alloc_gate asserts this) — the packet-farm hot path.
+  /// `maxCyclesOverride` != 0 caps this one decode at
+  /// min(override, session maxCycles) simulated cycles (RxJob::maxCycles,
+  /// the cell layer's per-packet deadline budget); the session budget is
+  /// restored afterwards.
   void decodeInto(const std::array<std::vector<cint16>, 2>& rx,
-                  sdr::ProcessorRxResult& out);
+                  sdr::ProcessorRxResult& out, u64 maxCyclesOverride = 0);
 
   const dsp::ModemConfig& config() const { return modem_->config; }
   const sdr::ModemOnProcessor& modem() const { return *modem_; }

@@ -1,0 +1,212 @@
+// Cell scenario model (src/cell/flow): counter-seeded determinism of the
+// packet schedule, arrival-process statistics, the distance->SNR map and
+// the stable scenario hash.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "cell/flow.hpp"
+
+namespace adres::cell {
+namespace {
+
+CellScenario smallScenario() {
+  CellScenario sc;
+  sc.seed = 7;
+  sc.modem.mod = dsp::Modulation::kQam16;
+  sc.modem.numSymbols = 2;
+  sc.numServers = 2;
+  sc.durationUs = 100'000.0;
+  sc.classes[0].users = 4;
+  sc.classes[0].packetsPerSec = 300.0;
+  return sc;
+}
+
+TEST(CellFlow, ExpandFlowsInstantiatesEveryUserWithDenseIds) {
+  CellScenario sc = smallScenario();
+  FlowClass voip;
+  voip.name = "voip";
+  voip.users = 3;
+  voip.deadlineUs = 1500.0;
+  sc.classes.push_back(voip);
+
+  const std::vector<UserFlow> flows = expandFlows(sc);
+  ASSERT_EQ(flows.size(), 7u);
+  for (std::size_t i = 0; i < flows.size(); ++i)
+    EXPECT_EQ(flows[i].id, static_cast<u32>(i));
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(flows[i].classIdx, 0);
+  for (std::size_t i = 4; i < 7; ++i) {
+    EXPECT_EQ(flows[i].classIdx, 1);
+    EXPECT_DOUBLE_EQ(flows[i].deadlineUs, 1500.0);
+  }
+  // Log-spaced placement: strictly increasing radii within one class,
+  // inside the [nearM, farM] band.
+  for (std::size_t i = 1; i < 4; ++i)
+    EXPECT_GT(flows[i].distanceM, flows[i - 1].distanceM);
+  EXPECT_GE(flows[0].distanceM, sc.classes[0].nearM);
+  EXPECT_LE(flows[3].distanceM, sc.classes[0].farM);
+}
+
+TEST(CellFlow, SnrMapIsMonotoneInDistanceAndClamped) {
+  const CellScenario sc = smallScenario();
+  UserFlow near, far;
+  near.distanceM = sc.refDistanceM;
+  far.distanceM = 10'000.0;  // clamped to the class's 2*farM band edge
+  EXPECT_DOUBLE_EQ(flowSnrDbAt(sc, near, 0.0), sc.snrAtRefDb);
+  UserFlow edge;
+  edge.distanceM = 2.0 * sc.classes[0].farM;
+  EXPECT_DOUBLE_EQ(flowSnrDbAt(sc, far, 0.0), flowSnrDbAt(sc, edge, 0.0));
+  // A raised floor clamps the far user up to it.
+  CellScenario floored = sc;
+  floored.minSnrDb = 20.0;
+  EXPECT_DOUBLE_EQ(flowSnrDbAt(floored, far, 0.0), 20.0);
+
+  double prev = sc.snrAtRefDb + 1;
+  for (double d = sc.refDistanceM; d < 2.0 * sc.classes[0].farM; d *= 1.5) {
+    UserFlow f;
+    f.distanceM = d;
+    const double snr = flowSnrDbAt(sc, f, 0.0);
+    EXPECT_LE(snr, prev);
+    EXPECT_GE(snr, sc.minSnrDb);
+    EXPECT_LE(snr, sc.snrAtRefDb);
+    prev = snr;
+  }
+}
+
+TEST(CellFlow, MobilityDriftMovesButStaysInBand) {
+  CellScenario sc = smallScenario();
+  sc.classes[0].speedMps = 30.0;
+  const std::vector<UserFlow> flows = expandFlows(sc);
+  bool anyMoved = false;
+  for (const UserFlow& f : flows) {
+    EXPECT_NE(f.driftMps, 0.0);
+    const double d0 = flowDistanceAt(sc, f, 0.0);
+    const double d1 = flowDistanceAt(sc, f, 1e6);  // one simulated second
+    if (d0 != d1) anyMoved = true;
+    EXPECT_GE(d1, sc.classes[0].nearM / 2.0);
+    EXPECT_LE(d1, 2.0 * sc.classes[0].farM);
+  }
+  EXPECT_TRUE(anyMoved);
+}
+
+TEST(CellFlow, PacketSeedIsAPureFunctionWithIndependentStreams) {
+  const CellScenario sc = smallScenario();
+  EXPECT_EQ(packetSeed(sc, 1, 2, kTxStream), packetSeed(sc, 1, 2, kTxStream));
+  EXPECT_NE(packetSeed(sc, 1, 2, kTxStream),
+            packetSeed(sc, 1, 2, kChannelStream));
+  EXPECT_NE(packetSeed(sc, 1, 2, kTxStream), packetSeed(sc, 2, 1, kTxStream));
+  EXPECT_NE(packetSeed(sc, 1, 2, kTxStream), packetSeed(sc, 1, 3, kTxStream));
+  CellScenario other = sc;
+  other.seed = sc.seed + 1;
+  EXPECT_NE(packetSeed(sc, 1, 2, kTxStream),
+            packetSeed(other, 1, 2, kTxStream));
+}
+
+TEST(CellFlow, ScheduleIsDeterministicSortedAndSeedSensitive) {
+  const CellScenario sc = smallScenario();
+  const std::vector<UserFlow> flows = expandFlows(sc);
+  const std::vector<PacketEvent> a = buildSchedule(sc, flows);
+  const std::vector<PacketEvent> b = buildSchedule(sc, flows);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_GT(a.size(), 0u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].flowId, b[i].flowId);
+    EXPECT_EQ(a[i].seq, b[i].seq);
+    EXPECT_DOUBLE_EQ(a[i].arrivalUs, b[i].arrivalUs);
+  }
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    EXPECT_GE(a[i].arrivalUs, a[i - 1].arrivalUs);
+    EXPECT_LT(a[i].arrivalUs, sc.durationUs);
+  }
+
+  CellScenario other = sc;
+  other.seed = sc.seed + 1;
+  const std::vector<PacketEvent> c = buildSchedule(other, expandFlows(other));
+  bool differs = c.size() != a.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i)
+    differs = a[i].arrivalUs != c[i].arrivalUs;
+  EXPECT_TRUE(differs) << "a different seed must move the schedule";
+}
+
+TEST(CellFlow, PerFlowStreamsAreIndependentOfThePopulation) {
+  // Flow f's arrivals depend only on (scenario seed, flow id) — growing the
+  // cell must not disturb the flows that were already there.
+  CellScenario small = smallScenario();
+  CellScenario big = small;
+  big.classes[0].users = 8;
+  const std::vector<UserFlow> smallFlows = expandFlows(small);
+  const std::vector<UserFlow> bigFlows = expandFlows(big);
+  for (u32 f = 0; f < 4; ++f) {
+    const std::vector<PacketEvent> a = buildFlowSchedule(small, smallFlows[f]);
+    const std::vector<PacketEvent> b = buildFlowSchedule(big, bigFlows[f]);
+    ASSERT_EQ(a.size(), b.size()) << "flow " << f;
+    for (std::size_t i = 0; i < a.size(); ++i)
+      EXPECT_DOUBLE_EQ(a[i].arrivalUs, b[i].arrivalUs);
+  }
+}
+
+TEST(CellFlow, PoissonArrivalsMatchTheOfferedRate) {
+  CellScenario sc = smallScenario();
+  sc.durationUs = 2'000'000.0;  // 2 simulated seconds
+  sc.classes[0].users = 1;
+  sc.classes[0].packetsPerSec = 500.0;
+  const std::vector<UserFlow> flows = expandFlows(sc);
+  const std::vector<PacketEvent> ev = buildFlowSchedule(sc, flows[0]);
+  // ~1000 expected arrivals; the sample rate should land within 10%.
+  const double rate = static_cast<double>(ev.size()) / (sc.durationUs / 1e6);
+  EXPECT_NEAR(rate, 500.0, 50.0);
+  // Exponential gaps: variance of the gap is mean^2 — far from CBR's 0.
+  double sum = 0, sum2 = 0;
+  for (std::size_t i = 1; i < ev.size(); ++i) {
+    const double gap = ev[i].arrivalUs - ev[i - 1].arrivalUs;
+    sum += gap;
+    sum2 += gap * gap;
+  }
+  const double n = static_cast<double>(ev.size() - 1);
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_GT(var, 0.25 * mean * mean);
+}
+
+TEST(CellFlow, CbrArrivalsAreExactlyPeriodic) {
+  CellScenario sc = smallScenario();
+  sc.classes[0].users = 2;
+  sc.classes[0].arrival = ArrivalKind::kCbr;
+  sc.classes[0].packetsPerSec = 1000.0;  // 1 ms period
+  const std::vector<UserFlow> flows = expandFlows(sc);
+  const std::vector<PacketEvent> a = buildFlowSchedule(sc, flows[0]);
+  const std::vector<PacketEvent> b = buildFlowSchedule(sc, flows[1]);
+  ASSERT_GT(a.size(), 10u);
+  for (std::size_t i = 1; i < a.size(); ++i)
+    EXPECT_NEAR(a[i].arrivalUs - a[i - 1].arrivalUs, 1000.0, 1e-6);
+  // Per-flow random phase: the two flows must not be synchronized.
+  EXPECT_NE(a[0].arrivalUs, b[0].arrivalUs);
+}
+
+TEST(CellFlow, StableHashSeparatesScenarios) {
+  const CellScenario sc = smallScenario();
+  EXPECT_EQ(stableHash(sc), stableHash(sc));
+  CellScenario seed = sc;
+  seed.seed += 1;
+  EXPECT_NE(stableHash(sc), stableHash(seed));
+  CellScenario servers = sc;
+  servers.numServers += 1;
+  EXPECT_NE(stableHash(sc), stableHash(servers));
+  CellScenario deadline = sc;
+  deadline.classes[0].deadlineUs += 1.0;
+  EXPECT_NE(stableHash(sc), stableHash(deadline));
+  CellScenario name = sc;
+  name.classes[0].name = "eu";  // same chars, different order
+  EXPECT_NE(stableHash(sc), stableHash(name));
+}
+
+TEST(CellFlow, CycleTimeConversionsRoundTripAtTheClock)
+{
+  EXPECT_DOUBLE_EQ(cyclesToUs(400), 1.0);  // 400 cycles at 400 MHz = 1 us
+  EXPECT_EQ(usToCycles(1.0), 401u);        // rounds up: never under-budget
+  EXPECT_GE(cyclesToUs(usToCycles(123.4)), 123.4);
+}
+
+}  // namespace
+}  // namespace adres::cell

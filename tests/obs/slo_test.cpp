@@ -122,6 +122,32 @@ TEST(SloEngine, EvaluatesLatencyShareAndMissRate) {
   EXPECT_FALSE(st[2].fired);
 }
 
+TEST(SloEngine, DeadlineMissRatePrefersTheCellSummaryWhenPopulated) {
+  // Farm host latencies all fast (no host-side "misses")...
+  FakeFarm farm;
+  for (int i = 0; i < 100; ++i) farm.latencyNs.record(1'000'000);  // 1 ms
+  // ...while the cell layer's SIMULATED latencies blow the 10 ms frame
+  // budget half the time.  deadline_miss_rate is a simulated-time contract:
+  // once the cell summary has samples it must win over the farm series.
+  LogLinearHistogram cellLatencyNs;
+  farm.reg.addSummary("adres_cell_latency_us", "t", 1e-3,
+                      [&] { return cellLatencyNs.snapshot(); });
+
+  SloEngine engine(farm.reg,
+                   parseSloSpecList("miss: deadline_miss_rate(10000) <= 0.05"));
+  // Empty cell summary: falls back to the farm host-latency series.
+  std::vector<SloStatus> st = engine.evaluate();
+  EXPECT_TRUE(st[0].haveValue);
+  EXPECT_NEAR(st[0].value, 0.0, 1e-9);
+
+  for (int i = 0; i < 50; ++i) cellLatencyNs.record(1'000'000);    // 1 ms
+  for (int i = 0; i < 50; ++i) cellLatencyNs.record(100'000'000);  // 100 ms
+  st = engine.evaluate();
+  EXPECT_TRUE(st[0].haveValue);
+  EXPECT_NEAR(st[0].value, 0.5, 0.05)
+      << "the populated cell summary must drive the miss rate";
+}
+
 TEST(SloEngine, ForCountDeflapsAndHookFiresOncePerOnset) {
   FakeFarm farm;
   SloEngine engine(farm.reg,

@@ -1,0 +1,143 @@
+// The shared bench CLI parser (bench/bench_args.hpp): strict-by-
+// construction argument handling — unknown flags (single- or double-dash),
+// non-numeric values for numeric bindings and excess positionals all fail
+// loudly with parseError() set, while valid spellings (--flag value,
+// --flag=value, negative numeric positionals) bind as declared.  A typo'd
+// sweep axis must never silently benchmark the defaults.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_args.hpp"
+
+namespace adres::bench {
+namespace {
+
+/// argv adapter: parse("a", "b") == `prog a b`.
+bool parseTokens(Args& args, std::vector<std::string> tokens) {
+  std::vector<std::string> storage;
+  storage.push_back("prog");
+  for (std::string& t : tokens) storage.push_back(std::move(t));
+  std::vector<char*> argv;
+  argv.reserve(storage.size());
+  for (std::string& s : storage) argv.push_back(s.data());
+  return args.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+struct Declared {
+  int packets = 24;
+  double rate = 1.5;
+  std::string path = "out.json";
+  int port = -1;
+  double miss = 0.05;
+  std::string tier = "native";
+  bool verbose = false;
+  Args args{"prog", "test"};
+
+  Declared() {
+    args.positional("packets", "h", &packets);
+    args.positional("rate", "h", &rate);
+    args.positional("path", "h", &path);
+    args.flag("port", "PORT", "h", &port);
+    args.flag("miss", "RATE", "h", &miss);
+    args.flag("tier", "NAME", "h", &tier);
+    args.flag("verbose", "h", &verbose);
+  }
+};
+
+TEST(BenchArgs, BindsPositionalsAndFlagsInBothSpellings) {
+  Declared d;
+  EXPECT_TRUE(parseTokens(
+      d.args, {"48", "2.5", "x.json", "--port", "9090", "--miss=0.01",
+               "--tier", "interpreted", "--verbose"}));
+  EXPECT_FALSE(d.args.parseError());
+  EXPECT_EQ(d.packets, 48);
+  EXPECT_DOUBLE_EQ(d.rate, 2.5);
+  EXPECT_EQ(d.path, "x.json");
+  EXPECT_EQ(d.port, 9090);
+  EXPECT_DOUBLE_EQ(d.miss, 0.01);
+  EXPECT_EQ(d.tier, "interpreted");
+  EXPECT_TRUE(d.verbose);
+}
+
+TEST(BenchArgs, OmittedArgumentsKeepTheirDefaults) {
+  Declared d;
+  EXPECT_TRUE(parseTokens(d.args, {}));
+  EXPECT_EQ(d.packets, 24);
+  EXPECT_DOUBLE_EQ(d.rate, 1.5);
+  EXPECT_EQ(d.port, -1);
+  EXPECT_FALSE(d.verbose);
+}
+
+TEST(BenchArgs, UnknownDoubleDashFlagFailsLoudly) {
+  Declared d;
+  EXPECT_FALSE(parseTokens(d.args, {"--prot", "9090"}));
+  EXPECT_TRUE(d.args.parseError()) << "callers must exit 1, not run anyway";
+}
+
+TEST(BenchArgs, SingleDashTokenIsAFlagTypoNotAPositional) {
+  Declared d;
+  EXPECT_FALSE(parseTokens(d.args, {"-port", "9090"}));
+  EXPECT_TRUE(d.args.parseError());
+}
+
+TEST(BenchArgs, NegativeNumbersStillBindAsPositionals) {
+  Declared d;
+  EXPECT_TRUE(parseTokens(d.args, {"-3", "-2.5"}));
+  EXPECT_EQ(d.packets, -3);
+  EXPECT_DOUBLE_EQ(d.rate, -2.5);
+}
+
+TEST(BenchArgs, NonNumericValueForNumericBindingFails) {
+  {
+    Declared d;
+    EXPECT_FALSE(parseTokens(d.args, {"lots"}));  // int positional
+    EXPECT_TRUE(d.args.parseError());
+  }
+  {
+    Declared d;
+    EXPECT_FALSE(parseTokens(d.args, {"24", "fast"}));  // double positional
+    EXPECT_TRUE(d.args.parseError());
+  }
+  {
+    Declared d;
+    EXPECT_FALSE(parseTokens(d.args, {"--port", "ephemeral"}));
+    EXPECT_TRUE(d.args.parseError());
+  }
+  {
+    Declared d;
+    EXPECT_FALSE(parseTokens(d.args, {"--port", "80x"}));  // trailing junk
+    EXPECT_TRUE(d.args.parseError());
+  }
+}
+
+TEST(BenchArgs, MissingFlagValueAndExcessPositionalsFail) {
+  {
+    Declared d;
+    EXPECT_FALSE(parseTokens(d.args, {"--port"}));
+    EXPECT_TRUE(d.args.parseError());
+  }
+  {
+    Declared d;
+    EXPECT_FALSE(parseTokens(d.args, {"1", "2", "a", "extra"}));
+    EXPECT_TRUE(d.args.parseError());
+  }
+}
+
+TEST(BenchArgs, HelpReturnsFalseWithoutError) {
+  Declared d;
+  EXPECT_FALSE(parseTokens(d.args, {"--help"}));
+  EXPECT_FALSE(d.args.parseError()) << "--help exits 0";
+}
+
+TEST(BenchArgs, DashAloneRemainsAValidStringPositional) {
+  // The benches' "skip the JSON dump" convention: a bare '-' must keep
+  // binding as a positional value, not trip the flag-typo check.
+  Declared d;
+  EXPECT_TRUE(parseTokens(d.args, {"24", "1.5", "-"}));
+  EXPECT_EQ(d.path, "-");
+}
+
+}  // namespace
+}  // namespace adres::bench

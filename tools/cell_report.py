@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Render the cell-capacity report from an adres.bench_cell.v1 dump.
+
+Reads the JSON bench_cell emits (BENCH_cell.json) and prints a Markdown
+users/cell-vs-servers table: one row per (servers, users) config with
+offered load, deadline-miss breakdown, goodput and simulated latency
+tails, followed by the headline sustained-users summary (the largest user
+count per pool size whose miss rate stays within the run's target).  The
+EXPERIMENTS.md table is generated with this tool.
+
+Usage:
+  tools/cell_report.py BENCH_cell.json [--summary-only]
+
+Exit code 0 on success, 2 on bad input.
+"""
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("dump", help="adres.bench_cell.v1 JSON path")
+    ap.add_argument("--summary-only", action="store_true",
+                    help="print only the sustained-users table")
+    opts = ap.parse_args()
+
+    try:
+        with open(opts.dump, "r", encoding="utf-8") as f:
+            d = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"cell_report: cannot read {opts.dump}: {e}", file=sys.stderr)
+        return 2
+    if d.get("schema") != "adres.bench_cell.v1":
+        print(f"cell_report: not an adres.bench_cell.v1 dump: "
+              f"{d.get('schema')!r}", file=sys.stderr)
+        return 2
+
+    print(f"Cell capacity — {d['rate_pps']:.0f} pkt/s/user, "
+          f"deadline {d['deadline_us']:.0f} us, "
+          f"{d['duration_ms']:.0f} ms simulated, "
+          f"{d['exec_tier']} tier (service {d['service_us']:.1f} us "
+          f"-> {d['server_capacity_pps']:.0f} pkt/s per 400 MHz server)")
+    print()
+
+    if not opts.summary_only:
+        print("| servers | users | offered | delivered | errors | "
+              "miss rate | late | expired | overrun | goodput (Mbps) | "
+              "util | p50 (us) | p99 (us) |")
+        print("|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|"
+              "---:|---:|")
+        for r in d.get("rows", []):
+            print(f"| {r['servers']} | {r['users']} | {r['offered']} | "
+                  f"{r['delivered']} | {r['errors']} | "
+                  f"{100.0 * r['miss_rate']:.1f}% | {r['missed_late']} | "
+                  f"{r['missed_expired']} | {r['missed_overrun']} | "
+                  f"{r['goodput_mbps']:.2f} | "
+                  f"{100.0 * r['utilization']:.0f}% | "
+                  f"{r['lat_p50_us']:.0f} | {r['lat_p99_us']:.0f} |")
+        print()
+
+    target = d.get("target_miss", 0.0)
+    print(f"Sustained users/cell at <= {100.0 * target:.1f}% deadline miss:")
+    print()
+    print("| servers | sustained users/cell |")
+    print("|---:|---:|")
+    for s in d.get("sustained", []):
+        print(f"| {s['servers']} | {s['users']} |")
+    det = d.get("deterministic")
+    if det is not None:
+        print()
+        print(f"Determinism (1-vs-N host workers, byte-identical "
+              f"summaries): {'PASS' if det else 'FAIL'}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
